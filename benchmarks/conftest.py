@@ -1,0 +1,37 @@
+"""Shared benchmark configuration.
+
+Every figure bench regenerates its paper artifact at a reduced replicate
+count by default (so the whole harness runs in minutes on a laptop) and
+at the paper's full scale when ``REPRO_BENCH_SCALE=paper`` is set.  Each
+bench prints the regenerated series and writes it under
+``benchmarks/results/`` so the numbers survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: "quick" (default) or "paper" (the paper's replicate counts; slow).
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def replicates(quick: int, paper: int) -> int:
+    """Pick the replicate count for the active scale."""
+    return paper if SCALE == "paper" else quick
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, name: str, text: str) -> None:
+    """Print a regenerated artifact and persist it to the results dir."""
+    print(f"\n{text}\n")
+    (results_dir / f"{name}.txt").write_text(text + "\n")

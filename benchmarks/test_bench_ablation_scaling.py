@@ -1,0 +1,121 @@
+"""Benches: anchor-budget scaling and Laplacian-penalty variants.
+
+* anchor ablation — accuracy/speed trade-off of the Delalleau-style
+  anchor subset (the paper's reference [10]) against the exact solve;
+* penalty ablation — the paper's unnormalized Laplacian penalty vs the
+  symmetric-normalized variant on the same workload.
+"""
+
+import time
+
+import numpy as np
+from conftest import publish, replicates
+
+from repro.core.anchors import solve_anchored
+from repro.core.hard import solve_hard_criterion
+from repro.core.soft import solve_soft_criterion
+from repro.core.variants import solve_soft_criterion_normalized
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.experiments.report import ascii_table
+from repro.experiments.runner import run_replicates
+from repro.graph.similarity import full_kernel_graph
+from repro.kernels.bandwidth import paper_bandwidth_rule
+from repro.metrics.regression import root_mean_squared_error
+
+
+def test_bench_ablation_anchors(benchmark, results_dir):
+    n_labeled, n_unlabeled = 100, 800
+    budgets = (25, 50, 100, 200, 400, 800)
+
+    def run():
+        data = make_synthetic_dataset(n_labeled, n_unlabeled, seed=0)
+        bandwidth = paper_bandwidth_rule(n_labeled, 5)
+        graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+        start = time.perf_counter()
+        exact = solve_hard_criterion(
+            graph.weights, data.y_labeled, check_reachability=False
+        )
+        exact_seconds = time.perf_counter() - start
+        exact_rmse = root_mean_squared_error(
+            data.q_unlabeled, exact.unlabeled_scores
+        )
+        rows = []
+        for budget in budgets:
+            start = time.perf_counter()
+            fit = solve_anchored(
+                data.x_labeled, data.y_labeled, data.x_unlabeled,
+                n_anchors=budget, bandwidth=bandwidth, seed=1,
+            )
+            seconds = time.perf_counter() - start
+            rows.append(
+                [
+                    budget,
+                    root_mean_squared_error(data.q_unlabeled, fit.unlabeled_scores),
+                    float(np.max(np.abs(fit.unlabeled_scores - exact.unlabeled_scores))),
+                    seconds,
+                ]
+            )
+        return rows, exact_rmse, exact_seconds
+
+    rows, exact_rmse, exact_seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = ascii_table(["anchors", "rmse", "max|f-exact|", "seconds"], rows)
+    publish(
+        results_dir,
+        "ablation_anchors",
+        f"Anchor-budget ablation (m={800}; exact rmse {exact_rmse:.4f}, "
+        f"exact solve {exact_seconds:.3f}s)\n" + table,
+    )
+    data = np.asarray(rows, dtype=np.float64)
+    # Full budget reproduces the exact solution.
+    assert data[-1, 2] < 1e-8
+    # Agreement improves with budget (first vs last).
+    assert data[-1, 2] < data[0, 2]
+    # RMSE at the smallest budget is still in the exact solve's ballpark.
+    assert data[0, 1] < 2.0 * exact_rmse
+
+
+def test_bench_ablation_penalty(benchmark, results_dir):
+    reps = replicates(20, 200)
+
+    def run():
+        def replicate(rng):
+            data = make_synthetic_dataset(150, 30, seed=rng)
+            bandwidth = paper_bandwidth_rule(150, 5)
+            graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+            out = {}
+            for lam in (0.01, 0.1):
+                plain = solve_soft_criterion(
+                    graph.weights, data.y_labeled, lam, check_reachability=False
+                )
+                norm = solve_soft_criterion_normalized(
+                    graph.weights, data.y_labeled, lam, check_reachability=False
+                )
+                out[f"unnormalized@{lam:g}"] = root_mean_squared_error(
+                    data.q_unlabeled, plain.unlabeled_scores
+                )
+                out[f"normalized@{lam:g}"] = root_mean_squared_error(
+                    data.q_unlabeled, norm.unlabeled_scores
+                )
+            hard = solve_hard_criterion(
+                graph.weights, data.y_labeled, check_reachability=False
+            )
+            out["hard"] = root_mean_squared_error(
+                data.q_unlabeled, hard.unlabeled_scores
+            )
+            return out
+
+        return run_replicates(replicate, n_replicates=reps, seed=0)
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    keys = ["hard", "unnormalized@0.01", "normalized@0.01", "unnormalized@0.1", "normalized@0.1"]
+    rows = [[key, summary.means[key]] for key in keys]
+    publish(
+        results_dir,
+        "ablation_penalty",
+        "Laplacian-penalty ablation (mean RMSE)\n"
+        + ascii_table(["variant", "rmse"], rows),
+    )
+    # The hard criterion beats both soft variants (the paper's theme).
+    assert summary.means["hard"] <= min(
+        summary.means[k] for k in keys[1:]
+    ) + 0.005

@@ -1,0 +1,32 @@
+"""Bench: Section II's complexity claim — hard O(m^3) vs soft-full O((n+m)^3).
+
+Criteria: the soft full-system solve is slower than the hard solve at
+every size, and the speedup does not shrink as problems grow (the
+asymptotic gap is the (n+m)^3 / m^3 ratio).
+"""
+
+from conftest import SCALE, publish
+
+from repro.experiments.figures import run_complexity_experiment
+from repro.experiments.report import ascii_table
+
+
+def test_bench_complexity(benchmark, results_dir):
+    sizes = (200, 400, 800, 1600) if SCALE == "paper" else (150, 300, 600)
+    result = benchmark.pedantic(
+        lambda: run_complexity_experiment(total_sizes=sizes, repeats=3, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    table = ascii_table(result.headers(), result.to_rows())
+    summary = (
+        "Section II complexity claim (hard m^3 vs soft-full (n+m)^3)\n"
+        f"{table}\n"
+        f"fitted exponents: hard={result.hard_exponent:.2f}, "
+        f"soft_full={result.soft_exponent:.2f}"
+    )
+    publish(results_dir, "complexity", summary)
+
+    speedups = result.speedups()
+    assert all(s > 1.0 for s in speedups)  # hard always cheaper
+    assert speedups[-1] >= 0.8 * speedups[0]  # gap persists at scale

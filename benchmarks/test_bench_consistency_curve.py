@@ -1,0 +1,35 @@
+"""Bench: Theorem II.1's consistency, traced empirically.
+
+Criteria: the hard criterion's RMSE against the true regression function
+falls as n grows, the exceedance probability
+P(max |f - q| > eps) falls, and the hard criterion shadows the
+Nadaraya-Watson estimator (the proof's mechanism).
+"""
+
+from conftest import publish, replicates
+
+from repro.experiments.report import ascii_table
+from repro.validation.consistency import run_consistency_curve
+
+
+def test_bench_consistency_curve(benchmark, results_dir):
+    curve = benchmark.pedantic(
+        lambda: run_consistency_curve(
+            n_values=(25, 50, 100, 200, 400, 800),
+            n_unlabeled=20,
+            n_replicates=replicates(40, 500),
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = ascii_table(curve.headers(), curve.to_rows())
+    publish(
+        results_dir,
+        "consistency_curve",
+        f"Theorem II.1 empirical consistency (eps={curve.epsilon})\n" + table,
+    )
+    assert curve.rmse_decreases
+    assert curve.exceedance[-1] <= curve.exceedance[0]
+    # Hard tracks NW at the largest n (within 20% relative).
+    assert abs(curve.hard_rmse[-1] - curve.nw_rmse[-1]) < 0.2 * curve.nw_rmse[-1]

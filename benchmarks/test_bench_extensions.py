@@ -1,0 +1,95 @@
+"""Benches: the paper's future-work studies (Section VI).
+
+* metric study — does the RMSE ordering (hard best) transfer to AUC,
+  MCC and accuracy?
+* m-growth study — is the hard criterion still ahead when m grows
+  faster than n (the regime outside Theorem II.1)?
+* tuned-lambda study — does cross-validating lambda close the gap to
+  the untuned hard criterion?  (The paper's practical message: no.)
+"""
+
+import numpy as np
+from conftest import publish, replicates
+
+from repro.experiments.extensions import (
+    run_m_growth_study,
+    run_metric_study,
+    run_tuned_lambda_study,
+)
+from repro.experiments.report import ascii_table, format_sweep_result
+
+
+def test_bench_metric_study(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_metric_study(
+            n_labeled=200, n_unlabeled=100,
+            n_replicates=replicates(30, 300), seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "metric_study", format_sweep_result(result))
+    # Threshold metrics (MCC, accuracy) must favor the hard criterion.
+    for metric in ("mcc", "accuracy"):
+        series = result.series(metric)
+        assert series[0] >= series[-1]  # lambda=0 beats lambda=5
+    # AUC changes little in lambda (ranking is more robust than
+    # calibration) but must not *improve* materially with lambda.
+    auc_series = result.series("auc")
+    assert auc_series[0] >= auc_series[-1] - 0.02
+
+
+def test_bench_m_growth(benchmark, results_dir):
+    def run():
+        return {
+            gamma: run_m_growth_study(
+                gamma=gamma,
+                coefficient=0.5,
+                n_values=(50, 100, 200, 400),
+                n_replicates=replicates(15, 200),
+                seed=1,
+            )
+            for gamma in (0.5, 1.0, 1.5)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    blocks = []
+    for gamma, result in results.items():
+        table = ascii_table(result.headers(), result.to_rows())
+        blocks.append(f"gamma = {gamma} (m ~ n^{gamma})\n{table}")
+        # The paper's observation holds in every regime: hard ahead.
+        assert result.hard_always_ahead()
+    publish(results_dir, "m_growth", "m-growth study\n\n" + "\n\n".join(blocks))
+
+    # Sublinear growth (inside the theorem) must show decreasing RMSE.
+    sub = results[0.5]
+    assert sub.hard_rmse[-1] < sub.hard_rmse[0]
+    # Superlinear growth drives the theorem ratio up.
+    sup = results[1.5]
+    assert sup.growth_ratio[-1] > sup.growth_ratio[0]
+
+
+def test_bench_tuned_lambda(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_tuned_lambda_study(
+            n_labeled=150, n_unlabeled=30,
+            n_replicates=replicates(10, 100), seed=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = ascii_table(
+        ["method", "mean RMSE"],
+        [
+            ["hard (lambda = 0, untuned)", result.hard_rmse],
+            ["soft (lambda by 5-fold CV)", result.tuned_rmse],
+        ],
+    )
+    summary = (
+        "Untuned hard criterion vs CV-tuned soft criterion\n"
+        f"{table}\n"
+        f"CV chose lambda = 0 in {100 * result.fraction_choosing_zero():.0f}% "
+        f"of replicates"
+    )
+    publish(results_dir, "tuned_lambda", summary)
+    assert result.hard_rmse <= result.tuned_rmse + 0.005

@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 1 (RMSE vs n, Model 1, m = 30).
+
+Reproduction criteria (shape-level, per the paper):
+
+* the hard criterion (lambda = 0) has the lowest RMSE at every n;
+* RMSE is ordered by lambda at every n;
+* every series trends downward in n.
+"""
+
+from conftest import publish, replicates
+
+from repro.experiments.figures import run_figure1
+from repro.experiments.report import format_sweep_result, write_csv
+
+
+def test_bench_figure1(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_figure1(n_replicates=replicates(25, 1000), seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "figure1", format_sweep_result(result))
+    write_csv(results_dir / "figure1.csv", result.headers(), result.to_rows())
+
+    slack = 0.01  # replicate noise allowance
+    assert result.series_dominates("lambda=0", "lambda=0.01", slack=slack)
+    assert result.series_dominates("lambda=0.01", "lambda=0.1", slack=slack)
+    assert result.series_dominates("lambda=0.1", "lambda=5", slack=slack)
+    for label in result.series_labels:
+        assert result.series_trend(label) < 0  # RMSE falls as n grows

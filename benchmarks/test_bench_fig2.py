@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 2 (RMSE vs m, Model 1, n = 100).
+
+Reproduction criteria: hard criterion best at every m; RMSE ordered by
+lambda; every series trends *upward* in m (the regime where the
+theorem's m = o(n h^d) condition fails).
+"""
+
+from conftest import publish, replicates
+
+from repro.experiments.figures import run_figure2
+from repro.experiments.report import format_sweep_result, write_csv
+
+
+def test_bench_figure2(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_figure2(n_replicates=replicates(25, 1000), seed=2),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "figure2", format_sweep_result(result))
+    write_csv(results_dir / "figure2.csv", result.headers(), result.to_rows())
+
+    slack = 0.01
+    assert result.series_dominates("lambda=0", "lambda=0.01", slack=slack)
+    assert result.series_dominates("lambda=0.01", "lambda=0.1", slack=slack)
+    assert result.series_dominates("lambda=0.1", "lambda=5", slack=slack)
+    # RMSE grows with m; the lambda=5 series sits near its collapse
+    # plateau and is only required not to fall (nearly flat in the paper).
+    for label in ("lambda=0", "lambda=0.01", "lambda=0.1"):
+        assert result.series_trend(label) > 0
+    assert result.series_trend("lambda=5") > -1e-5

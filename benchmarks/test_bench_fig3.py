@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 3 (RMSE vs n, Model 2 non-linear logit, m = 30).
+
+Same criteria as Figure 1, under the interaction-term logit.
+"""
+
+from conftest import publish, replicates
+
+from repro.experiments.figures import run_figure3
+from repro.experiments.report import format_sweep_result, write_csv
+
+
+def test_bench_figure3(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_figure3(n_replicates=replicates(25, 1000), seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    publish(results_dir, "figure3", format_sweep_result(result))
+    write_csv(results_dir / "figure3.csv", result.headers(), result.to_rows())
+
+    slack = 0.01
+    assert result.series_dominates("lambda=0", "lambda=0.01", slack=slack)
+    assert result.series_dominates("lambda=0.01", "lambda=0.1", slack=slack)
+    assert result.series_dominates("lambda=0.1", "lambda=5", slack=slack)
+    for label in result.series_labels:
+        assert result.series_trend(label) < 0

@@ -1,0 +1,40 @@
+"""Bench: the full lambda-degradation curve.
+
+Criteria (the continuity argument under Proposition II.2): the curve
+starts exactly at the hard criterion's RMSE, increases with lambda
+overall, and converges to the constant-mean anchor — no sweet spot at
+any interior lambda.
+"""
+
+import numpy as np
+from conftest import publish, replicates
+
+from repro.experiments.lambda_curve import run_lambda_curve
+from repro.experiments.report import ascii_table
+
+
+def test_bench_lambda_curve(benchmark, results_dir):
+    curve = benchmark.pedantic(
+        lambda: run_lambda_curve(n_replicates=replicates(30, 300), seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [[f"{lam:g}", value] for lam, value in zip(curve.lambdas, curve.rmse)]
+    summary = (
+        "Lambda-degradation curve (mean RMSE)\n"
+        + ascii_table(curve.headers(), rows)
+        + f"\nanchors: hard = {curve.hard_rmse:.4f}, "
+        + f"constant mean = {curve.mean_rmse:.4f}"
+    )
+    publish(results_dir, "lambda_curve", summary)
+
+    assert curve.interpolates_anchors
+    rmse = np.asarray(curve.rmse)
+    # No interior lambda beats the hard criterion.
+    assert rmse.min() >= curve.hard_rmse - 1e-12
+    # The curve trends upward: every point at lambda >= 0.1 exceeds
+    # every point at lambda <= 0.01.
+    grid = np.asarray(curve.lambdas)
+    low = rmse[grid <= 0.01]
+    high = rmse[grid >= 0.1]
+    assert low.max() < high.min()

@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the core computational kernels.
+
+These use pytest-benchmark's statistics machinery properly (multiple
+rounds) so solver/graph-construction regressions are visible in the
+benchmark table, complementing the figure benches above.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hard import solve_hard_criterion
+from repro.core.propagation import propagate_labels
+from repro.core.soft import solve_soft_criterion
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.graph.similarity import full_kernel_graph, knn_graph
+from repro.kernels.bandwidth import paper_bandwidth_rule
+from repro.kernels.library import GaussianKernel
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A fixed mid-size problem shared by all micro-benchmarks."""
+    data = make_synthetic_dataset(400, 100, seed=0)
+    bandwidth = paper_bandwidth_rule(400, 5)
+    weights = full_kernel_graph(data.x_all, bandwidth=bandwidth).dense_weights()
+    return data, weights, bandwidth
+
+
+def test_bench_gram_matrix(benchmark, workload):
+    data, _, bandwidth = workload
+    benchmark(lambda: GaussianKernel().gram(data.x_all, bandwidth=bandwidth))
+
+
+def test_bench_knn_graph(benchmark, workload):
+    data, _, bandwidth = workload
+    benchmark(lambda: knn_graph(data.x_all, k=15, bandwidth=bandwidth))
+
+
+def test_bench_hard_direct(benchmark, workload):
+    data, weights, _ = workload
+    benchmark(
+        lambda: solve_hard_criterion(
+            weights, data.y_labeled, method="direct", check_reachability=False
+        )
+    )
+
+
+def test_bench_hard_cg(benchmark, workload):
+    data, weights, _ = workload
+    benchmark(
+        lambda: solve_hard_criterion(
+            weights, data.y_labeled, method="cg", tol=1e-10,
+            check_reachability=False,
+        )
+    )
+
+
+def test_bench_hard_propagation(benchmark, workload):
+    data, weights, _ = workload
+    benchmark(
+        lambda: propagate_labels(
+            weights, data.y_labeled, tol=1e-10, check_reachability=False
+        )
+    )
+
+
+def test_bench_soft_schur(benchmark, workload):
+    data, weights, _ = workload
+    benchmark(
+        lambda: solve_soft_criterion(
+            weights, data.y_labeled, 0.1, method="schur", check_reachability=False
+        )
+    )
+
+
+def test_bench_soft_full(benchmark, workload):
+    data, weights, _ = workload
+    benchmark(
+        lambda: solve_soft_criterion(
+            weights, data.y_labeled, 0.1, method="full", check_reachability=False
+        )
+    )

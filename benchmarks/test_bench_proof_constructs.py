@@ -1,0 +1,69 @@
+"""Bench: Section IV's proof constructs along a growing-n schedule.
+
+Criteria: each proof-tracked quantity — the tiny-element max, the
+hard-vs-Nadaraya-Watson gap, and the g correction — shrinks from the
+smallest to the largest n, and the Neumann series converges (spectral
+radius < 1) at every n.  A second table verifies the proof's first
+probabilistic step: the Chebyshev concentration of the ball-hit ratio
+``Phi_n(a)``, with the empirical exceedance below the proof's bound at
+every n.
+"""
+
+from conftest import SCALE, publish, replicates
+
+from repro.experiments.report import ascii_table
+from repro.validation.proof_constructs import (
+    run_phi_concentration,
+    run_proof_construct_sweep,
+)
+
+
+def test_bench_phi_concentration(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_phi_concentration(
+            n_values=(100, 400, 1600),
+            n_replicates=replicates(200, 2000),
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [n, emp, bound]
+        for n, emp, bound in zip(
+            result.n_values, result.exceedance, result.chebyshev_bound
+        )
+    ]
+    table = ascii_table(
+        ["n", "P(|Phi-1| >= eps)", "Chebyshev bound"], rows
+    )
+    publish(
+        results_dir,
+        "phi_concentration",
+        f"Phi_n concentration (uniform inputs, eps={result.epsilon})\n" + table,
+    )
+    assert result.bound_holds
+    assert result.concentrates
+    assert result.exceedance[-1] < 0.05
+
+
+def test_bench_proof_constructs(benchmark, results_dir):
+    n_values = (50, 100, 200, 400, 800, 1600) if SCALE == "paper" else (50, 100, 200, 400, 800)
+    snaps = benchmark.pedantic(
+        lambda: run_proof_construct_sweep(n_values=n_values, n_unlabeled=20, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [s.n, s.tiny_elements_max, s.spectral_radius, s.g_max, s.hard_nw_gap]
+        for s in snaps
+    ]
+    table = ascii_table(
+        ["n", "||D22^-1 W22||_max", "spec radius", "max |g|", "max |f - NW|"], rows
+    )
+    publish(results_dir, "proof_constructs", "Section IV proof constructs\n" + table)
+
+    assert all(s.spectral_radius < 1.0 for s in snaps)
+    assert snaps[-1].tiny_elements_max < snaps[0].tiny_elements_max
+    assert snaps[-1].g_max < snaps[0].g_max
+    assert snaps[-1].hard_nw_gap < snaps[0].hard_nw_gap

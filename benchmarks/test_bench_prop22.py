@@ -1,0 +1,36 @@
+"""Bench: Proposition II.2 — the soft criterion collapses to the constant
+labeled-mean prediction as lambda -> inf, and its RMSE stays bounded away
+from the hard criterion's (the inconsistency gap)."""
+
+from conftest import publish
+
+from repro.experiments.figures import run_prop22_experiment
+from repro.experiments.report import ascii_table
+
+
+def test_bench_prop22(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_prop22_experiment(n_labeled=300, n_unlabeled=60, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [f"{lam:.0e}", dist, err]
+        for lam, dist, err in zip(
+            result.lambdas, result.distance_to_mean, result.rmse
+        )
+    ]
+    table = ascii_table(result.headers(), rows)
+    summary = (
+        "Proposition II.2 (lambda -> inf limit)\n"
+        f"{table}\n"
+        f"hard-criterion RMSE: {result.hard_rmse:.4f}; "
+        f"inconsistency gap at max lambda: {result.inconsistency_gap:.4f}"
+    )
+    publish(results_dir, "prop22", summary)
+
+    assert result.collapses_to_mean
+    assert result.inconsistency_gap > 0.01
+    # Distance to the mean vector is monotone decreasing in lambda.
+    dists = result.distance_to_mean
+    assert all(b <= a for a, b in zip(dists, dists[1:]))

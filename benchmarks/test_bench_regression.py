@@ -1,0 +1,73 @@
+"""Bench: the theorem's *regression case* (continuous bounded responses).
+
+Theorem II.1 only requires bounded Y, so it covers regression as well as
+classification.  Criteria: the hard criterion's RMSE against the true
+regression function falls with n, the lambda ordering matches the
+classification figures, and the hard criterion tracks Nadaraya-Watson.
+"""
+
+import numpy as np
+from conftest import publish, replicates
+
+from repro.core.nadaraya_watson import nadaraya_watson_from_weights
+from repro.core.soft import solve_soft_criterion
+from repro.datasets.synthetic import make_regression_dataset
+from repro.experiments.report import ascii_table
+from repro.experiments.runner import run_replicates
+from repro.graph.similarity import full_kernel_graph
+from repro.kernels.bandwidth import paper_bandwidth_rule
+from repro.metrics.regression import root_mean_squared_error
+
+
+def test_bench_regression_consistency(benchmark, results_dir):
+    n_values = (50, 100, 200, 400, 800)
+    lambdas = (0.0, 0.1, 5.0)
+    reps = replicates(20, 200)
+
+    def run():
+        rows = []
+        for j, n in enumerate(n_values):
+            def replicate(rng, n=n):
+                data = make_regression_dataset(n, 20, noise_std=0.1, seed=rng)
+                bandwidth = paper_bandwidth_rule(n, 5)
+                graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+                out = {}
+                for lam in lambdas:
+                    fit = solve_soft_criterion(
+                        graph.weights, data.y_labeled, lam,
+                        check_reachability=False,
+                    )
+                    out[f"lambda={lam:g}"] = root_mean_squared_error(
+                        data.q_unlabeled, fit.unlabeled_scores
+                    )
+                nw = nadaraya_watson_from_weights(graph.weights, data.y_labeled)
+                out["nw"] = root_mean_squared_error(data.q_unlabeled, nw)
+                return out
+
+            summary = run_replicates(replicate, n_replicates=reps, seed=j)
+            rows.append(
+                [n]
+                + [summary.means[f"lambda={lam:g}"] for lam in lambdas]
+                + [summary.means["nw"]]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers = ["n"] + [f"lambda={lam:g}" for lam in lambdas] + ["nadaraya-watson"]
+    publish(
+        results_dir,
+        "regression_consistency",
+        "Regression case (continuous bounded Y)\n" + ascii_table(headers, rows),
+    )
+
+    table = np.asarray(rows, dtype=np.float64)
+    hard = table[:, 1]
+    mid = table[:, 2]
+    collapsed = table[:, 3]
+    nw = table[:, 4]
+    # Consistency: hard RMSE falls with n.
+    assert hard[-1] < hard[0]
+    # Lambda ordering at the largest n.
+    assert hard[-1] < mid[-1] < collapsed[-1]
+    # Hard shadows NW (the proof's mechanism) within 20%.
+    assert abs(hard[-1] - nw[-1]) < 0.2 * nw[-1]

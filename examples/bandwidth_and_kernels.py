@@ -1,0 +1,49 @@
+"""Choosing a kernel and a bandwidth: the knobs Theorem II.1 cares about.
+
+The theorem requires a bounded, compactly-supported kernel and a
+bandwidth with h -> 0, n h^d -> inf.  This example compares kernel
+families and bandwidth rules on the paper's synthetic workload using the
+library's ablation drivers, and prints each kernel's condition report.
+
+Run:  python examples/bandwidth_and_kernels.py
+"""
+
+from repro.experiments.ablations import run_bandwidth_ablation, run_kernel_ablation
+from repro.experiments.report import format_sweep_result
+from repro.kernels import kernel_by_name
+
+
+def main() -> None:
+    print("=== Kernel condition reports (Theorem II.1, conditions i-iii) ===")
+    for name in (
+        "gaussian",
+        "truncated_gaussian",
+        "boxcar",
+        "epanechnikov",
+        "triangular",
+        "tricube",
+        "cosine",
+        "cauchy",
+    ):
+        kernel = kernel_by_name(name)
+        print(f"  {name:<20} {kernel.theorem_conditions().summary()}")
+
+    print("\n=== Kernel family ablation (hard criterion, Model 1) ===")
+    kernels = run_kernel_ablation(
+        n_labeled=200, n_unlabeled=30, n_replicates=20, seed=0
+    )
+    print(format_sweep_result(kernels))
+    print("\nCompactly-supported kernels are competitive with the paper's")
+    print("RBF - the theorem's condition (ii) costs nothing in practice.")
+
+    print("\n=== Bandwidth rule ablation ===")
+    bandwidths = run_bandwidth_ablation(
+        n_labeled=200, n_unlabeled=30, n_replicates=20, seed=1
+    )
+    print(format_sweep_result(bandwidths))
+    print("\nThe paper's rule (log n / n)^(1/d) is designed for the theorem's")
+    print("limits; the median heuristic is the common practical default.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Why the soft criterion fails thresholds — and how calibration fixes it.
+
+The paper's metric story in one script: at large lambda the soft
+criterion's scores shrink toward the labeled mean, so the fixed 0.5
+threshold misclassifies nearly everything even though the *ranking* is
+still informative.  Isotonic calibration (fit on the labeled scores) or
+a tuned threshold (Youden's J) repairs the damage — but the hard
+criterion never needed repairing, which is the practical content of
+choosing lambda = 0.
+
+Run:  python examples/calibration_and_thresholds.py
+"""
+
+import numpy as np
+
+from repro.core import solve_hard_criterion, solve_soft_criterion
+from repro.datasets import make_synthetic_dataset
+from repro.graph import full_kernel_graph
+from repro.kernels import paper_bandwidth_rule
+from repro.metrics import (
+    IsotonicCalibrator,
+    accuracy,
+    auc,
+    matthews_corrcoef,
+    youden_threshold,
+)
+
+
+def evaluate(name: str, hidden: np.ndarray, scores: np.ndarray, threshold: float = 0.5) -> None:
+    predictions = (scores >= threshold).astype(float)
+    print(
+        f"  {name:<38} AUC {auc(hidden, scores):.3f}   "
+        f"acc {accuracy(hidden, predictions):.3f}   "
+        f"MCC {matthews_corrcoef(hidden, predictions):+.3f}"
+    )
+
+
+def main() -> None:
+    data = make_synthetic_dataset(n_labeled=300, n_unlabeled=150, seed=3)
+    bandwidth = paper_bandwidth_rule(300, 5)
+    graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+    hidden = data.y_unlabeled
+
+    lam = 5.0
+    soft = solve_soft_criterion(graph.weights, data.y_labeled, lam)
+    hard = solve_hard_criterion(graph.weights, data.y_labeled)
+
+    print(f"scores at lambda={lam}: soft spread "
+          f"[{soft.unlabeled_scores.min():.3f}, {soft.unlabeled_scores.max():.3f}] "
+          f"vs hard spread "
+          f"[{hard.unlabeled_scores.min():.3f}, {hard.unlabeled_scores.max():.3f}]")
+    print("\nunlabeled-set metrics:")
+    evaluate("soft, raw 0.5 threshold", hidden, soft.unlabeled_scores)
+
+    # Repair 1: isotonic calibration fitted on the labeled block.
+    calibrator = IsotonicCalibrator().fit(soft.labeled_scores, data.y_labeled)
+    calibrated = calibrator.transform(soft.unlabeled_scores)
+    evaluate("soft, isotonic-calibrated", hidden, calibrated)
+
+    # Repair 2: tune the threshold on the labeled scores instead.
+    threshold = youden_threshold(data.y_labeled, soft.labeled_scores)
+    evaluate(
+        f"soft, Youden threshold ({threshold:.3f})",
+        hidden,
+        soft.unlabeled_scores,
+        threshold,
+    )
+
+    evaluate("hard, raw 0.5 threshold", hidden, hard.unlabeled_scores)
+
+    print(
+        "\nThe collapse is a calibration artifact: smoothing preserves the\n"
+        "ranking (AUC) but shrinks scores below any fixed threshold.\n"
+        "Calibration repairs it - the hard criterion simply never breaks."
+    )
+
+
+if __name__ == "__main__":
+    main()

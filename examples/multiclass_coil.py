@@ -1,0 +1,78 @@
+"""Multiclass label propagation on the COIL-like dataset.
+
+The paper binarizes COIL's six classes; this example keeps all six and
+runs the one-vs-rest hard criterion (Zhu et al.'s multiclass harmonic
+solution): one matrix factorization serves all six score columns, rows
+form a proper class posterior, and the argmax gives the prediction.
+Also shows per-class accuracy and the confusion structure.
+
+Run:  python examples/multiclass_coil.py
+"""
+
+import numpy as np
+
+from repro.core import MulticlassLabelPropagation
+from repro.datasets import make_coil_like
+from repro.utils.rng import as_rng
+
+
+def main() -> None:
+    # ring_amplitude > 0 gives every object a rotation-invariant texture
+    # signature, the regime where objects form clean graph clusters (the
+    # default 0.0 is calibrated for Figure 5's harder regime instead).
+    dataset = make_coil_like(images_per_class=80, ring_amplitude=0.2, seed=3)
+    n_total = dataset.n_samples
+    rng = as_rng(0)
+
+    # 30% labeled, stratified by chance through shuffling.
+    permutation = rng.permutation(n_total)
+    n_labeled = int(0.3 * n_total)
+    labeled_idx = permutation[:n_labeled]
+    unlabeled_idx = permutation[n_labeled:]
+
+    # Multiclass argmax needs a *local* graph: at the global median
+    # bandwidth the kernel is nearly flat across 256-d images and the
+    # six score columns barely differ.  A fraction of the median keeps
+    # only genuinely similar images connected.
+    from repro.kernels import median_heuristic
+
+    bandwidth = 0.22 * median_heuristic(dataset.images, subsample=400, seed=0)
+    model = MulticlassLabelPropagation(bandwidth=bandwidth)
+    model.fit(
+        dataset.images[labeled_idx],
+        dataset.class_labels[labeled_idx].astype(float),
+        dataset.images[unlabeled_idx],
+    )
+    predictions = model.predict()
+    truth = dataset.class_labels[unlabeled_idx].astype(float)
+
+    overall = float(np.mean(predictions == truth))
+    print(
+        f"COIL-like 6-class task: {n_labeled} labeled / "
+        f"{len(unlabeled_idx)} unlabeled images"
+    )
+    print(f"overall accuracy: {overall:.3f} (chance = {1/6:.3f})\n")
+
+    print("per-class accuracy:")
+    for cls in model.classes_:
+        mask = truth == cls
+        acc = float(np.mean(predictions[mask] == cls))
+        print(f"  class {int(cls)}: {acc:.3f}  ({int(mask.sum())} images)")
+
+    print("\nconfusion matrix (rows = truth, cols = predicted):")
+    k = len(model.classes_)
+    confusion = np.zeros((k, k), dtype=int)
+    for t, p in zip(truth, predictions):
+        confusion[int(t), int(p)] += 1
+    header = "      " + "".join(f"{int(c):>6}" for c in model.classes_)
+    print(header)
+    for i, row in enumerate(confusion):
+        print(f"  {i:>3} " + "".join(f"{v:>6}" for v in row))
+
+    proba = model.predict_proba()
+    print(f"\nscore rows sum to one: max deviation "
+          f"{np.max(np.abs(proba.sum(axis=1) - 1.0)):.2e}")
+
+
+if __name__ == "__main__":
+    main()

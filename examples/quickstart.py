@@ -1,0 +1,44 @@
+"""Quickstart: graph-based semi-supervised learning in a few lines.
+
+Draws the paper's synthetic dataset (Section V-A), fits the hard
+criterion (the paper's recommended method) and the soft criterion at a
+few tuning parameters, and compares their RMSE against the true
+regression function — a miniature of Figure 1's takeaway: lambda = 0 is
+best, and you never have to tune it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HardLabelPropagation, SoftLabelPropagation
+from repro.datasets import make_synthetic_dataset
+from repro.metrics import root_mean_squared_error
+
+
+def main() -> None:
+    # 200 labeled points, 30 unlabeled points whose scores we want.
+    data = make_synthetic_dataset(n_labeled=200, n_unlabeled=30, seed=0)
+
+    # The hard criterion (Eq. 1/5): scores clamped to the observed labels,
+    # harmonic interpolation elsewhere.  bandwidth="paper" applies the
+    # paper's rule h = (log n / n)^(1/d).
+    hard = HardLabelPropagation(bandwidth="paper")
+    hard_scores = hard.fit_predict(data.x_labeled, data.y_labeled, data.x_unlabeled)
+    hard_rmse = root_mean_squared_error(data.q_unlabeled, hard_scores)
+    print(f"hard criterion (lambda=0):    RMSE = {hard_rmse:.4f}")
+
+    # The soft criterion (Eq. 2/4) trades label fit against smoothness.
+    for lam in (0.01, 0.1, 5.0):
+        soft = SoftLabelPropagation(lam, bandwidth="paper")
+        soft_scores = soft.fit_predict(
+            data.x_labeled, data.y_labeled, data.x_unlabeled
+        )
+        rmse = root_mean_squared_error(data.q_unlabeled, soft_scores)
+        print(f"soft criterion (lambda={lam:>4}): RMSE = {rmse:.4f}")
+
+    print()
+    print("The hard criterion wins - and needs no tuning parameter.")
+    print("That is the paper's Theorem II.1 + Proposition II.2 in action.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""The classic SSL showcase: two moons with ten labels.
+
+Semi-supervised learning pays off when unlabeled data reveal manifold
+structure that a handful of labels cannot.  This example labels just 5
+points per moon out of 400, runs the hard criterion, and compares its
+accuracy with a purely supervised k-NN baseline trained on the same 10
+labels.  An ASCII scatter plot shows the transductive predictions.
+
+Run:  python examples/two_moons_ssl.py
+"""
+
+import numpy as np
+
+from repro import GraphSSLClassifier
+from repro.core.baselines import KNNClassifier
+from repro.datasets import two_moons
+from repro.metrics import accuracy
+
+
+def ascii_scatter(x: np.ndarray, labels: np.ndarray, width: int = 68, height: int = 20) -> str:
+    """Render labeled 2-d points as an ASCII grid ('o' vs 'x')."""
+    x0 = (x[:, 0] - x[:, 0].min()) / np.ptp(x[:, 0])
+    x1 = (x[:, 1] - x[:, 1].min()) / np.ptp(x[:, 1])
+    grid = [[" "] * width for _ in range(height)]
+    for (cx, cy), label in zip(zip(x0, x1), labels):
+        col = min(width - 1, int(cx * (width - 1)))
+        row = min(height - 1, int((1 - cy) * (height - 1)))
+        grid[row][col] = "x" if label > 0.5 else "o"
+    return "\n".join("".join(row) for row in grid)
+
+
+def main() -> None:
+    x, y = two_moons(400, noise=0.06, seed=0)
+
+    # Label 5 points per moon; everything else is unlabeled.
+    labeled_idx = np.concatenate(
+        [np.flatnonzero(y == 0.0)[:5], np.flatnonzero(y == 1.0)[:5]]
+    )
+    unlabeled_idx = np.setdiff1d(np.arange(len(y)), labeled_idx)
+
+    ssl = GraphSSLClassifier(bandwidth=0.25)
+    ssl.fit(x[labeled_idx], y[labeled_idx], x[unlabeled_idx])
+    ssl_predictions = ssl.predict()
+    ssl_accuracy = accuracy(y[unlabeled_idx], ssl_predictions)
+
+    knn = KNNClassifier(k=3).fit(x[labeled_idx], y[labeled_idx])
+    knn_accuracy = accuracy(y[unlabeled_idx], knn.predict(x[unlabeled_idx]))
+
+    print("Two moons, 400 points, 10 labels (5 per moon)")
+    print(f"  graph SSL (hard criterion) accuracy: {ssl_accuracy:.3f}")
+    print(f"  supervised 3-NN baseline accuracy:   {knn_accuracy:.3f}")
+    print()
+    print("Transductive predictions (o = moon 0, x = moon 1):")
+    print(ascii_scatter(x[unlabeled_idx], ssl_predictions))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs (which must build a wheel) fail.  This shim
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` use the
+legacy ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

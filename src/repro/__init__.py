@@ -1,0 +1,57 @@
+"""Reproduction of "On Consistency of Graph-based Semi-supervised Learning".
+
+Du, Zhao & Wang (ICDCS 2019) study two classical graph-SSL criteria —
+the *hard* criterion (harmonic functions: estimated scores clamped to the
+observed labels) and the *soft* criterion (Laplacian-regularized least
+squares with tuning parameter lambda) — and prove the hard criterion is
+statistically consistent while the soft criterion is inconsistent for
+large lambda.
+
+This package implements both criteria from scratch with every substrate
+they need (kernels, similarity graphs, Laplacians, solvers, datasets,
+metrics), the Nadaraya-Watson estimator their proof links to, and a full
+experiment harness regenerating each of the paper's figures.
+
+Quickstart::
+
+    import numpy as np
+    from repro import HardLabelPropagation
+    from repro.datasets import make_synthetic_dataset
+
+    data = make_synthetic_dataset(n_labeled=200, n_unlabeled=30, seed=0)
+    model = HardLabelPropagation(bandwidth="paper")
+    scores = model.fit_predict(data.x_labeled, data.y_labeled, data.x_unlabeled)
+"""
+
+from repro.core import (
+    FitResult,
+    GraphSSLClassifier,
+    GraphSSLRegressor,
+    HardLabelPropagation,
+    NadarayaWatsonClassifier,
+    NadarayaWatsonRegressor,
+    SoftLabelPropagation,
+    nadaraya_watson,
+    propagate_labels,
+    solve_hard_criterion,
+    solve_soft_criterion,
+)
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "FitResult",
+    "solve_hard_criterion",
+    "solve_soft_criterion",
+    "propagate_labels",
+    "nadaraya_watson",
+    "HardLabelPropagation",
+    "SoftLabelPropagation",
+    "GraphSSLRegressor",
+    "GraphSSLClassifier",
+    "NadarayaWatsonRegressor",
+    "NadarayaWatsonClassifier",
+]

@@ -1,0 +1,27 @@
+"""Active learning with harmonic functions.
+
+The hard criterion's Gaussian-field view yields principled query
+strategies: ask for the label whose acquisition most reduces posterior
+uncertainty or expected risk (Zhu, Lafferty & Ghahramani 2003).  This
+subpackage implements the classic strategies over this library's graphs
+and a simulation loop for label-budget experiments.
+"""
+
+from repro.active.loop import ActiveLearningHistory, run_active_learning
+from repro.active.strategies import (
+    expected_risk_strategy,
+    margin_strategy,
+    random_strategy,
+    strategy_by_name,
+    variance_strategy,
+)
+
+__all__ = [
+    "random_strategy",
+    "margin_strategy",
+    "variance_strategy",
+    "expected_risk_strategy",
+    "strategy_by_name",
+    "run_active_learning",
+    "ActiveLearningHistory",
+]

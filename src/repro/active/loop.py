@@ -1,0 +1,152 @@
+"""The active-learning simulation loop.
+
+Starts from a small labeled seed, repeatedly asks a query strategy which
+unlabeled vertex to label next, reveals the held-out truth, re-solves
+the hard criterion, and records accuracy after every acquisition.  The
+graph is built once over all points; each acquisition is a relabeling
+(vertices are reordered so the labeled block stays first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.hard import solve_hard_criterion
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.metrics.classification import accuracy
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_labels, check_weight_matrix
+
+__all__ = ["ActiveLearningHistory", "run_active_learning"]
+
+
+@dataclass(frozen=True)
+class ActiveLearningHistory:
+    """Trace of one active-learning run.
+
+    Attributes
+    ----------
+    n_labeled:
+        Labeled-set size after each acquisition (starting at the seed).
+    accuracies:
+        Transductive accuracy on the *remaining* unlabeled vertices at
+        each step.
+    queried:
+        Original vertex indices queried, in order.
+    strategy:
+        The strategy name (or callable repr) used.
+    """
+
+    n_labeled: tuple[int, ...]
+    accuracies: tuple[float, ...]
+    queried: tuple[int, ...]
+    strategy: str
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracies[-1]
+
+    def area_under_curve(self) -> float:
+        """Mean accuracy across acquisitions (label-efficiency summary)."""
+        return float(np.mean(self.accuracies))
+
+
+def run_active_learning(
+    weights,
+    y_true,
+    *,
+    seed_indices,
+    budget: int,
+    strategy,
+    rng_seed=None,
+) -> ActiveLearningHistory:
+    """Simulate pool-based transductive active learning.
+
+    Parameters
+    ----------
+    weights:
+        Full ``(N, N)`` weight matrix over the pool (any vertex order).
+    y_true:
+        Ground-truth binary 0/1 labels for every vertex; revealed one at
+        a time as the strategy queries.
+    seed_indices:
+        Vertices labeled before the first query (must be non-empty and
+        contain both classes for the margin/risk strategies to be
+        meaningful).
+    budget:
+        Number of queries to issue.
+    strategy:
+        A callable ``(weights, n_labeled, y_labeled, rng) -> int``
+        (index into the unlabeled block), or a registry name from
+        :func:`repro.active.strategies.strategy_by_name`.
+    rng_seed:
+        Seed for any strategy randomness.
+    """
+    from repro.active.strategies import strategy_by_name
+
+    weights = check_weight_matrix(weights)
+    if sparse.issparse(weights):
+        weights = np.asarray(weights.todense())
+    y_true = check_labels(y_true, weights.shape[0], name="y_true")
+    if not np.all(np.isin(np.unique(y_true), (0.0, 1.0))):
+        raise DataValidationError("y_true must be binary 0/1 labels")
+
+    seed_indices = np.asarray(seed_indices, dtype=np.intp)
+    if seed_indices.ndim != 1 or seed_indices.size == 0:
+        raise ConfigurationError("seed_indices must be a non-empty 1-d index array")
+    if np.unique(seed_indices).size != seed_indices.size:
+        raise ConfigurationError("seed_indices contains duplicates")
+    total = weights.shape[0]
+    if seed_indices.min() < 0 or seed_indices.max() >= total:
+        raise ConfigurationError("seed_indices out of range")
+    if budget < 1 or budget > total - seed_indices.size - 1:
+        raise ConfigurationError(
+            f"budget must be in [1, {total - seed_indices.size - 1}], got {budget}"
+        )
+    if isinstance(strategy, str):
+        strategy_name = strategy
+        strategy = strategy_by_name(strategy)
+    else:
+        strategy_name = getattr(strategy, "__name__", repr(strategy))
+
+    rng = as_rng(rng_seed)
+    labeled = list(seed_indices)
+    unlabeled = [i for i in range(total) if i not in set(labeled)]
+
+    n_history: list[int] = []
+    acc_history: list[float] = []
+    queried: list[int] = []
+
+    def evaluate() -> None:
+        order = np.concatenate([labeled, unlabeled])
+        w_perm = weights[np.ix_(order, order)]
+        fit = solve_hard_criterion(
+            w_perm, y_true[labeled], check_reachability=False
+        )
+        predictions = (fit.unlabeled_scores >= 0.5).astype(float)
+        n_history.append(len(labeled))
+        acc_history.append(accuracy(y_true[unlabeled], predictions))
+
+    evaluate()
+    for _ in range(budget):
+        order = np.concatenate([labeled, unlabeled])
+        w_perm = weights[np.ix_(order, order)]
+        pick = strategy(w_perm, len(labeled), y_true[labeled], rng)
+        if not 0 <= pick < len(unlabeled):
+            raise ConfigurationError(
+                f"strategy returned out-of-range unlabeled index {pick}"
+            )
+        vertex = unlabeled.pop(pick)
+        labeled.append(vertex)
+        queried.append(int(vertex))
+        evaluate()
+
+    return ActiveLearningHistory(
+        n_labeled=tuple(n_history),
+        accuracies=tuple(acc_history),
+        queried=tuple(queried),
+        strategy=strategy_name,
+    )

@@ -1,0 +1,350 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+Usage::
+
+    python -m repro figure1 --replicates 50 --seed 0
+    python -m repro figure5 --images-per-class 100 --repeats 2
+    python -m repro toy
+    python -m repro complexity
+    python -m repro prop21
+    python -m repro prop22
+    python -m repro proof-constructs
+    python -m repro consistency
+    python -m repro metric-study
+    python -m repro m-growth --gamma 1.5
+    python -m repro tuned-lambda
+
+Each command prints the regenerated series as an aligned table and,
+with ``--csv PATH``, also writes it as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.report import ascii_table, format_sweep_result, write_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def _print_sweep(result, csv_path) -> None:
+    print(format_sweep_result(result))
+    if csv_path:
+        path = write_csv(csv_path, result.headers(), result.to_rows())
+        print(f"\nwrote {path}")
+
+
+def _print_rows(title: str, headers, rows, csv_path) -> None:
+    print(title)
+    print(ascii_table(headers, rows))
+    if csv_path:
+        path = write_csv(csv_path, headers, rows)
+        print(f"\nwrote {path}")
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments.figures import run_figure1, run_figure2, run_figure3, run_figure4
+
+    drivers = {
+        "figure1": run_figure1,
+        "figure2": run_figure2,
+        "figure3": run_figure3,
+        "figure4": run_figure4,
+    }
+    result = drivers[args.command](n_replicates=args.replicates, seed=args.seed)
+    _print_sweep(result, args.csv)
+    return 0
+
+
+def _cmd_figure5(args) -> int:
+    from repro.experiments.figures import run_figure5
+
+    result = run_figure5(
+        images_per_class=args.images_per_class,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    _print_sweep(result, args.csv)
+    return 0
+
+
+def _cmd_toy(args) -> int:
+    from repro.experiments.figures import run_toy_example
+
+    result = run_toy_example(seed=args.seed)
+    _print_rows(
+        "Section III toy example",
+        ["check", "max deviation"],
+        [
+            ["scores vs labeled mean", result.max_score_deviation],
+            ["(D22-W22)^-1 vs paper formula", result.max_inverse_deviation],
+        ],
+        args.csv,
+    )
+    return 0 if result.ok else 1
+
+
+def _cmd_complexity(args) -> int:
+    from repro.experiments.figures import run_complexity_experiment
+
+    result = run_complexity_experiment(seed=args.seed or 0)
+    _print_rows(
+        "Section II complexity claim", result.headers(), result.to_rows(), args.csv
+    )
+    print(
+        f"fitted exponents: hard={result.hard_exponent:.2f}, "
+        f"soft_full={result.soft_exponent:.2f}"
+    )
+    return 0
+
+
+def _cmd_prop21(args) -> int:
+    from repro.experiments.figures import run_prop21_experiment
+
+    result = run_prop21_experiment(seed=args.seed or 0)
+    _print_rows(
+        "Proposition II.1 (lambda -> 0)",
+        result.headers(),
+        result.to_rows(),
+        args.csv,
+    )
+    return 0 if result.converges else 1
+
+
+def _cmd_prop22(args) -> int:
+    from repro.experiments.figures import run_prop22_experiment
+
+    result = run_prop22_experiment(seed=args.seed or 0)
+    _print_rows(
+        "Proposition II.2 (lambda -> inf)",
+        result.headers(),
+        result.to_rows(),
+        args.csv,
+    )
+    print(f"hard RMSE {result.hard_rmse:.4f}; gap {result.inconsistency_gap:.4f}")
+    return 0 if result.collapses_to_mean else 1
+
+
+def _cmd_proof_constructs(args) -> int:
+    from repro.validation import run_proof_construct_sweep
+
+    snaps = run_proof_construct_sweep(seed=args.seed)
+    rows = [
+        [s.n, s.tiny_elements_max, s.spectral_radius, s.g_max, s.hard_nw_gap]
+        for s in snaps
+    ]
+    _print_rows(
+        "Section IV proof constructs",
+        ["n", "||D22^-1 W22||max", "spec radius", "max |g|", "max |f-NW|"],
+        rows,
+        args.csv,
+    )
+    return 0
+
+
+def _cmd_consistency(args) -> int:
+    from repro.validation import run_consistency_curve
+
+    curve = run_consistency_curve(n_replicates=args.replicates, seed=args.seed)
+    _print_rows(
+        f"Theorem II.1 empirical consistency (eps={curve.epsilon})",
+        curve.headers(),
+        curve.to_rows(),
+        args.csv,
+    )
+    return 0
+
+
+def _cmd_metric_study(args) -> int:
+    from repro.experiments.extensions import run_metric_study
+
+    result = run_metric_study(n_replicates=args.replicates, seed=args.seed)
+    _print_sweep(result, args.csv)
+    return 0
+
+
+def _cmd_m_growth(args) -> int:
+    from repro.experiments.extensions import run_m_growth_study
+
+    result = run_m_growth_study(
+        gamma=args.gamma, n_replicates=args.replicates, seed=args.seed
+    )
+    _print_rows(
+        f"m-growth study (m ~ n^{args.gamma:g})",
+        result.headers(),
+        result.to_rows(),
+        args.csv,
+    )
+    print(f"hard always ahead: {result.hard_always_ahead()}")
+    return 0
+
+
+def _cmd_lambda_curve(args) -> int:
+    from repro.experiments.lambda_curve import run_lambda_curve
+
+    curve = run_lambda_curve(n_replicates=args.replicates, seed=args.seed)
+    rows = [[f"{lam:g}", value] for lam, value in zip(curve.lambdas, curve.rmse)]
+    _print_rows("lambda-degradation curve", curve.headers(), rows, args.csv)
+    print(
+        f"anchors: hard = {curve.hard_rmse:.4f}, "
+        f"constant mean = {curve.mean_rmse:.4f}"
+    )
+    return 0 if curve.interpolates_anchors else 1
+
+
+def _cmd_ablation(args) -> int:
+    from repro.experiments.ablations import (
+        run_bandwidth_ablation,
+        run_graph_ablation,
+        run_kernel_ablation,
+        run_solver_ablation,
+    )
+
+    if args.axis == "solvers":
+        result = run_solver_ablation(seed=args.seed or 0)
+        _print_rows("solver ablation", result.headers(), result.to_rows(), args.csv)
+        return 0
+    drivers = {
+        "kernels": run_kernel_ablation,
+        "bandwidth": run_bandwidth_ablation,
+        "graph": run_graph_ablation,
+    }
+    result = drivers[args.axis](n_replicates=args.replicates, seed=args.seed)
+    _print_sweep(result, args.csv)
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    from repro.datasets.io import load_transductive_npz
+    from repro.graph.diagnostics import diagnose_graph
+    from repro.graph.similarity import full_kernel_graph
+    from repro.kernels.bandwidth import median_heuristic
+
+    problem = load_transductive_npz(args.path)
+    bandwidth = args.bandwidth
+    if bandwidth is None:
+        bandwidth = median_heuristic(problem.x_all, subsample=500, seed=0)
+        print(f"bandwidth: median heuristic -> {bandwidth:.4g}")
+    graph = full_kernel_graph(problem.x_all, bandwidth=bandwidth)
+    report = diagnose_graph(graph.weights, problem.n_labeled)
+    print(report.summary())
+    return 0 if report.healthy else 1
+
+
+def _cmd_tuned_lambda(args) -> int:
+    from repro.experiments.extensions import run_tuned_lambda_study
+
+    result = run_tuned_lambda_study(n_replicates=args.replicates, seed=args.seed)
+    _print_rows(
+        "untuned hard vs CV-tuned soft",
+        ["method", "mean RMSE"],
+        [["hard (lambda=0)", result.hard_rmse], ["soft (CV lambda)", result.tuned_rmse]],
+        args.csv,
+    )
+    print(
+        f"CV selected lambda=0 in {100 * result.fraction_choosing_zero():.0f}% "
+        f"of replicates"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate artifacts from 'On Consistency of "
+        "Graph-based Semi-supervised Learning' (ICDCS 2019).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, replicates_default=25):
+        p.add_argument("--seed", type=int, default=None, help="master RNG seed")
+        p.add_argument("--csv", type=str, default=None, help="also write CSV here")
+        p.add_argument(
+            "--replicates", type=int, default=replicates_default,
+            help="replicates per grid point",
+        )
+
+    for name in ("figure1", "figure2", "figure3", "figure4"):
+        p = sub.add_parser(name, help=f"regenerate {name}'s series")
+        common(p)
+        p.set_defaults(handler=_cmd_figure)
+
+    p = sub.add_parser("figure5", help="regenerate figure 5 (COIL-like AUC)")
+    common(p)
+    p.add_argument("--images-per-class", type=int, default=150)
+    p.add_argument("--repeats", type=int, default=2, help="fold-shuffle repeats")
+    p.set_defaults(handler=_cmd_figure5)
+
+    p = sub.add_parser("toy", help="verify the Section III toy example")
+    common(p)
+    p.set_defaults(handler=_cmd_toy)
+
+    p = sub.add_parser("complexity", help="Section II complexity claim")
+    common(p)
+    p.set_defaults(handler=_cmd_complexity)
+
+    p = sub.add_parser("prop21", help="Proposition II.1 (lambda -> 0)")
+    common(p)
+    p.set_defaults(handler=_cmd_prop21)
+
+    p = sub.add_parser("prop22", help="Proposition II.2 (lambda -> inf)")
+    common(p)
+    p.set_defaults(handler=_cmd_prop22)
+
+    p = sub.add_parser("proof-constructs", help="Section IV proof constructs")
+    common(p)
+    p.set_defaults(handler=_cmd_proof_constructs)
+
+    p = sub.add_parser("consistency", help="Theorem II.1 empirical consistency")
+    common(p, replicates_default=40)
+    p.set_defaults(handler=_cmd_consistency)
+
+    p = sub.add_parser("metric-study", help="future work: AUC/MCC comparison")
+    common(p, replicates_default=30)
+    p.set_defaults(handler=_cmd_metric_study)
+
+    p = sub.add_parser("m-growth", help="future work: m growing faster than n")
+    common(p, replicates_default=20)
+    p.add_argument("--gamma", type=float, default=1.0, help="m ~ n^gamma exponent")
+    p.set_defaults(handler=_cmd_m_growth)
+
+    p = sub.add_parser("tuned-lambda", help="untuned hard vs CV-tuned soft")
+    common(p, replicates_default=10)
+    p.set_defaults(handler=_cmd_tuned_lambda)
+
+    p = sub.add_parser("lambda-curve", help="RMSE along a dense lambda grid")
+    common(p, replicates_default=30)
+    p.set_defaults(handler=_cmd_lambda_curve)
+
+    p = sub.add_parser("ablation", help="run one design-choice ablation")
+    common(p, replicates_default=20)
+    p.add_argument(
+        "axis", choices=("kernels", "bandwidth", "graph", "solvers"),
+        help="which design axis to ablate",
+    )
+    p.set_defaults(handler=_cmd_ablation)
+
+    p = sub.add_parser(
+        "diagnose", help="graph health report for a user NPZ problem"
+    )
+    common(p)
+    p.add_argument("path", help="NPZ file with x_labeled/y_labeled/x_unlabeled")
+    p.add_argument(
+        "--bandwidth", type=float, default=None,
+        help="kernel bandwidth (default: median heuristic)",
+    )
+    p.set_defaults(handler=_cmd_diagnose)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

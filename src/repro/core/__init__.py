@@ -1,0 +1,86 @@
+"""Core graph-based semi-supervised learning (the paper's contribution).
+
+Implements the hard criterion (Eq. 1/5), the soft criterion (Eq. 2/3/4),
+their iterative label-propagation forms, the Nadaraya-Watson estimator the
+consistency proof links to (Eq. 6), estimator-style wrappers, supervised
+baselines, and the theory/assumption checkers of Theorem II.1.
+"""
+
+from repro.core.anchors import (
+    AnchoredFit,
+    AnchoredLabelPropagation,
+    solve_anchored,
+)
+from repro.core.baselines import KNNClassifier, KNNRegressor, MeanPredictor
+from repro.core.eigenbasis import EigenbasisRegressor, solve_eigenbasis
+from repro.core.incremental import IncrementalHarmonicLabeler
+from repro.core.variants import solve_soft_criterion_normalized
+from repro.core.multiclass import (
+    MulticlassFit,
+    MulticlassLabelPropagation,
+    solve_multiclass_hard,
+)
+from repro.core.uncertainty import GaussianFieldPosterior, gaussian_field_posterior
+from repro.core.estimators import (
+    GraphSSLClassifier,
+    GraphSSLRegressor,
+    HardLabelPropagation,
+    NadarayaWatsonClassifier,
+    NadarayaWatsonRegressor,
+    SoftLabelPropagation,
+)
+from repro.core.hard import solve_hard_criterion
+from repro.core.nadaraya_watson import nadaraya_watson, nadaraya_watson_from_weights
+from repro.core.propagation import (
+    local_global_consistency,
+    propagate_labels,
+    propagate_soft,
+)
+from repro.core.result import FitResult, PropagationResult
+from repro.core.soft import soft_lambda_infinity_limit, solve_soft_criterion
+from repro.core.theory import (
+    TheoremAssumptionReport,
+    check_theorem_assumptions,
+    consistency_ratio,
+    tiny_element_bound,
+    volume_unit_ball,
+)
+
+__all__ = [
+    "solve_hard_criterion",
+    "solve_soft_criterion",
+    "soft_lambda_infinity_limit",
+    "nadaraya_watson",
+    "nadaraya_watson_from_weights",
+    "propagate_labels",
+    "local_global_consistency",
+    "FitResult",
+    "PropagationResult",
+    "HardLabelPropagation",
+    "SoftLabelPropagation",
+    "GraphSSLRegressor",
+    "GraphSSLClassifier",
+    "NadarayaWatsonRegressor",
+    "NadarayaWatsonClassifier",
+    "KNNRegressor",
+    "KNNClassifier",
+    "MeanPredictor",
+    "TheoremAssumptionReport",
+    "check_theorem_assumptions",
+    "consistency_ratio",
+    "tiny_element_bound",
+    "volume_unit_ball",
+    "GaussianFieldPosterior",
+    "gaussian_field_posterior",
+    "IncrementalHarmonicLabeler",
+    "MulticlassFit",
+    "MulticlassLabelPropagation",
+    "solve_multiclass_hard",
+    "AnchoredFit",
+    "AnchoredLabelPropagation",
+    "solve_anchored",
+    "solve_soft_criterion_normalized",
+    "propagate_soft",
+    "EigenbasisRegressor",
+    "solve_eigenbasis",
+]

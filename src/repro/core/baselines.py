@@ -1,0 +1,133 @@
+"""Supervised baselines.
+
+The paper's comparisons are between the hard and soft criteria, but a
+useful reproduction also shows where plain supervised learning on the
+labeled set lands.  These baselines are written from scratch:
+
+* :class:`KNNRegressor` / :class:`KNNClassifier` — k-nearest-neighbour
+  prediction (uniform or distance weighting);
+* :class:`MeanPredictor` — the global labeled mean, which is exactly the
+  soft criterion's ``lambda = inf`` limit (Proposition II.2), so the soft
+  criterion at large ``lambda`` can be checked against it directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.kernels.base import pairwise_sq_distances
+from repro.utils.validation import check_labels, check_matrix_2d
+
+__all__ = ["KNNRegressor", "KNNClassifier", "MeanPredictor"]
+
+
+class KNNRegressor:
+    """k-nearest-neighbour regression.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours.
+    weighting:
+        ``"uniform"`` (plain average) or ``"distance"`` (inverse-distance
+        weights, with exact matches short-circuiting to the matched
+        label).
+    """
+
+    def __init__(self, k: int = 5, weighting: str = "uniform"):
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if weighting not in ("uniform", "distance"):
+            raise ConfigurationError(
+                f"weighting must be 'uniform' or 'distance', got {weighting!r}"
+            )
+        self.k = k
+        self.weighting = weighting
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNRegressor":
+        """Store the training set (lazy learner)."""
+        x = check_matrix_2d(x, "x")
+        y = check_labels(y, x.shape[0], name="y")
+        if self.k > x.shape[0]:
+            raise DataValidationError(
+                f"k={self.k} exceeds the number of training samples {x.shape[0]}"
+            )
+        self._x = x
+        self._y = y
+        return self
+
+    def predict(self, x_query: np.ndarray) -> np.ndarray:
+        """Predict by (weighted) average over the k nearest neighbours."""
+        if self._x is None or self._y is None:
+            raise NotFittedError("KNNRegressor.predict called before fit")
+        x_query = check_matrix_2d(x_query, "x_query")
+        sq = pairwise_sq_distances(x_query, self._x)
+        neighbour_idx = np.argpartition(sq, kth=self.k - 1, axis=1)[:, : self.k]
+        rows = np.arange(x_query.shape[0])[:, None]
+        neighbour_sq = sq[rows, neighbour_idx]
+        neighbour_y = self._y[neighbour_idx]
+        if self.weighting == "uniform":
+            return neighbour_y.mean(axis=1)
+        predictions = np.empty(x_query.shape[0])
+        for i in range(x_query.shape[0]):
+            dists = np.sqrt(neighbour_sq[i])
+            exact = dists == 0
+            if np.any(exact):
+                predictions[i] = float(np.mean(neighbour_y[i][exact]))
+                continue
+            inv = 1.0 / dists
+            predictions[i] = float(np.sum(inv * neighbour_y[i]) / np.sum(inv))
+        return predictions
+
+
+class KNNClassifier(KNNRegressor):
+    """k-NN binary classification on 0/1 labels.
+
+    ``predict_proba`` is the neighbour label average; ``predict``
+    thresholds it at 0.5.
+    """
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        y_arr = check_labels(y, name="y")
+        unique = np.unique(y_arr)
+        if not np.all(np.isin(unique, (0.0, 1.0))):
+            raise DataValidationError(
+                f"KNNClassifier requires binary 0/1 labels, got values {unique[:5]}"
+            )
+        super().fit(x, y_arr)
+        return self
+
+    def predict_proba(self, x_query: np.ndarray) -> np.ndarray:
+        """Estimated probability of the positive class."""
+        return super().predict(x_query)
+
+    def predict(self, x_query: np.ndarray) -> np.ndarray:
+        """Hard 0/1 labels at the 0.5 threshold."""
+        return (self.predict_proba(x_query) >= 0.5).astype(np.float64)
+
+
+class MeanPredictor:
+    """Predict the global labeled mean everywhere.
+
+    This is the soft criterion's ``lambda = inf`` limit on a connected
+    graph (Proposition II.2) and the hard criterion's exact solution in
+    the Section III toy geometry, making it the natural floor baseline.
+    """
+
+    def __init__(self):
+        self._mean: float | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MeanPredictor":
+        check_matrix_2d(x, "x")
+        y = check_labels(y, name="y")
+        self._mean = float(np.mean(y))
+        return self
+
+    def predict(self, x_query: np.ndarray) -> np.ndarray:
+        if self._mean is None:
+            raise NotFittedError("MeanPredictor.predict called before fit")
+        x_query = check_matrix_2d(x_query, "x_query")
+        return np.full(x_query.shape[0], self._mean)

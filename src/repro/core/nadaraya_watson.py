@@ -1,0 +1,121 @@
+"""The Nadaraya-Watson kernel regression estimator (Eq. 6).
+
+The consistency proof works by showing the hard criterion's solution
+
+    f_u = (D22 - W22)^{-1} W21 Y_n
+
+equals the Nadaraya-Watson estimator
+
+    q_hat(X_{n+a}) = sum_{i<=n} w_{n+a,i} Y_i / sum_{k<=n} w_{n+a,k}
+
+plus two vanishing corrections (the ``g_{n+a}`` term and the Neumann
+remainder ``(S)_a D22^{-1} W21 Y_n``).  This module provides the
+estimator both from a precomputed weight matrix
+(:func:`nadaraya_watson_from_weights`, so the correspondence can be
+verified on the *same* graph) and directly from data
+(:func:`nadaraya_watson`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import DataValidationError
+from repro.kernels.base import RadialKernel
+from repro.kernels.library import GaussianKernel
+from repro.utils.validation import (
+    check_labels,
+    check_matrix_2d,
+    check_positive_scalar,
+    check_weight_matrix,
+)
+
+__all__ = ["nadaraya_watson", "nadaraya_watson_from_weights"]
+
+
+def nadaraya_watson_from_weights(weights, y_labeled) -> np.ndarray:
+    """Eq. (6) on a precomputed full graph: labeled-weighted label average.
+
+    Parameters
+    ----------
+    weights:
+        Full ``(n+m, n+m)`` weight matrix, labeled vertices first.
+    y_labeled:
+        Responses on the first ``n`` vertices.
+
+    Returns
+    -------
+    ndarray of length ``m`` with
+    ``q_hat[a] = sum_i w_{n+a,i} y_i / sum_k w_{n+a,k}``, sums over the
+    *labeled* vertices only (this is what distinguishes Eq. 6 from the
+    first-order term of Eq. 5, whose denominator ``d_{n+a}`` also counts
+    unlabeled neighbours).
+
+    Raises
+    ------
+    DataValidationError
+        If some unlabeled vertex has zero total weight to the labeled set
+        (the estimator is undefined there).
+    """
+    weights = check_weight_matrix(weights)
+    y_labeled = check_labels(y_labeled, name="y_labeled")
+    n = y_labeled.shape[0]
+    total = weights.shape[0]
+    if n >= total:
+        raise DataValidationError(
+            f"need at least one unlabeled vertex; graph has {total} vertices "
+            f"and {n} labels"
+        )
+    if sparse.issparse(weights):
+        w21 = np.asarray(weights[n:, :n].todense())
+    else:
+        w21 = weights[n:, :n]
+    denominators = w21.sum(axis=1)
+    zero = np.flatnonzero(denominators <= 0)
+    if zero.size:
+        raise DataValidationError(
+            f"Nadaraya-Watson is undefined for unlabeled vertices "
+            f"{(zero[:10] + n).tolist()}: zero total weight to the labeled set"
+        )
+    return (w21 @ y_labeled) / denominators
+
+
+def nadaraya_watson(
+    x_labeled: np.ndarray,
+    y_labeled: np.ndarray,
+    x_query: np.ndarray,
+    *,
+    kernel: RadialKernel | None = None,
+    bandwidth: float,
+) -> np.ndarray:
+    """Eq. (6) from raw data: kernel-weighted average of labeled responses.
+
+    Parameters
+    ----------
+    x_labeled:
+        Labeled inputs ``(n, d)``.
+    y_labeled:
+        Responses of length ``n``.
+    x_query:
+        Query points ``(m, d)``.
+    kernel:
+        Radial kernel, Gaussian RBF by default.
+    bandwidth:
+        Kernel bandwidth ``h``.
+    """
+    x_labeled = check_matrix_2d(x_labeled, "x_labeled")
+    x_query = check_matrix_2d(x_query, "x_query")
+    y_labeled = check_labels(y_labeled, x_labeled.shape[0], name="y_labeled")
+    bandwidth = check_positive_scalar(bandwidth, "bandwidth")
+    kernel = kernel or GaussianKernel()
+
+    cross = kernel.gram(x_query, x_labeled, bandwidth=bandwidth)  # (m, n)
+    denominators = cross.sum(axis=1)
+    zero = np.flatnonzero(denominators <= 0)
+    if zero.size:
+        raise DataValidationError(
+            f"Nadaraya-Watson is undefined at query points {zero[:10].tolist()}: "
+            f"no labeled point within the kernel support; increase the bandwidth"
+        )
+    return (cross @ y_labeled) / denominators

@@ -1,0 +1,76 @@
+"""Result containers returned by the criterion solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FitResult", "PropagationResult"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Solution of a graph-SSL criterion on a fixed transductive problem.
+
+    Attributes
+    ----------
+    scores:
+        Full score vector ``f`` of length ``n + m`` (labeled first).  For
+        the hard criterion the labeled entries equal the observed
+        responses exactly; for the soft criterion they are shrunk toward
+        graph-smoothness.
+    n_labeled:
+        Number of labeled vertices ``n``.
+    lam:
+        Tuning parameter ``lambda`` (0 for the hard criterion).
+    method:
+        Solver backend that produced the scores.
+    criterion:
+        ``"hard"`` or ``"soft"``.
+    details:
+        Free-form solver metadata (iteration counts, residuals, ...).
+    """
+
+    scores: np.ndarray
+    n_labeled: int
+    lam: float
+    method: str
+    criterion: str
+    details: dict = field(default_factory=dict)
+
+    @property
+    def labeled_scores(self) -> np.ndarray:
+        """Scores on the labeled vertices (first ``n`` entries)."""
+        return self.scores[: self.n_labeled]
+
+    @property
+    def unlabeled_scores(self) -> np.ndarray:
+        """Scores on the unlabeled vertices — the paper's f̂_(n+1):(n+m)."""
+        return self.scores[self.n_labeled :]
+
+    @property
+    def n_unlabeled(self) -> int:
+        return self.scores.shape[0] - self.n_labeled
+
+
+@dataclass(frozen=True)
+class PropagationResult:
+    """Outcome of the iterative label-propagation fixed point.
+
+    Wraps a :class:`FitResult` together with the iteration trace so
+    convergence behaviour can be inspected and benchmarked.
+    """
+
+    fit: FitResult
+    iterations: int
+    delta_norms: tuple[float, ...]
+    converged: bool
+
+    @property
+    def scores(self) -> np.ndarray:
+        return self.fit.scores
+
+    @property
+    def unlabeled_scores(self) -> np.ndarray:
+        return self.fit.unlabeled_scores

@@ -1,0 +1,212 @@
+"""The soft criterion (Laplacian-regularized least squares).
+
+Solves Eq. (2)/(3) of the paper:
+
+    min_f  sum_{i<=n} (Y_i - f_i)^2 + (lambda/2) sum_ij w_ij (f_i - f_j)^2
+         = (f - Y)^T V (f - Y) + lambda f^T L f,
+
+with ``V = diag(1,...,1,0,...,0)`` (ones on the ``n`` labeled positions)
+and ``L = D - W`` the unnormalized Laplacian.  Two backends:
+
+* ``method="full"`` — solve the ``(n+m)``-dimensional stationarity system
+  ``(V + lambda L) f = (Y_n; 0)`` directly; this is the paper's
+  ``O((n+m)^3)`` form and requires ``lambda > 0``.
+* ``method="schur"`` — the paper's Eq. (4), obtained from the 2x2 block
+  inverse:
+
+      f_u = (D22 - W22 - lambda W21 (I_n + lambda D11 - lambda W11)^{-1} W12)^{-1}
+            W21 (I_n + lambda D11 - lambda W11)^{-1} Y_n,
+
+  which at ``lambda = 0`` reduces *exactly* to the hard criterion's
+  Eq. (5) — Proposition II.1.  The labeled block is then recovered from
+  the first block row.
+
+Proposition II.2's ``lambda -> inf`` limit (the constant labeled-mean
+prediction that makes the soft criterion inconsistent) is exposed as
+:func:`soft_lambda_infinity_limit`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.hard import _coerce_weights, solve_hard_criterion
+from repro.core.result import FitResult
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.graph.components import require_labeled_reachability
+from repro.linalg.solvers import solve_spd, solve_square
+from repro.utils.validation import check_labels, check_positive_scalar, check_weight_matrix
+
+__all__ = ["solve_soft_criterion", "soft_lambda_infinity_limit", "soft_criterion_objective"]
+
+
+def solve_soft_criterion(
+    weights,
+    y_labeled,
+    lam: float,
+    *,
+    method: str = "schur",
+    solver: str = "direct",
+    check_reachability: bool = True,
+) -> FitResult:
+    """Solve the soft criterion for tuning parameter ``lam``.
+
+    Parameters
+    ----------
+    weights:
+        ``(n+m, n+m)`` symmetric non-negative weight matrix, labeled
+        vertices first (dense, sparse, or ``SimilarityGraph``).
+    y_labeled:
+        Observed responses ``Y_1..Y_n``.
+    lam:
+        Tuning parameter ``lambda >= 0``.  ``lam = 0`` delegates to the
+        hard criterion (Proposition II.1).
+    method:
+        ``"schur"`` (Eq. 4, an ``m x m`` solve after an ``n x n`` solve)
+        or ``"full"`` (Eq. 3's ``(n+m) x (n+m)`` stationarity system;
+        requires ``lam > 0``).
+    solver:
+        Backend for the SPD solves (``"direct"``, ``"cg"``, ...).
+    check_reachability:
+        Validate labeled reachability first (needed for well-posedness at
+        small ``lam``; at ``lam > 0`` a disconnected unlabeled component
+        also makes ``V + lam L`` singular).
+    """
+    weights = check_weight_matrix(_coerce_weights(weights))
+    y_labeled = check_labels(y_labeled, name="y_labeled")
+    lam = check_positive_scalar(lam, "lam", allow_zero=True)
+    total = weights.shape[0]
+    n = y_labeled.shape[0]
+    if n > total:
+        raise DataValidationError(
+            f"y_labeled has length {n} but the graph has only {total} vertices"
+        )
+    m = total - n
+
+    if lam == 0.0:
+        hard = solve_hard_criterion(
+            weights, y_labeled, method=solver, check_reachability=check_reachability
+        )
+        return FitResult(
+            scores=hard.scores,
+            n_labeled=n,
+            lam=0.0,
+            method=f"{method}->hard",
+            criterion="soft",
+            details=dict(hard.details),
+        )
+
+    if check_reachability:
+        require_labeled_reachability(weights, n)
+
+    if sparse.issparse(weights):
+        dense = np.asarray(weights.todense())
+    else:
+        dense = weights
+
+    if method == "full":
+        return _solve_full(dense, y_labeled, lam, n, m, solver)
+    if method == "schur":
+        return _solve_schur(dense, y_labeled, lam, n, m)
+    raise ConfigurationError(f"method must be 'full' or 'schur', got {method!r}")
+
+
+def _solve_full(weights: np.ndarray, y: np.ndarray, lam: float, n: int, m: int, solver: str) -> FitResult:
+    """Solve ``(V + lam L) f = (y; 0)`` over all n+m vertices."""
+    total = n + m
+    degrees = weights.sum(axis=1)
+    laplacian = np.diag(degrees) - weights
+    system = lam * laplacian
+    system[np.arange(n), np.arange(n)] += 1.0
+    rhs = np.zeros(total)
+    rhs[:n] = y
+    scores = solve_spd(system, rhs, method=solver)
+    return FitResult(
+        scores=scores,
+        n_labeled=n,
+        lam=lam,
+        method="full",
+        criterion="soft",
+        details={"system_size": total},
+    )
+
+
+def _solve_schur(weights: np.ndarray, y: np.ndarray, lam: float, n: int, m: int) -> FitResult:
+    """The paper's Eq. (4): Schur-complement form on the unlabeled block."""
+    w11 = weights[:n, :n]
+    w12 = weights[:n, n:]
+    w21 = weights[n:, :n]
+    w22 = weights[n:, n:]
+    degrees = weights.sum(axis=1)
+    d11 = degrees[:n]
+    d22 = degrees[n:]
+
+    # inner = I_n + lam*D11 - lam*W11 (n x n, SPD for lam >= 0).
+    inner = -lam * w11
+    inner[np.arange(n), np.arange(n)] += 1.0 + lam * d11
+    inner_inv_y = solve_square(inner, y)  # (I + lam D11 - lam W11)^{-1} Y_n
+
+    if m == 0:
+        # No unlabeled block: Eq. (3) reduces to the labeled stationarity
+        # system (I + lam L11) f_l = y with L11 = D11 - W11.
+        return FitResult(
+            scores=inner_inv_y, n_labeled=n, lam=lam, method="schur",
+            criterion="soft", details={"system_size": n},
+        )
+
+    inner_inv_w12 = np.linalg.solve(inner, w12)  # n x m
+    grounded = np.diag(d22) - w22  # D22 - W22, m x m
+    system = grounded - lam * (w21 @ inner_inv_w12)
+    f_unlabeled = solve_square(system, w21 @ inner_inv_y)
+
+    # Recover the labeled block from the first stationarity row:
+    # (I + lam D11 - lam W11) f_l = y + lam W12 f_u.
+    f_labeled = solve_square(inner, y + lam * (w12 @ f_unlabeled))
+    scores = np.concatenate([f_labeled, f_unlabeled])
+    return FitResult(
+        scores=scores,
+        n_labeled=n,
+        lam=lam,
+        method="schur",
+        criterion="soft",
+        details={"system_size": m},
+    )
+
+
+def soft_lambda_infinity_limit(y_labeled, n_total: int) -> np.ndarray:
+    """Proposition II.2's ``lambda = inf`` solution on a connected graph.
+
+    Every vertex is forced to the common value ``mean(Y_n)`` — a constant
+    prediction that cannot converge to the random variable
+    ``q(X_{n+a})``, which is the paper's inconsistency counterexample.
+    """
+    y_labeled = check_labels(y_labeled, name="y_labeled")
+    if n_total < y_labeled.shape[0]:
+        raise DataValidationError(
+            f"n_total={n_total} is smaller than the number of labels "
+            f"{y_labeled.shape[0]}"
+        )
+    return np.full(n_total, float(np.mean(y_labeled)))
+
+
+def soft_criterion_objective(weights, y_labeled, scores, lam: float) -> float:
+    """Eq. (2)'s objective value for a candidate score vector.
+
+    Used by tests to confirm the closed-form solutions are stationary
+    minima: any perturbation must not decrease this value.
+    """
+    weights = check_weight_matrix(_coerce_weights(weights))
+    scores = check_labels(scores, weights.shape[0], name="scores")
+    y_labeled = check_labels(y_labeled, name="y_labeled")
+    lam = check_positive_scalar(lam, "lam", allow_zero=True)
+    n = y_labeled.shape[0]
+    loss = float(np.sum((y_labeled - scores[:n]) ** 2))
+    if sparse.issparse(weights):
+        coo = weights.tocoo()
+        diffs = scores[coo.row] - scores[coo.col]
+        penalty = float(np.sum(coo.data * diffs * diffs))
+    else:
+        diffs = scores[:, None] - scores[None, :]
+        penalty = float(np.sum(weights * diffs * diffs))
+    return loss + 0.5 * lam * penalty

@@ -1,0 +1,188 @@
+"""Assumption checking and theoretical quantities from Theorem II.1.
+
+Theorem II.1's conditions, and the constants the proof tracks:
+
+* kernel conditions (i)-(iii) — delegated to
+  :meth:`~repro.kernels.base.RadialKernel.theorem_conditions`;
+* bandwidth limits ``h_n -> 0`` and ``n h_n^d -> inf`` — checkable for a
+  *rule* ``h(n)`` by evaluating it along a growing-n schedule;
+* the growth condition ``m = o(n h_n^d)`` — summarized by the finite-n
+  ratio ``m / (n h_n^d)`` (:func:`consistency_ratio`), which the proof
+  requires to vanish;
+* the "tiny elements" constant ``M = 2 k* / (s beta)`` with
+  ``s = s* V_d(1) delta^d / 2`` built from the kernel's condition-(iii)
+  ball and the density lower bound ``s*``
+  (:func:`tiny_element_bound` gives the proof's envelope
+  ``M / (n h^d)`` on ``||D22^{-1} W22||_max``).
+
+:func:`check_theorem_assumptions` assembles everything into a
+:class:`TheoremAssumptionReport` and optionally raises
+:class:`~repro.exceptions.AssumptionViolationError` in strict mode.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import AssumptionViolationError, DataValidationError
+from repro.kernels.base import KernelConditionReport, RadialKernel
+from repro.utils.validation import check_positive_scalar
+
+__all__ = [
+    "volume_unit_ball",
+    "consistency_ratio",
+    "tiny_element_bound",
+    "TheoremAssumptionReport",
+    "check_theorem_assumptions",
+]
+
+
+def volume_unit_ball(dim: int) -> float:
+    """Volume of the unit Euclidean ball in ``dim`` dimensions.
+
+    ``V_d = pi^{d/2} / Gamma(d/2 + 1)``; the proof uses
+    ``V_d(delta h) = V_d * (delta h)^d`` to lower-bound the ball-hit
+    probability ``p(X_{n+a})``.
+    """
+    if dim < 1:
+        raise DataValidationError(f"dim must be >= 1, got {dim}")
+    return math.pi ** (dim / 2.0) / math.gamma(dim / 2.0 + 1.0)
+
+
+def consistency_ratio(n: int, m: int, bandwidth: float, dim: int) -> float:
+    """The theorem's growth ratio ``m / (n h^d)``.
+
+    Theorem II.1 requires this to tend to zero (``m = o(n h_n^d)``); at
+    finite samples a small value indicates the consistent regime and a
+    large value the regime where Figures 2/4 show RMSE growing with m.
+    """
+    if n < 1:
+        raise DataValidationError(f"n must be >= 1, got {n}")
+    if m < 0:
+        raise DataValidationError(f"m must be >= 0, got {m}")
+    bandwidth = check_positive_scalar(bandwidth, "bandwidth")
+    if dim < 1:
+        raise DataValidationError(f"dim must be >= 1, got {dim}")
+    return m / (n * bandwidth**dim)
+
+
+def tiny_element_bound(
+    kernel: RadialKernel,
+    n: int,
+    bandwidth: float,
+    dim: int,
+    density_lower_bound: float,
+) -> float:
+    """The proof's envelope ``M / (n h^d)`` on ``||D22^{-1} W22||_max``.
+
+    With ``(beta, delta)`` the kernel's condition-(iii) ball constants and
+    ``s* = density_lower_bound``, the proof sets
+    ``s = s* V_d(1) delta^d / 2`` and ``M = 2 k* / (s beta)``; every entry
+    of ``D22^{-1} W22`` is at most ``M / (n h^d)`` with probability
+    approaching one.  ``repro.validation.proof_constructs`` verifies this
+    numerically.
+    """
+    if n < 1:
+        raise DataValidationError(f"n must be >= 1, got {n}")
+    bandwidth = check_positive_scalar(bandwidth, "bandwidth")
+    density_lower_bound = check_positive_scalar(density_lower_bound, "density_lower_bound")
+    beta, delta = kernel.ball_lower_bound
+    if beta <= 0 or delta <= 0:
+        raise AssumptionViolationError(
+            f"kernel {kernel.name!r} has no positive condition-(iii) ball"
+        )
+    k_star = kernel.upper_bound
+    if not math.isfinite(k_star):
+        raise AssumptionViolationError(f"kernel {kernel.name!r} is unbounded")
+    s = density_lower_bound * volume_unit_ball(dim) * delta**dim / 2.0
+    big_m = 2.0 * k_star / (s * beta)
+    return big_m / (n * bandwidth**dim)
+
+
+@dataclass(frozen=True)
+class TheoremAssumptionReport:
+    """Finite-sample snapshot of Theorem II.1's assumptions.
+
+    Attributes
+    ----------
+    kernel_conditions:
+        Conditions (i)-(iii) of the kernel.
+    n, m, dim, bandwidth:
+        The problem size and bandwidth checked.
+    effective_labeled_mass:
+        ``n h^d`` — must diverge for consistency.
+    growth_ratio:
+        ``m / (n h^d)`` — must vanish for consistency.
+    growth_ok:
+        Heuristic finite-sample check ``growth_ratio < growth_tolerance``.
+    """
+
+    kernel_conditions: KernelConditionReport
+    n: int
+    m: int
+    dim: int
+    bandwidth: float
+    effective_labeled_mass: float
+    growth_ratio: float
+    growth_ok: bool
+
+    @property
+    def all_satisfied(self) -> bool:
+        return self.kernel_conditions.all_satisfied and self.growth_ok
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"kernel: {self.kernel_conditions.summary()}",
+            f"n={self.n}, m={self.m}, d={self.dim}, h={self.bandwidth:.4g}",
+            f"n h^d = {self.effective_labeled_mass:.4g} (must grow)",
+            f"m/(n h^d) = {self.growth_ratio:.4g} "
+            f"({'ok' if self.growth_ok else 'TOO LARGE'}; must vanish)",
+        ]
+        return "\n".join(lines)
+
+
+def check_theorem_assumptions(
+    kernel: RadialKernel,
+    *,
+    n: int,
+    m: int,
+    dim: int,
+    bandwidth: float,
+    growth_tolerance: float = 1.0,
+    strict: bool = False,
+) -> TheoremAssumptionReport:
+    """Assemble a finite-sample report of Theorem II.1's assumptions.
+
+    Parameters
+    ----------
+    kernel, n, m, dim, bandwidth:
+        The problem instance to check.
+    growth_tolerance:
+        Finite-sample threshold on ``m/(n h^d)``; the asymptotic condition
+        is that the ratio vanishes, so any fixed threshold is heuristic.
+    strict:
+        If true, raise :class:`AssumptionViolationError` when any
+        condition fails (used by the validation experiments; estimators
+        never enforce this because the paper's own RBF experiments violate
+        condition (ii)).
+    """
+    if n < 1 or m < 0:
+        raise DataValidationError(f"need n >= 1 and m >= 0, got n={n}, m={m}")
+    bandwidth = check_positive_scalar(bandwidth, "bandwidth")
+    report = TheoremAssumptionReport(
+        kernel_conditions=kernel.theorem_conditions(),
+        n=n,
+        m=m,
+        dim=dim,
+        bandwidth=bandwidth,
+        effective_labeled_mass=n * bandwidth**dim,
+        growth_ratio=consistency_ratio(n, m, bandwidth, dim),
+        growth_ok=consistency_ratio(n, m, bandwidth, dim) < growth_tolerance,
+    )
+    if strict and not report.all_satisfied:
+        raise AssumptionViolationError(
+            "Theorem II.1 assumptions violated:\n" + report.summary()
+        )
+    return report

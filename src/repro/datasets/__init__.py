@@ -1,0 +1,62 @@
+"""Datasets: the paper's synthetic models, a COIL-like substitute, and toys."""
+
+from repro.datasets.coil import CoilLikeDataset, make_coil_like
+from repro.datasets.splits import (
+    kfold_indices,
+    paper_coil_protocol,
+    stratified_kfold_indices,
+    stratified_labeled_split,
+    transductive_splits,
+)
+from repro.datasets.io import (
+    load_transductive_csv,
+    load_transductive_npz,
+    save_transductive_npz,
+)
+from repro.datasets.synthetic import (
+    SyntheticDataset,
+    make_regression_dataset,
+    make_synthetic_dataset,
+    model1_logit,
+    model2_logit,
+    sample_binary_responses,
+    sigmoid,
+    true_regression,
+    truncated_mvn_inputs,
+)
+from repro.datasets.toy import (
+    ConstantInputToy,
+    concentric_circles,
+    constant_input_toy,
+    gaussian_blobs,
+    swiss_roll,
+    two_moons,
+)
+
+__all__ = [
+    "SyntheticDataset",
+    "make_synthetic_dataset",
+    "make_regression_dataset",
+    "load_transductive_csv",
+    "load_transductive_npz",
+    "save_transductive_npz",
+    "truncated_mvn_inputs",
+    "model1_logit",
+    "model2_logit",
+    "true_regression",
+    "sample_binary_responses",
+    "sigmoid",
+    "CoilLikeDataset",
+    "make_coil_like",
+    "ConstantInputToy",
+    "constant_input_toy",
+    "two_moons",
+    "concentric_circles",
+    "gaussian_blobs",
+    "swiss_roll",
+    "kfold_indices",
+    "stratified_kfold_indices",
+    "stratified_labeled_split",
+    "transductive_splits",
+    "paper_coil_protocol",
+]

@@ -1,0 +1,208 @@
+"""Loading and saving transductive problems.
+
+Downstream users bring their own partially-labeled data; these helpers
+read the library's standard problem shape — feature columns plus a label
+column where *missing entries mark the unlabeled rows* — from CSV and
+NPZ files, and write it back.
+
+CSV convention
+--------------
+One header row; every column except the label column is a float
+feature.  The label column may contain empty cells (or a configurable
+missing marker such as ``?``) for unlabeled rows.
+
+NPZ convention
+--------------
+Arrays ``x_labeled``, ``y_labeled``, ``x_unlabeled`` (and optionally
+``y_unlabeled`` for held-out evaluation labels).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.utils.validation import check_labels, check_matrix_2d
+
+__all__ = [
+    "TransductiveProblem",
+    "load_transductive_csv",
+    "load_transductive_npz",
+    "save_transductive_npz",
+]
+
+
+@dataclass(frozen=True)
+class TransductiveProblem:
+    """A user-supplied transductive problem.
+
+    Attributes
+    ----------
+    x_labeled, y_labeled:
+        The labeled rows and their responses.
+    x_unlabeled:
+        Rows whose label cell was missing.
+    y_unlabeled:
+        Held-out evaluation labels for the unlabeled rows, when the
+        source provided them (``None`` otherwise).
+    feature_names:
+        Column names, when the source had a header.
+    """
+
+    x_labeled: np.ndarray
+    y_labeled: np.ndarray
+    x_unlabeled: np.ndarray
+    y_unlabeled: np.ndarray | None = None
+    feature_names: tuple[str, ...] = ()
+
+    @property
+    def n_labeled(self) -> int:
+        return self.x_labeled.shape[0]
+
+    @property
+    def n_unlabeled(self) -> int:
+        return self.x_unlabeled.shape[0]
+
+    @property
+    def x_all(self) -> np.ndarray:
+        return np.vstack([self.x_labeled, self.x_unlabeled])
+
+
+def load_transductive_csv(
+    path,
+    *,
+    label_column: str,
+    missing_markers: tuple[str, ...] = ("", "?", "NA", "nan"),
+) -> TransductiveProblem:
+    """Read a transductive problem from a headed CSV file.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    label_column:
+        Name of the label column; rows whose cell matches one of
+        ``missing_markers`` (case-sensitive, stripped) become the
+        unlabeled block.
+    missing_markers:
+        Cell values denoting "no label".
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataValidationError(f"no such file: {path}")
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataValidationError(f"{path} is empty") from None
+        if label_column not in header:
+            raise DataValidationError(
+                f"label column {label_column!r} not in header {header}"
+            )
+        label_pos = header.index(label_column)
+        feature_names = tuple(
+            name for i, name in enumerate(header) if i != label_pos
+        )
+        markers = set(missing_markers)
+
+        labeled_rows: list[list[float]] = []
+        labels: list[float] = []
+        unlabeled_rows: list[list[float]] = []
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise DataValidationError(
+                    f"{path}:{line_number}: expected {len(header)} cells, "
+                    f"got {len(row)}"
+                )
+            label_cell = row[label_pos].strip()
+            try:
+                features = [
+                    float(cell) for i, cell in enumerate(row) if i != label_pos
+                ]
+            except ValueError as exc:
+                raise DataValidationError(
+                    f"{path}:{line_number}: non-numeric feature: {exc}"
+                ) from exc
+            if label_cell in markers:
+                unlabeled_rows.append(features)
+            else:
+                try:
+                    labels.append(float(label_cell))
+                except ValueError as exc:
+                    raise DataValidationError(
+                        f"{path}:{line_number}: non-numeric label "
+                        f"{label_cell!r}"
+                    ) from exc
+                labeled_rows.append(features)
+
+    if not labeled_rows:
+        raise DataValidationError(f"{path} contains no labeled rows")
+    if not unlabeled_rows:
+        raise DataValidationError(
+            f"{path} contains no unlabeled rows (no cells matched the "
+            f"missing markers {sorted(markers)})"
+        )
+    return TransductiveProblem(
+        x_labeled=np.asarray(labeled_rows, dtype=np.float64),
+        y_labeled=np.asarray(labels, dtype=np.float64),
+        x_unlabeled=np.asarray(unlabeled_rows, dtype=np.float64),
+        feature_names=feature_names,
+    )
+
+
+def load_transductive_npz(path) -> TransductiveProblem:
+    """Read a transductive problem from an NPZ archive."""
+    path = Path(path)
+    if not path.exists():
+        raise DataValidationError(f"no such file: {path}")
+    with np.load(path) as archive:
+        required = ("x_labeled", "y_labeled", "x_unlabeled")
+        missing = [key for key in required if key not in archive]
+        if missing:
+            raise DataValidationError(
+                f"{path} is missing required arrays {missing}; "
+                f"found {sorted(archive.files)}"
+            )
+        x_labeled = check_matrix_2d(archive["x_labeled"], "x_labeled")
+        y_labeled = check_labels(
+            archive["y_labeled"], x_labeled.shape[0], name="y_labeled"
+        )
+        x_unlabeled = check_matrix_2d(archive["x_unlabeled"], "x_unlabeled")
+        if x_unlabeled.shape[1] != x_labeled.shape[1]:
+            raise DataValidationError(
+                f"x_labeled has {x_labeled.shape[1]} columns but "
+                f"x_unlabeled has {x_unlabeled.shape[1]}"
+            )
+        y_unlabeled = None
+        if "y_unlabeled" in archive:
+            y_unlabeled = check_labels(
+                archive["y_unlabeled"], x_unlabeled.shape[0], name="y_unlabeled"
+            )
+    return TransductiveProblem(
+        x_labeled=x_labeled,
+        y_labeled=y_labeled,
+        x_unlabeled=x_unlabeled,
+        y_unlabeled=y_unlabeled,
+    )
+
+
+def save_transductive_npz(path, problem: TransductiveProblem) -> Path:
+    """Write a transductive problem to an NPZ archive; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {
+        "x_labeled": problem.x_labeled,
+        "y_labeled": problem.y_labeled,
+        "x_unlabeled": problem.x_unlabeled,
+    }
+    if problem.y_unlabeled is not None:
+        arrays["y_unlabeled"] = problem.y_unlabeled
+    np.savez_compressed(path, **arrays)
+    return path

@@ -1,0 +1,177 @@
+"""Transductive split protocols (the paper's Section V-B schemes).
+
+The COIL experiment varies the labeled/unlabeled ratio three ways:
+
+* **80/20** — split into 5 folds; each fold in turn is the unlabeled/test
+  set and the other four are labeled (so every sample is predicted once
+  per repetition);
+* **20/80** — 5 folds, but one fold is *labeled* and the other four are
+  unlabeled;
+* **10/90** — 10 folds, one labeled, nine unlabeled.
+
+:func:`paper_coil_protocol` yields ``(labeled_idx, unlabeled_idx)`` pairs
+implementing each setting, repeated ``repeats`` times with fresh fold
+shuffles — the paper repeats 100 times, giving 500 experiments for the
+first two settings and 1000 for the third.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "kfold_indices",
+    "stratified_kfold_indices",
+    "stratified_labeled_split",
+    "transductive_splits",
+    "paper_coil_protocol",
+    "COIL_SETTINGS",
+]
+
+#: The paper's three labeled-to-unlabeled settings: name -> (n_folds, labeled_folds).
+COIL_SETTINGS = {
+    "80/20": (5, 4),
+    "20/80": (5, 1),
+    "10/90": (10, 1),
+}
+
+
+def kfold_indices(n_samples: int, n_folds: int, seed=None) -> list[np.ndarray]:
+    """Shuffle ``0..n_samples-1`` into ``n_folds`` nearly equal folds."""
+    if n_folds < 2:
+        raise ConfigurationError(f"n_folds must be >= 2, got {n_folds}")
+    if n_samples < n_folds:
+        raise DataValidationError(
+            f"n_samples={n_samples} is smaller than n_folds={n_folds}"
+        )
+    rng = as_rng(seed)
+    permuted = rng.permutation(n_samples)
+    return [np.sort(fold) for fold in np.array_split(permuted, n_folds)]
+
+
+def stratified_kfold_indices(labels, n_folds: int, seed=None) -> list[np.ndarray]:
+    """K folds preserving class proportions.
+
+    Each class's members are shuffled and dealt round-robin across
+    folds, so every fold's class mix matches the full set's to within
+    one sample per class.  Useful for the COIL protocol when class
+    balance inside the labeled fold matters (small labeled fractions).
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise DataValidationError("labels must be 1-d")
+    n_samples = labels.shape[0]
+    if n_folds < 2:
+        raise ConfigurationError(f"n_folds must be >= 2, got {n_folds}")
+    if n_samples < n_folds:
+        raise DataValidationError(
+            f"n_samples={n_samples} is smaller than n_folds={n_folds}"
+        )
+    rng = as_rng(seed)
+    folds: list[list[int]] = [[] for _ in range(n_folds)]
+    offset = 0
+    for cls in np.unique(labels):
+        members = rng.permutation(np.flatnonzero(labels == cls))
+        for position, index in enumerate(members):
+            folds[(offset + position) % n_folds].append(int(index))
+        offset += members.shape[0]
+    return [np.sort(np.asarray(fold, dtype=np.intp)) for fold in folds]
+
+
+def stratified_labeled_split(
+    labels,
+    labeled_fraction: float,
+    seed=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One stratified (labeled_idx, unlabeled_idx) split.
+
+    Guarantees at least one labeled sample per class (so reachable
+    classes exist for propagation) while matching ``labeled_fraction``
+    as closely as the class sizes allow.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 1 or labels.shape[0] == 0:
+        raise DataValidationError("labels must be a non-empty 1-d array")
+    if not 0.0 < labeled_fraction < 1.0:
+        raise ConfigurationError(
+            f"labeled_fraction must be in (0, 1), got {labeled_fraction}"
+        )
+    rng = as_rng(seed)
+    labeled: list[int] = []
+    for cls in np.unique(labels):
+        members = rng.permutation(np.flatnonzero(labels == cls))
+        count = max(1, int(round(labeled_fraction * members.shape[0])))
+        count = min(count, members.shape[0])
+        labeled.extend(int(i) for i in members[:count])
+    labeled_idx = np.sort(np.asarray(labeled, dtype=np.intp))
+    unlabeled_idx = np.setdiff1d(np.arange(labels.shape[0]), labeled_idx)
+    if unlabeled_idx.size == 0:
+        raise ConfigurationError(
+            "labeled_fraction leaves no unlabeled samples; lower it"
+        )
+    return labeled_idx, unlabeled_idx
+
+
+def transductive_splits(
+    n_samples: int,
+    *,
+    n_folds: int,
+    labeled_folds: int,
+    seed=None,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (labeled_idx, unlabeled_idx) over all rotations of one k-fold split.
+
+    Each of the ``n_folds`` rotations takes a different contiguous block
+    of ``labeled_folds`` folds (cyclically) as the labeled set, so that
+    every fold appears in the unlabeled role the same number of times.
+    """
+    if not 1 <= labeled_folds < n_folds:
+        raise ConfigurationError(
+            f"labeled_folds must be in [1, n_folds); got {labeled_folds} of {n_folds}"
+        )
+    folds = kfold_indices(n_samples, n_folds, seed=seed)
+    for rotation in range(n_folds):
+        chosen = [(rotation + offset) % n_folds for offset in range(labeled_folds)]
+        labeled = np.sort(np.concatenate([folds[i] for i in chosen]))
+        remaining = [i for i in range(n_folds) if i not in chosen]
+        unlabeled = np.sort(np.concatenate([folds[i] for i in remaining]))
+        yield labeled, unlabeled
+
+
+def paper_coil_protocol(
+    n_samples: int,
+    setting: str,
+    *,
+    repeats: int = 100,
+    seed=None,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """The paper's Section V-B protocol for one labeled-ratio setting.
+
+    Parameters
+    ----------
+    n_samples:
+        Dataset size (1500 for the paper's COIL variant).
+    setting:
+        ``"80/20"``, ``"20/80"`` or ``"10/90"``.
+    repeats:
+        Number of independent fold shuffles (paper: 100).  The total
+        number of yielded experiments is ``repeats * n_folds``.
+    seed:
+        Master seed; each repeat gets an independent child stream.
+    """
+    if setting not in COIL_SETTINGS:
+        known = ", ".join(sorted(COIL_SETTINGS))
+        raise ConfigurationError(f"unknown setting {setting!r}; known: {known}")
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    n_folds, labeled_folds = COIL_SETTINGS[setting]
+    rng = as_rng(seed)
+    for _ in range(repeats):
+        yield from transductive_splits(
+            n_samples, n_folds=n_folds, labeled_folds=labeled_folds, seed=rng
+        )

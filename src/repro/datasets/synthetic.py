@@ -1,0 +1,251 @@
+"""The paper's synthetic data-generating process (Section V-A).
+
+Inputs are drawn from a *truncated* 5-dimensional multivariate normal:
+``X~ ~ N(mu, Sigma)`` with ``mu = (0.5, ..., 0.5)`` and
+``Sigma = 0.05 * (I + 1 1^T)`` (0.1 on the diagonal, 0.05 off-diagonal);
+each coordinate is kept if it falls in ``[0, 1]`` and *set to zero*
+otherwise — the paper's exact truncation rule (zeroing, not clipping),
+which gives the density compact support as Theorem II.1 requires.
+
+Responses are Bernoulli with logistic success probability:
+
+* Model 1 (linear logit):
+  ``logit q(X) = -1.35 + 2 X1 - X2 + X3 - X4 + 2 X5``;
+* Model 2 (non-linear): Model 1 plus ``X1 X3 + X2 X4``.
+
+:func:`make_synthetic_dataset` bundles a labeled/unlabeled draw together
+with the *true* regression function values ``q(X)`` on both parts, which
+is what the paper's RMSE metric compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_matrix_2d
+
+__all__ = [
+    "DEFAULT_DIM",
+    "truncated_mvn_inputs",
+    "sigmoid",
+    "model1_logit",
+    "model2_logit",
+    "true_regression",
+    "sample_binary_responses",
+    "SyntheticDataset",
+    "make_synthetic_dataset",
+    "make_regression_dataset",
+]
+
+#: The paper's input dimension ``p = 5``.
+DEFAULT_DIM = 5
+
+_MODEL1_COEFS = np.array([2.0, -1.0, 1.0, -1.0, 2.0])
+_INTERCEPT = -1.35
+
+
+def truncated_mvn_inputs(
+    n_samples: int,
+    *,
+    dim: int = DEFAULT_DIM,
+    mean: float = 0.5,
+    variance: float = 0.1,
+    covariance: float = 0.05,
+    seed=None,
+) -> np.ndarray:
+    """Draw the paper's truncated multivariate-normal inputs.
+
+    Coordinates outside ``[0, 1]`` are set to zero (the paper's rule),
+    so the support is exactly ``[0, 1]^dim`` — compact, as the theorem
+    assumes.
+    """
+    if n_samples < 1:
+        raise DataValidationError(f"n_samples must be >= 1, got {n_samples}")
+    if dim < 1:
+        raise DataValidationError(f"dim must be >= 1, got {dim}")
+    if variance <= 0 or abs(covariance) >= variance:
+        raise ConfigurationError(
+            f"need variance > 0 and |covariance| < variance for positive "
+            f"definiteness; got variance={variance}, covariance={covariance}"
+        )
+    rng = as_rng(seed)
+    cov = np.full((dim, dim), covariance)
+    np.fill_diagonal(cov, variance)
+    raw = rng.multivariate_normal(np.full(dim, mean), cov, size=n_samples)
+    inside = (raw >= 0.0) & (raw <= 1.0)
+    return np.where(inside, raw, 0.0)
+
+
+def sigmoid(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    logits = np.asarray(logits, dtype=np.float64)
+    out = np.empty_like(logits)
+    positive = logits >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-logits[positive]))
+    exp_l = np.exp(logits[~positive])
+    out[~positive] = exp_l / (1.0 + exp_l)
+    return out
+
+
+def _check_five_dim(x: np.ndarray, model: str) -> np.ndarray:
+    x = check_matrix_2d(x, "x")
+    if x.shape[1] != DEFAULT_DIM:
+        raise DataValidationError(
+            f"{model} is defined for {DEFAULT_DIM}-dimensional inputs, "
+            f"got {x.shape[1]} columns"
+        )
+    return x
+
+
+def model1_logit(x: np.ndarray) -> np.ndarray:
+    """Model 1's linear logit: ``-1.35 + 2X1 - X2 + X3 - X4 + 2X5``."""
+    x = _check_five_dim(x, "model 1")
+    return _INTERCEPT + x @ _MODEL1_COEFS
+
+
+def model2_logit(x: np.ndarray) -> np.ndarray:
+    """Model 2's logit: Model 1 plus the interactions ``X1X3 + X2X4``."""
+    x = _check_five_dim(x, "model 2")
+    return model1_logit(x) + x[:, 0] * x[:, 2] + x[:, 1] * x[:, 3]
+
+
+_LOGITS = {"model1": model1_logit, "model2": model2_logit}
+
+
+def true_regression(x: np.ndarray, model: str = "model1") -> np.ndarray:
+    """The true regression function ``q(X) = E[Y|X]`` under a model."""
+    try:
+        logit = _LOGITS[model]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model {model!r}; known models: {sorted(_LOGITS)}"
+        ) from None
+    return sigmoid(logit(x))
+
+
+def sample_binary_responses(q: np.ndarray, seed=None) -> np.ndarray:
+    """Bernoulli responses with success probabilities ``q``."""
+    q = np.asarray(q, dtype=np.float64)
+    if q.size and (q.min() < 0 or q.max() > 1):
+        raise DataValidationError("probabilities must lie in [0, 1]")
+    rng = as_rng(seed)
+    return (rng.random(q.shape) < q).astype(np.float64)
+
+
+@dataclass(frozen=True)
+class SyntheticDataset:
+    """One draw of the paper's synthetic transductive problem.
+
+    Attributes
+    ----------
+    x_labeled, y_labeled:
+        The ``n`` labeled inputs and their Bernoulli responses.
+    x_unlabeled:
+        The ``m`` unlabeled inputs.
+    q_labeled, q_unlabeled:
+        True regression-function values ``q(X)`` (the RMSE target).
+    y_unlabeled:
+        Responses on the unlabeled points (hidden from the learner; kept
+        for AUC-style evaluations).
+    model:
+        ``"model1"`` or ``"model2"``.
+    """
+
+    x_labeled: np.ndarray
+    y_labeled: np.ndarray
+    x_unlabeled: np.ndarray
+    q_labeled: np.ndarray
+    q_unlabeled: np.ndarray
+    y_unlabeled: np.ndarray
+    model: str
+
+    @property
+    def n_labeled(self) -> int:
+        return self.x_labeled.shape[0]
+
+    @property
+    def n_unlabeled(self) -> int:
+        return self.x_unlabeled.shape[0]
+
+    @property
+    def x_all(self) -> np.ndarray:
+        """Labeled inputs stacked above unlabeled inputs."""
+        return np.vstack([self.x_labeled, self.x_unlabeled])
+
+
+def make_regression_dataset(
+    n_labeled: int,
+    n_unlabeled: int,
+    *,
+    model: str = "model1",
+    noise_std: float = 0.1,
+    seed=None,
+) -> SyntheticDataset:
+    """The paper's *regression case*: continuous bounded responses.
+
+    Theorem II.1 covers continuous responses too (it only requires the
+    ``Y_i`` bounded).  This generator keeps the same truncated-MVN inputs
+    and regression function ``q(X) = sigmoid(logit(X))`` as the
+    classification DGP but draws
+
+        ``Y = q(X) + eps``,  ``eps ~ Uniform(-noise_std*sqrt(3), +...)``
+
+    — bounded noise, so the theorem's assumption holds exactly.  The
+    returned object reuses :class:`SyntheticDataset`; ``y_*`` are the
+    continuous responses and ``q_*`` remain the regression targets.
+    """
+    if n_labeled < 1 or n_unlabeled < 0:
+        raise DataValidationError(
+            f"need n_labeled >= 1 and n_unlabeled >= 0, "
+            f"got {n_labeled}, {n_unlabeled}"
+        )
+    if noise_std < 0:
+        raise ConfigurationError(f"noise_std must be >= 0, got {noise_std}")
+    rng = as_rng(seed)
+    total = n_labeled + n_unlabeled
+    x_all = truncated_mvn_inputs(total, seed=rng)
+    q_all = true_regression(x_all, model)
+    half_width = noise_std * np.sqrt(3.0)  # uniform with this std
+    y_all = q_all + rng.uniform(-half_width, half_width, size=total)
+    return SyntheticDataset(
+        x_labeled=x_all[:n_labeled],
+        y_labeled=y_all[:n_labeled],
+        x_unlabeled=x_all[n_labeled:],
+        q_labeled=q_all[:n_labeled],
+        q_unlabeled=q_all[n_labeled:],
+        y_unlabeled=y_all[n_labeled:],
+        model=model,
+    )
+
+
+def make_synthetic_dataset(
+    n_labeled: int,
+    n_unlabeled: int,
+    *,
+    model: str = "model1",
+    seed=None,
+) -> SyntheticDataset:
+    """Draw one labeled/unlabeled problem from the paper's Section V-A DGP."""
+    if n_labeled < 1 or n_unlabeled < 0:
+        raise DataValidationError(
+            f"need n_labeled >= 1 and n_unlabeled >= 0, "
+            f"got {n_labeled}, {n_unlabeled}"
+        )
+    rng = as_rng(seed)
+    total = n_labeled + n_unlabeled
+    x_all = truncated_mvn_inputs(total, seed=rng)
+    q_all = true_regression(x_all, model)
+    y_all = sample_binary_responses(q_all, seed=rng)
+    return SyntheticDataset(
+        x_labeled=x_all[:n_labeled],
+        y_labeled=y_all[:n_labeled],
+        x_unlabeled=x_all[n_labeled:],
+        q_labeled=q_all[:n_labeled],
+        q_unlabeled=q_all[n_labeled:],
+        y_unlabeled=y_all[n_labeled:],
+        model=model,
+    )

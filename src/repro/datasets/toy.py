@@ -1,0 +1,170 @@
+"""Toy datasets: the Section III constant-input example and SSL classics.
+
+:func:`constant_input_toy` reproduces the paper's Section III geometry —
+all inputs equal, so with an RBF kernel every weight is 1 and the hard
+criterion's closed form is computable by hand: the labeled mean on every
+unlabeled vertex.  The returned object carries that theoretical solution
+together with the explicit ``(D22 - W22)^{-1}`` entries the paper writes
+out, so tests can check both.
+
+The rest are the classic manifold/cluster-assumption generators SSL
+papers motivate with: two moons, concentric circles, Gaussian blobs, and
+a 3-d swiss roll.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "ConstantInputToy",
+    "constant_input_toy",
+    "two_moons",
+    "concentric_circles",
+    "gaussian_blobs",
+    "swiss_roll",
+]
+
+
+@dataclass(frozen=True)
+class ConstantInputToy:
+    """Section III's toy problem and its hand-derived solution.
+
+    Attributes
+    ----------
+    x_all:
+        ``(n+m, d)`` inputs, all rows identical.
+    y_labeled:
+        The ``n`` observed responses.
+    expected_unlabeled_score:
+        The paper's closed form: ``mean(y_labeled)`` at every unlabeled
+        vertex.
+    expected_inverse_diagonal, expected_inverse_off_diagonal:
+        The entries of ``(D22 - W22)^{-1}`` the paper derives:
+        ``(n+1)/(n(m+n))`` on the diagonal and ``1/(n(m+n))`` off it.
+    """
+
+    x_all: np.ndarray
+    y_labeled: np.ndarray
+    n_labeled: int
+    expected_unlabeled_score: float
+    expected_inverse_diagonal: float
+    expected_inverse_off_diagonal: float
+
+
+def constant_input_toy(
+    n_labeled: int,
+    n_unlabeled: int,
+    *,
+    dim: int = 2,
+    value: float = 0.3,
+    response_std: float = 1.0,
+    response_mean: float = 0.0,
+    seed=None,
+) -> ConstantInputToy:
+    """Build Section III's constant-input problem with Gaussian responses."""
+    if n_labeled < 1 or n_unlabeled < 1:
+        raise DataValidationError(
+            f"need n_labeled >= 1 and n_unlabeled >= 1, "
+            f"got {n_labeled}, {n_unlabeled}"
+        )
+    rng = as_rng(seed)
+    total = n_labeled + n_unlabeled
+    x_all = np.full((total, dim), float(value))
+    y_labeled = rng.normal(response_mean, response_std, size=n_labeled)
+    denom = n_labeled * (n_labeled + n_unlabeled)
+    return ConstantInputToy(
+        x_all=x_all,
+        y_labeled=y_labeled,
+        n_labeled=n_labeled,
+        expected_unlabeled_score=float(np.mean(y_labeled)),
+        expected_inverse_diagonal=(n_labeled + 1) / denom,
+        expected_inverse_off_diagonal=1.0 / denom,
+    )
+
+
+def _check_counts(n_samples: int, minimum: int = 2) -> None:
+    if n_samples < minimum:
+        raise DataValidationError(f"n_samples must be >= {minimum}, got {n_samples}")
+
+
+def two_moons(n_samples: int, *, noise: float = 0.1, seed=None) -> tuple[np.ndarray, np.ndarray]:
+    """Two interleaving half-circles; returns ``(x, y)`` with y in {0, 1}."""
+    _check_counts(n_samples)
+    rng = as_rng(seed)
+    n_upper = n_samples // 2
+    n_lower = n_samples - n_upper
+    theta_upper = rng.uniform(0.0, np.pi, n_upper)
+    theta_lower = rng.uniform(0.0, np.pi, n_lower)
+    upper = np.column_stack([np.cos(theta_upper), np.sin(theta_upper)])
+    lower = np.column_stack([1.0 - np.cos(theta_lower), 0.5 - np.sin(theta_lower)])
+    x = np.vstack([upper, lower])
+    if noise > 0:
+        x = x + rng.normal(0.0, noise, size=x.shape)
+    y = np.concatenate([np.zeros(n_upper), np.ones(n_lower)])
+    order = rng.permutation(n_samples)
+    return x[order], y[order]
+
+
+def concentric_circles(
+    n_samples: int, *, radii: tuple[float, float] = (1.0, 2.0), noise: float = 0.1, seed=None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two concentric circles; returns ``(x, y)`` with y in {0, 1}."""
+    _check_counts(n_samples)
+    if radii[0] <= 0 or radii[1] <= radii[0]:
+        raise DataValidationError(f"need 0 < radii[0] < radii[1], got {radii}")
+    rng = as_rng(seed)
+    n_inner = n_samples // 2
+    n_outer = n_samples - n_inner
+    points = []
+    for count, radius in ((n_inner, radii[0]), (n_outer, radii[1])):
+        theta = rng.uniform(0.0, 2.0 * np.pi, count)
+        points.append(radius * np.column_stack([np.cos(theta), np.sin(theta)]))
+    x = np.vstack(points)
+    if noise > 0:
+        x = x + rng.normal(0.0, noise, size=x.shape)
+    y = np.concatenate([np.zeros(n_inner), np.ones(n_outer)])
+    order = rng.permutation(n_samples)
+    return x[order], y[order]
+
+
+def gaussian_blobs(
+    n_samples: int,
+    *,
+    centers: np.ndarray | None = None,
+    std: float = 0.5,
+    seed=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Isotropic Gaussian clusters; returns ``(x, y)`` with integer labels."""
+    _check_counts(n_samples)
+    rng = as_rng(seed)
+    if centers is None:
+        centers = np.array([[0.0, 0.0], [3.0, 0.0], [1.5, 2.5]])
+    centers = np.asarray(centers, dtype=np.float64)
+    if centers.ndim != 2:
+        raise DataValidationError("centers must be a 2-d array of cluster centers")
+    n_clusters = centers.shape[0]
+    assignments = rng.integers(0, n_clusters, size=n_samples)
+    x = centers[assignments] + rng.normal(0.0, std, size=(n_samples, centers.shape[1]))
+    return x, assignments.astype(np.float64)
+
+
+def swiss_roll(n_samples: int, *, noise: float = 0.05, seed=None) -> tuple[np.ndarray, np.ndarray]:
+    """3-d swiss roll; returns ``(x, t)`` where t is the manifold coordinate.
+
+    Useful for regression experiments on the low-dimensional-manifold
+    assumption: the target is the unrolled coordinate ``t``.
+    """
+    _check_counts(n_samples)
+    rng = as_rng(seed)
+    t = rng.uniform(1.5 * np.pi, 4.5 * np.pi, n_samples)
+    height = rng.uniform(0.0, 10.0, n_samples)
+    x = np.column_stack([t * np.cos(t), height, t * np.sin(t)])
+    if noise > 0:
+        x = x + rng.normal(0.0, noise, size=x.shape)
+    return x, t

@@ -1,0 +1,14 @@
+"""Experiment harness: configs, replicate runner, reporting, figure drivers."""
+
+from repro.experiments.report import ascii_table, format_sweep_result, write_csv
+from repro.experiments.runner import ReplicateSummary, run_replicates
+from repro.experiments.sweep import SweepResult
+
+__all__ = [
+    "run_replicates",
+    "ReplicateSummary",
+    "SweepResult",
+    "ascii_table",
+    "format_sweep_result",
+    "write_csv",
+]

@@ -1,0 +1,33 @@
+"""Per-figure experiment drivers.
+
+One module per paper artifact; each exposes a ``run_*`` function
+returning a :class:`~repro.experiments.sweep.SweepResult` or a dedicated
+result dataclass.  The corresponding benches in ``benchmarks/`` call
+these with trimmed replicate counts and print the regenerated series.
+"""
+
+from repro.experiments.figures.complexity import ComplexityResult, run_complexity_experiment
+from repro.experiments.figures.fig1 import run_figure1
+from repro.experiments.figures.fig2 import run_figure2
+from repro.experiments.figures.fig3 import run_figure3
+from repro.experiments.figures.fig4 import run_figure4
+from repro.experiments.figures.fig5 import run_figure5
+from repro.experiments.figures.prop21 import Prop21Result, run_prop21_experiment
+from repro.experiments.figures.prop22 import Prop22Result, run_prop22_experiment
+from repro.experiments.figures.toy_example import ToyExampleResult, run_toy_example
+
+__all__ = [
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_toy_example",
+    "ToyExampleResult",
+    "run_complexity_experiment",
+    "ComplexityResult",
+    "run_prop21_experiment",
+    "Prop21Result",
+    "run_prop22_experiment",
+    "Prop22Result",
+]

@@ -1,0 +1,38 @@
+"""Figure 1: average RMSE vs n under Model 1 (m = 30).
+
+Paper finding: RMSE decreases as n grows for every lambda, the hard
+criterion (lambda = 0) is uniformly best, and RMSE increases with
+lambda.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.synthetic_sweep import (
+    PAPER_LAMBDAS,
+    PAPER_N_GRID,
+    run_synthetic_sweep,
+)
+from repro.experiments.sweep import SweepResult
+
+__all__ = ["run_figure1"]
+
+
+def run_figure1(
+    *,
+    n_values: tuple[int, ...] = PAPER_N_GRID,
+    m: int = 30,
+    lambdas: tuple[float, ...] = PAPER_LAMBDAS,
+    n_replicates: int = 200,
+    seed=None,
+) -> SweepResult:
+    """Regenerate Figure 1's series (defaults follow the paper's grid)."""
+    return run_synthetic_sweep(
+        name="figure1",
+        model="model1",
+        vary="n",
+        values=n_values,
+        fixed=m,
+        lambdas=lambdas,
+        n_replicates=n_replicates,
+        seed=seed,
+    )

@@ -1,0 +1,38 @@
+"""Figure 2: average RMSE vs m under Model 1 (n = 100).
+
+Paper finding: RMSE increases as m grows (the regime outside Theorem
+II.1's ``m = o(n h^d)`` condition) and increases with lambda; the hard
+criterion remains best throughout.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.synthetic_sweep import (
+    PAPER_LAMBDAS,
+    PAPER_M_GRID,
+    run_synthetic_sweep,
+)
+from repro.experiments.sweep import SweepResult
+
+__all__ = ["run_figure2"]
+
+
+def run_figure2(
+    *,
+    m_values: tuple[int, ...] = PAPER_M_GRID,
+    n: int = 100,
+    lambdas: tuple[float, ...] = PAPER_LAMBDAS,
+    n_replicates: int = 200,
+    seed=None,
+) -> SweepResult:
+    """Regenerate Figure 2's series (defaults follow the paper's grid)."""
+    return run_synthetic_sweep(
+        name="figure2",
+        model="model1",
+        vary="m",
+        values=m_values,
+        fixed=n,
+        lambdas=lambdas,
+        n_replicates=n_replicates,
+        seed=seed,
+    )

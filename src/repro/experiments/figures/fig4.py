@@ -1,0 +1,37 @@
+"""Figure 4: average RMSE vs m under Model 2 (n = 100).
+
+Same workload as Figure 2 under the non-linear logit; the paper reports
+the same growth of RMSE with m and with lambda.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.synthetic_sweep import (
+    PAPER_LAMBDAS,
+    PAPER_M_GRID,
+    run_synthetic_sweep,
+)
+from repro.experiments.sweep import SweepResult
+
+__all__ = ["run_figure4"]
+
+
+def run_figure4(
+    *,
+    m_values: tuple[int, ...] = PAPER_M_GRID,
+    n: int = 100,
+    lambdas: tuple[float, ...] = PAPER_LAMBDAS,
+    n_replicates: int = 200,
+    seed=None,
+) -> SweepResult:
+    """Regenerate Figure 4's series (defaults follow the paper's grid)."""
+    return run_synthetic_sweep(
+        name="figure4",
+        model="model2",
+        vary="m",
+        values=m_values,
+        fixed=n,
+        lambdas=lambdas,
+        n_replicates=n_replicates,
+        seed=seed,
+    )

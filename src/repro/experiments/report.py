@@ -1,0 +1,88 @@
+"""Plain-text and CSV reporting.
+
+The environment has no plotting stack, so every figure is regenerated as
+the *series the plot would show*: an aligned ASCII table (one row per
+x-value, one column per series) plus an optional CSV.  The bench output
+therefore contains the same information as the paper's figures.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.sweep import SweepResult
+
+__all__ = ["ascii_table", "format_sweep_result", "markdown_table", "write_csv"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def ascii_table(headers: list[str], rows: list[list], *, min_width: int = 6) -> str:
+    """Render an aligned fixed-width table with a header separator."""
+    if not headers:
+        raise ConfigurationError("ascii_table requires at least one header")
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    for i, row in enumerate(text_rows):
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(min_width, len(header), *(len(row[j]) for row in text_rows)) if text_rows else max(min_width, len(header))
+        for j, header in enumerate(headers)
+    ]
+    def render(cells: list[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = [render(headers), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def format_sweep_result(result: SweepResult) -> str:
+    """Headline + table for one sweep result (one figure)."""
+    title = (
+        f"{result.name}: mean {result.metric.upper()} over "
+        f"{result.n_replicates} replicates"
+    )
+    extras = ", ".join(f"{k}={v}" for k, v in sorted(result.meta.items()))
+    lines = [title]
+    if extras:
+        lines.append(f"  [{extras}]")
+    lines.append(ascii_table(result.headers(), result.to_rows()))
+    return "\n".join(lines)
+
+
+def write_csv(path, headers: list[str], rows: list[list]) -> Path:
+    """Write a header + rows CSV; returns the resolved path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def markdown_table(headers: list[str], rows: list[list]) -> str:
+    """Render a GitHub-flavored markdown table (for reports/docs)."""
+    if not headers:
+        raise ConfigurationError("markdown_table requires at least one header")
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    for i, row in enumerate(text_rows):
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in text_rows)
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Seeded replicate runner with metric aggregation.
+
+The paper repeats every synthetic configuration 1000 times and reports
+average RMSEs.  :func:`run_replicates` runs a replicate function under
+independent child RNG streams (see :mod:`repro.utils.rng`) and aggregates
+each returned metric into mean / std / standard error, so every figure
+driver shares one correct implementation of "repeat and average".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import spawn_rngs
+
+__all__ = ["ReplicateSummary", "run_replicates"]
+
+
+@dataclass(frozen=True)
+class ReplicateSummary:
+    """Aggregated metrics over replicates.
+
+    Attributes
+    ----------
+    n_replicates:
+        Number of replicates aggregated.
+    means, stds, sems:
+        Per-metric mean, sample standard deviation (ddof=1; 0.0 when only
+        one replicate), and standard error of the mean.
+    values:
+        The raw per-replicate values, for bootstrap resampling.
+    """
+
+    n_replicates: int
+    means: dict[str, float]
+    stds: dict[str, float]
+    sems: dict[str, float]
+    values: dict[str, tuple[float, ...]]
+
+    def mean(self, key: str) -> float:
+        return self.means[key]
+
+    def std(self, key: str) -> float:
+        return self.stds[key]
+
+    def sem(self, key: str) -> float:
+        return self.sems[key]
+
+    def bootstrap_ci(
+        self, key: str, *, level: float = 0.95, n_resamples: int = 2000, seed=0
+    ) -> tuple[float, float]:
+        """Percentile bootstrap confidence interval for a metric's mean.
+
+        Resamples the replicate values with replacement ``n_resamples``
+        times and returns the ``(1-level)/2`` and ``1-(1-level)/2``
+        percentiles of the resampled means.
+        """
+        if not 0.0 < level < 1.0:
+            raise ConfigurationError(f"level must be in (0, 1), got {level}")
+        if n_resamples < 1:
+            raise ConfigurationError(
+                f"n_resamples must be >= 1, got {n_resamples}"
+            )
+        data = np.asarray(self.values[key])
+        rng = np.random.default_rng(seed)
+        resampled = rng.choice(data, size=(n_resamples, data.shape[0]), replace=True)
+        means = resampled.mean(axis=1)
+        alpha = (1.0 - level) / 2.0
+        low, high = np.quantile(means, [alpha, 1.0 - alpha])
+        return float(low), float(high)
+
+
+def run_replicates(
+    replicate: Callable[[np.random.Generator], Mapping[str, float]],
+    *,
+    n_replicates: int,
+    seed=None,
+) -> ReplicateSummary:
+    """Run ``replicate(rng)`` under independent streams and aggregate.
+
+    Parameters
+    ----------
+    replicate:
+        Callable receiving a fresh :class:`numpy.random.Generator` and
+        returning a mapping of metric name to value.  Every replicate
+        must return the same metric keys.
+    n_replicates:
+        Number of replicates (the paper uses 1000; benches use fewer).
+    seed:
+        Master seed; children are spawned per replicate.
+    """
+    if n_replicates < 1:
+        raise ConfigurationError(f"n_replicates must be >= 1, got {n_replicates}")
+    values: dict[str, list[float]] = {}
+    expected_keys: set[str] | None = None
+    for rng in spawn_rngs(seed, n_replicates):
+        metrics = dict(replicate(rng))
+        if expected_keys is None:
+            expected_keys = set(metrics)
+        elif set(metrics) != expected_keys:
+            raise ConfigurationError(
+                f"replicates returned inconsistent metric keys: "
+                f"{sorted(expected_keys)} vs {sorted(metrics)}"
+            )
+        for key, value in metrics.items():
+            values.setdefault(key, []).append(float(value))
+
+    means = {key: float(np.mean(v)) for key, v in values.items()}
+    if n_replicates > 1:
+        stds = {key: float(np.std(v, ddof=1)) for key, v in values.items()}
+    else:
+        stds = {key: 0.0 for key in values}
+    sems = {key: stds[key] / np.sqrt(n_replicates) for key in values}
+    return ReplicateSummary(
+        n_replicates=n_replicates,
+        means=means,
+        stds=stds,
+        sems=sems,
+        values={key: tuple(v) for key, v in values.items()},
+    )

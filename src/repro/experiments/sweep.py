@@ -1,0 +1,113 @@
+"""The common result container for figure-style parameter sweeps.
+
+Every figure in the paper is a family of series (one per lambda, or one
+per labeled ratio) over a swept x-axis (n, m, or lambda itself).
+:class:`SweepResult` stores the aggregated series and provides the
+monotonicity/ordering checks the reproduction asserts: "hard beats
+soft", "RMSE increases with lambda", etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SweepResult"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Aggregated series over a swept parameter.
+
+    Attributes
+    ----------
+    name:
+        Experiment id, e.g. ``"figure1"``.
+    x_label, x_values:
+        The swept parameter and its grid.
+    series_labels:
+        One label per series, e.g. ``("lambda=0", "lambda=0.01", ...)``.
+    means, stds, sems:
+        Arrays of shape ``(n_series, n_x)``.
+    metric:
+        Metric name (``"rmse"`` or ``"auc"``).
+    n_replicates:
+        Replicates behind each cell.
+    meta:
+        Free-form extra information (fixed parameters, dataset config).
+    """
+
+    name: str
+    x_label: str
+    x_values: tuple
+    series_labels: tuple[str, ...]
+    means: np.ndarray
+    stds: np.ndarray
+    sems: np.ndarray
+    metric: str
+    n_replicates: int
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        expected = (len(self.series_labels), len(self.x_values))
+        for attr in ("means", "stds", "sems"):
+            shape = getattr(self, attr).shape
+            if shape != expected:
+                raise ConfigurationError(
+                    f"{attr} must have shape {expected}, got {shape}"
+                )
+
+    def series(self, label: str) -> np.ndarray:
+        """Mean values of one series by its label."""
+        try:
+            index = self.series_labels.index(label)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown series {label!r}; known: {self.series_labels}"
+            ) from None
+        return self.means[index]
+
+    def to_rows(self) -> list[list]:
+        """Rows of ``[x, mean_1, ..., mean_k]`` for table/CSV output."""
+        rows = []
+        for j, x in enumerate(self.x_values):
+            rows.append([x] + [float(self.means[i, j]) for i in range(len(self.series_labels))])
+        return rows
+
+    def headers(self) -> list[str]:
+        """Header row matching :meth:`to_rows`."""
+        return [self.x_label] + list(self.series_labels)
+
+    # ------------------------------------------------------------------
+    # Shape checks used by the reproduction's assertions
+    # ------------------------------------------------------------------
+
+    def series_dominates(self, better: str, worse: str, *, slack: float = 0.0, larger_is_better: bool = False) -> bool:
+        """True when series ``better`` beats ``worse`` at every x.
+
+        ``slack`` forgives per-point violations up to that absolute size
+        (replicate noise); for RMSE smaller is better, set
+        ``larger_is_better`` for AUC.
+        """
+        a = self.series(better)
+        b = self.series(worse)
+        if larger_is_better:
+            return bool(np.all(a >= b - slack))
+        return bool(np.all(a <= b + slack))
+
+    def series_trend(self, label: str) -> float:
+        """Least-squares slope of one series against the x grid.
+
+        Positive slope = the metric grows along the sweep; the figure
+        assertions use the slope's sign rather than strict per-point
+        monotonicity, which replicate noise would break.
+        """
+        x = np.asarray(self.x_values, dtype=np.float64)
+        y = self.series(label)
+        if x.size < 2:
+            raise ConfigurationError("trend requires at least two x values")
+        slope, _ = np.polyfit(x, y, deg=1)
+        return float(slope)

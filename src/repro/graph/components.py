@@ -1,0 +1,134 @@
+"""Connectivity analysis of similarity graphs.
+
+The hard criterion is well posed only when every connected component that
+contains an unlabeled vertex also contains at least one labeled vertex —
+otherwise the block system ``(D22 - W22) f_u = W21 y`` is singular and
+that component's scores are undetermined.  :func:`labeled_reachability`
+diagnoses this and :func:`require_labeled_reachability` raises
+:class:`~repro.exceptions.DisconnectedGraphError` with the offending
+component.
+
+Proposition II.2 additionally assumes the whole graph is connected
+(:func:`is_connected`), which is what makes the ``lambda = inf`` solution
+globally constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.csgraph import connected_components as _cc
+
+from repro.exceptions import DataValidationError, DisconnectedGraphError
+from repro.utils.validation import check_weight_matrix
+
+__all__ = [
+    "connected_components",
+    "is_connected",
+    "labeled_reachability",
+    "require_labeled_reachability",
+    "ReachabilityReport",
+]
+
+
+def _csgraph(weights):
+    """Weight matrix as a scipy.sparse graph with exact zeros dropped."""
+    weights = check_weight_matrix(weights)
+    if sparse.issparse(weights):
+        graph = weights.copy()
+        graph.eliminate_zeros()
+        return graph
+    return sparse.csr_matrix(weights)
+
+
+def connected_components(weights) -> tuple[int, np.ndarray]:
+    """Number of components and per-vertex component labels.
+
+    Edges are pairs with strictly positive weight; weights equal to zero
+    are treated as absent edges.
+    """
+    graph = _csgraph(weights)
+    count, labels = _cc(graph, directed=False)
+    return int(count), labels
+
+
+def is_connected(weights) -> bool:
+    """True when the positive-weight graph has a single component."""
+    count, _ = connected_components(weights)
+    return count <= 1
+
+
+@dataclass(frozen=True)
+class ReachabilityReport:
+    """Outcome of the labeled-reachability check.
+
+    Attributes
+    ----------
+    ok:
+        True when every unlabeled vertex shares a component with at least
+        one labeled vertex.
+    n_components:
+        Total number of connected components.
+    orphan_components:
+        Component labels containing unlabeled vertices but no labeled ones.
+    orphan_vertices:
+        Indices (into the full vertex set) of unlabeled vertices in orphan
+        components.
+    """
+
+    ok: bool
+    n_components: int
+    orphan_components: tuple[int, ...]
+    orphan_vertices: tuple[int, ...]
+
+
+def labeled_reachability(weights, n_labeled: int) -> ReachabilityReport:
+    """Check that every unlabeled vertex can reach a labeled vertex.
+
+    Parameters
+    ----------
+    weights:
+        Full ``(n+m, n+m)`` weight matrix with labeled vertices first.
+    n_labeled:
+        Number of labeled vertices ``n`` (the first ``n`` rows).
+    """
+    weights = check_weight_matrix(weights)
+    total = weights.shape[0]
+    if not 0 <= n_labeled <= total:
+        raise DataValidationError(
+            f"n_labeled must be in [0, {total}], got {n_labeled}"
+        )
+    count, labels = connected_components(weights)
+    labeled_comps = set(labels[:n_labeled].tolist())
+    unlabeled_comps = set(labels[n_labeled:].tolist())
+    orphans = sorted(unlabeled_comps - labeled_comps)
+    orphan_vertices = tuple(
+        int(i) for i in np.flatnonzero(np.isin(labels, orphans)) if i >= n_labeled
+    )
+    return ReachabilityReport(
+        ok=not orphans,
+        n_components=count,
+        orphan_components=tuple(orphans),
+        orphan_vertices=orphan_vertices,
+    )
+
+
+def require_labeled_reachability(weights, n_labeled: int) -> None:
+    """Raise :class:`DisconnectedGraphError` when the hard system is singular.
+
+    The error message names the first few orphaned vertices so callers can
+    identify the offending region of input space (typically a bandwidth
+    that is too small for the sample density).
+    """
+    report = labeled_reachability(weights, n_labeled)
+    if report.ok:
+        return
+    preview = report.orphan_vertices[:10]
+    raise DisconnectedGraphError(
+        f"{len(report.orphan_vertices)} unlabeled vertices cannot reach any "
+        f"labeled vertex (first few: {list(preview)}); the hard criterion's "
+        f"linear system is singular. Increase the bandwidth or add edges.",
+        component_indices=report.orphan_vertices,
+    )

@@ -1,0 +1,103 @@
+"""Graph Laplacians and degree computations.
+
+The paper uses the *unnormalized* Laplacian ``L = D - W`` (Section II).
+The symmetric-normalized and random-walk variants are provided for the
+local-global-consistency baseline (Zhou et al. 2004) and for spectral
+diagnostics.  All functions accept dense ndarrays or scipy sparse
+matrices and preserve sparsity.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import GraphStructureError
+from repro.utils.validation import check_weight_matrix
+
+__all__ = [
+    "degree_vector",
+    "laplacian",
+    "normalized_laplacian",
+    "random_walk_laplacian",
+]
+
+
+def degree_vector(weights) -> np.ndarray:
+    """Degrees ``d_i = sum_j w_ij`` of a validated weight matrix."""
+    weights = check_weight_matrix(weights)
+    if sparse.issparse(weights):
+        return np.asarray(weights.sum(axis=1)).ravel()
+    return weights.sum(axis=1)
+
+
+def laplacian(weights):
+    """Unnormalized Laplacian ``L = D - W``.
+
+    ``L`` is symmetric positive semidefinite with zero row sums; its null
+    space is spanned by the indicators of connected components.
+    """
+    weights = check_weight_matrix(weights)
+    degrees = degree_vector(weights)
+    if sparse.issparse(weights):
+        return sparse.diags(degrees, format="csr") - weights
+    return np.diag(degrees) - weights
+
+
+def _checked_positive_degrees(weights, variant: str) -> np.ndarray:
+    degrees = degree_vector(weights)
+    zero = np.flatnonzero(degrees <= 0)
+    if zero.size:
+        raise GraphStructureError(
+            f"{variant} Laplacian requires strictly positive degrees; "
+            f"vertices {zero[:10].tolist()} are isolated"
+        )
+    return degrees
+
+
+def normalized_laplacian(weights):
+    """Symmetric-normalized Laplacian ``L_sym = I - D^{-1/2} W D^{-1/2}``.
+
+    Requires all degrees strictly positive; raises
+    :class:`~repro.exceptions.GraphStructureError` otherwise.
+    """
+    weights = check_weight_matrix(weights)
+    degrees = _checked_positive_degrees(weights, "symmetric-normalized")
+    inv_sqrt = 1.0 / np.sqrt(degrees)
+    n = weights.shape[0]
+    if sparse.issparse(weights):
+        scale = sparse.diags(inv_sqrt, format="csr")
+        return sparse.identity(n, format="csr") - scale @ weights @ scale
+    return np.eye(n) - (inv_sqrt[:, None] * weights) * inv_sqrt[None, :]
+
+
+def random_walk_laplacian(weights):
+    """Random-walk Laplacian ``L_rw = I - D^{-1} W``.
+
+    ``D^{-1} W`` is the transition matrix of the natural random walk on the
+    graph; the hard criterion's solution is its harmonic extension.
+    """
+    weights = check_weight_matrix(weights)
+    degrees = _checked_positive_degrees(weights, "random-walk")
+    n = weights.shape[0]
+    if sparse.issparse(weights):
+        scale = sparse.diags(1.0 / degrees, format="csr")
+        return sparse.identity(n, format="csr") - scale @ weights
+    return np.eye(n) - weights / degrees[:, None]
+
+
+def laplacian_by_name(
+    weights, variant: Literal["unnormalized", "symmetric", "random_walk"] = "unnormalized"
+):
+    """Dispatch to a Laplacian variant by name."""
+    builders = {
+        "unnormalized": laplacian,
+        "symmetric": normalized_laplacian,
+        "random_walk": random_walk_laplacian,
+    }
+    if variant not in builders:
+        known = ", ".join(sorted(builders))
+        raise GraphStructureError(f"unknown Laplacian variant {variant!r}; known: {known}")
+    return builders[variant](weights)

@@ -1,0 +1,131 @@
+"""Random-walk semantics of the hard criterion.
+
+Zhu, Ghahramani & Lafferty's original interpretation: with binary labels,
+the harmonic solution at an unlabeled vertex equals the probability that
+the natural random walk on the similarity graph (transition matrix
+``P = D^{-1} W``) *absorbs* at a positively-labeled vertex before a
+negatively-labeled one.  More generally, with arbitrary labels, the
+solution is the expected label at the absorption vertex:
+
+    f_u = E[ Y_(absorbing vertex) | start at u ].
+
+This module computes those absorption probabilities directly from the
+walk (:func:`absorption_probabilities`), which gives an independent
+implementation of the hard criterion — used by the test suite to verify
+Eq. (5) against a completely different derivation.  It also exposes:
+
+* :func:`expected_hitting_times` — mean steps for the walk to reach the
+  labeled set (a locality diagnostic: vertices with large hitting times
+  are the ones the "noninformative solution" critique of [17] concerns);
+* :func:`effective_resistance` — the electrical-network metric of the
+  graph; the hard criterion is also the voltage of the unit-resistor
+  network, so resistances quantify how strongly two vertices' scores are
+  coupled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import DataValidationError
+from repro.graph.components import require_labeled_reachability
+from repro.graph.laplacian import laplacian
+from repro.utils.validation import check_labels, check_weight_matrix
+
+__all__ = [
+    "absorption_probabilities",
+    "expected_hitting_times",
+    "effective_resistance",
+]
+
+
+def _unlabeled_blocks(weights, n_labeled: int):
+    """Return (w21, w22, degrees_unlabeled) as dense arrays."""
+    weights = check_weight_matrix(weights)
+    total = weights.shape[0]
+    if not 0 < n_labeled < total:
+        raise DataValidationError(
+            f"n_labeled must be in (0, {total}), got {n_labeled}"
+        )
+    if sparse.issparse(weights):
+        weights = np.asarray(weights.todense())
+    degrees = weights.sum(axis=1)
+    if np.any(degrees[n_labeled:] <= 0):
+        raise DataValidationError(
+            "random-walk quantities require positive unlabeled degrees"
+        )
+    return weights[n_labeled:, :n_labeled], weights[n_labeled:, n_labeled:], degrees[n_labeled:]
+
+
+def absorption_probabilities(weights, y_labeled) -> np.ndarray:
+    """Expected absorbed label of the walk started at each unlabeled vertex.
+
+    For 0/1 labels this is the probability of absorbing at a 1-labeled
+    vertex before any 0-labeled vertex.  Solves the first-step equations
+
+        p_u = sum_{v labeled} P_uv y_v + sum_{v unlabeled} P_uv p_v,
+
+    i.e. ``(I - P22) p = P21 y`` — the same linear system as Eq. (5) but
+    reached through the Markov-chain absorption argument rather than the
+    optimization.  The equality of both routes is exercised in tests.
+    """
+    y_labeled = check_labels(y_labeled, name="y_labeled")
+    n = y_labeled.shape[0]
+    require_labeled_reachability(weights, n)
+    w21, w22, degrees = _unlabeled_blocks(weights, n)
+    m = w22.shape[0]
+    p21 = w21 / degrees[:, None]
+    p22 = w22 / degrees[:, None]
+    return np.linalg.solve(np.eye(m) - p22, p21 @ y_labeled)
+
+
+def expected_hitting_times(weights, n_labeled: int) -> np.ndarray:
+    """Expected number of steps for the walk to first reach the labeled set.
+
+    Solves ``(I - P22) t = 1``.  Large hitting times flag unlabeled
+    regions that are nearly decoupled from the labels — the regime in
+    which reference [17]'s noninformative-solution warning applies.
+    """
+    require_labeled_reachability(weights, n_labeled)
+    _, w22, degrees = _unlabeled_blocks(weights, n_labeled)
+    m = w22.shape[0]
+    p22 = w22 / degrees[:, None]
+    return np.linalg.solve(np.eye(m) - p22, np.ones(m))
+
+
+def effective_resistance(weights, pairs=None) -> np.ndarray:
+    """Effective resistances of the unit-conductance electrical network.
+
+    Parameters
+    ----------
+    weights:
+        Connected weight matrix; edge weights are conductances.
+    pairs:
+        Optional iterable of ``(i, j)`` vertex pairs.  When omitted, the
+        full ``(N, N)`` resistance matrix is returned.
+
+    Notes
+    -----
+    Computed from the Laplacian pseudoinverse:
+    ``R_ij = L+_ii + L+_jj - 2 L+_ij``.  The resistance is a metric on
+    the graph; small resistance between an unlabeled vertex and a
+    labeled one means the hard criterion couples them strongly.
+    """
+    weights = check_weight_matrix(weights)
+    from repro.graph.components import is_connected
+
+    if not is_connected(weights):
+        raise DataValidationError(
+            "effective resistance requires a connected graph"
+        )
+    lap = laplacian(weights)
+    dense = np.asarray(lap.todense()) if sparse.issparse(lap) else lap
+    pinv = np.linalg.pinv(dense, hermitian=True)
+    diag = np.diagonal(pinv)
+    if pairs is None:
+        return diag[:, None] + diag[None, :] - 2.0 * pinv
+    pairs = np.asarray(list(pairs), dtype=np.intp)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise DataValidationError("pairs must be an iterable of (i, j) tuples")
+    return diag[pairs[:, 0]] + diag[pairs[:, 1]] - 2.0 * pinv[pairs[:, 0], pairs[:, 1]]

@@ -1,0 +1,59 @@
+"""Kernel functions and bandwidth selection.
+
+The paper builds the similarity matrix ``W`` from a kernel function via
+``w_ij = K((X_i - X_j) / h_n)`` where ``h_n`` is a bandwidth.  Theorem II.1
+requires ``K`` to satisfy three conditions:
+
+(i)   ``K`` is bounded by some ``k* < inf``;
+(ii)  the support of ``K`` is compact;
+(iii) ``K >= beta * 1_B`` for some ``beta > 0`` on a closed ball ``B`` of
+      radius ``delta > 0`` centered at the origin.
+
+Every kernel class here records the constants ``k*``, the support radius,
+and a valid ``(beta, delta)`` pair, and reports which conditions hold via
+:meth:`~repro.kernels.base.RadialKernel.theorem_conditions`.
+"""
+
+from repro.kernels.bandwidth import (
+    knn_distance_rule,
+    median_heuristic,
+    paper_bandwidth_rule,
+    scott_rule,
+    silverman_rule,
+)
+from repro.kernels.base import (
+    KernelConditionReport,
+    RadialKernel,
+    pairwise_sq_distances,
+)
+from repro.kernels.library import (
+    BoxcarKernel,
+    CauchyKernel,
+    CosineKernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    TriangularKernel,
+    TricubeKernel,
+    TruncatedGaussianKernel,
+    kernel_by_name,
+)
+
+__all__ = [
+    "RadialKernel",
+    "KernelConditionReport",
+    "pairwise_sq_distances",
+    "GaussianKernel",
+    "TruncatedGaussianKernel",
+    "BoxcarKernel",
+    "EpanechnikovKernel",
+    "TriangularKernel",
+    "TricubeKernel",
+    "CosineKernel",
+    "CauchyKernel",
+    "kernel_by_name",
+    "paper_bandwidth_rule",
+    "median_heuristic",
+    "scott_rule",
+    "silverman_rule",
+    "knn_distance_rule",
+]

@@ -1,0 +1,261 @@
+"""Concrete radial kernels.
+
+The Gaussian RBF is the kernel the paper uses in all experiments
+(``w_ij = exp(-||X_i - X_j||^2 / sigma^2)``, with ``sigma = h_n``); note it
+violates the compact-support condition (ii) of Theorem II.1 — the paper's
+synthetic experiments satisfy it only because the inputs themselves are
+truncated to ``[0, 1]^p``.  The compactly-supported kernels here
+(truncated Gaussian, boxcar, Epanechnikov, triangular, tricube, cosine)
+satisfy all three conditions exactly and are used in the kernel ablation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.kernels.base import RadialKernel
+from repro.utils.validation import check_positive_scalar
+
+__all__ = [
+    "GaussianKernel",
+    "TruncatedGaussianKernel",
+    "BoxcarKernel",
+    "EpanechnikovKernel",
+    "TriangularKernel",
+    "TricubeKernel",
+    "CosineKernel",
+    "CauchyKernel",
+    "kernel_by_name",
+]
+
+
+class GaussianKernel(RadialKernel):
+    """Gaussian RBF profile ``exp(-r^2)``.
+
+    With the library's scaling convention this yields
+    ``w_ij = exp(-||X_i - X_j||^2 / h^2)``, matching the paper's RBF with
+    ``sigma = h``.  Violates condition (ii): support is all of R^d.
+    """
+
+    name = "gaussian"
+
+    def profile(self, radii: np.ndarray) -> np.ndarray:
+        return np.exp(-np.square(radii))
+
+    @property
+    def upper_bound(self) -> float:
+        return 1.0
+
+    @property
+    def support_radius(self) -> float:
+        return math.inf
+
+    @property
+    def ball_lower_bound(self) -> tuple[float, float]:
+        # K(u) = exp(-1) on the unit ball boundary, so (e^-1, 1) is valid.
+        return (math.exp(-1.0), 1.0)
+
+
+class TruncatedGaussianKernel(RadialKernel):
+    """Gaussian profile cut to zero beyond ``cutoff`` radii.
+
+    ``K(u) = exp(-||u||^2)`` for ``||u|| <= cutoff``, else 0.  Satisfies all
+    three theorem conditions; the natural "fix" that makes the paper's RBF
+    experiments literally satisfy Theorem II.1.
+    """
+
+    name = "truncated_gaussian"
+
+    def __init__(self, cutoff: float = 3.0):
+        self.cutoff = check_positive_scalar(cutoff, "cutoff")
+
+    def profile(self, radii: np.ndarray) -> np.ndarray:
+        values = np.exp(-np.square(radii))
+        return np.where(radii <= self.cutoff, values, 0.0)
+
+    @property
+    def upper_bound(self) -> float:
+        return 1.0
+
+    @property
+    def support_radius(self) -> float:
+        return self.cutoff
+
+    @property
+    def ball_lower_bound(self) -> tuple[float, float]:
+        delta = min(1.0, self.cutoff)
+        return (math.exp(-delta * delta), delta)
+
+    def __repr__(self) -> str:
+        return f"TruncatedGaussianKernel(cutoff={self.cutoff!r})"
+
+
+class BoxcarKernel(RadialKernel):
+    """Uniform (boxcar) profile: 1 inside the unit ball, 0 outside.
+
+    The kernel under which the hard criterion's Nadaraya-Watson link is a
+    plain local average of labels within distance ``h``.
+    """
+
+    name = "boxcar"
+
+    def profile(self, radii: np.ndarray) -> np.ndarray:
+        return (radii <= 1.0).astype(np.float64)
+
+    @property
+    def upper_bound(self) -> float:
+        return 1.0
+
+    @property
+    def support_radius(self) -> float:
+        return 1.0
+
+    @property
+    def ball_lower_bound(self) -> tuple[float, float]:
+        return (1.0, 1.0)
+
+
+class EpanechnikovKernel(RadialKernel):
+    """Epanechnikov profile ``max(0, 1 - r^2)`` — MSE-optimal in 1-d KDE."""
+
+    name = "epanechnikov"
+
+    def profile(self, radii: np.ndarray) -> np.ndarray:
+        return np.maximum(0.0, 1.0 - np.square(radii))
+
+    @property
+    def upper_bound(self) -> float:
+        return 1.0
+
+    @property
+    def support_radius(self) -> float:
+        return 1.0
+
+    @property
+    def ball_lower_bound(self) -> tuple[float, float]:
+        return (0.75, 0.5)
+
+
+class TriangularKernel(RadialKernel):
+    """Triangular profile ``max(0, 1 - r)``."""
+
+    name = "triangular"
+
+    def profile(self, radii: np.ndarray) -> np.ndarray:
+        return np.maximum(0.0, 1.0 - radii)
+
+    @property
+    def upper_bound(self) -> float:
+        return 1.0
+
+    @property
+    def support_radius(self) -> float:
+        return 1.0
+
+    @property
+    def ball_lower_bound(self) -> tuple[float, float]:
+        return (0.5, 0.5)
+
+
+class TricubeKernel(RadialKernel):
+    """Tricube profile ``(1 - r^3)^3`` on the unit ball (LOESS weighting)."""
+
+    name = "tricube"
+
+    def profile(self, radii: np.ndarray) -> np.ndarray:
+        inside = np.maximum(0.0, 1.0 - np.power(radii, 3))
+        return np.power(inside, 3)
+
+    @property
+    def upper_bound(self) -> float:
+        return 1.0
+
+    @property
+    def support_radius(self) -> float:
+        return 1.0
+
+    @property
+    def ball_lower_bound(self) -> tuple[float, float]:
+        # At r = 0.5: (1 - 0.125)^3 = 0.669921875.
+        return (0.669921875, 0.5)
+
+
+class CosineKernel(RadialKernel):
+    """Cosine profile ``cos(pi r / 2)`` on the unit ball."""
+
+    name = "cosine"
+
+    def profile(self, radii: np.ndarray) -> np.ndarray:
+        values = np.cos(np.pi * radii / 2.0)
+        return np.where(radii <= 1.0, np.maximum(values, 0.0), 0.0)
+
+    @property
+    def upper_bound(self) -> float:
+        return 1.0
+
+    @property
+    def support_radius(self) -> float:
+        return 1.0
+
+    @property
+    def ball_lower_bound(self) -> tuple[float, float]:
+        # cos(pi/4) = sqrt(2)/2 at r = 0.5.
+        return (math.sqrt(2.0) / 2.0, 0.5)
+
+
+class CauchyKernel(RadialKernel):
+    """Cauchy profile ``1 / (1 + r^2)``.
+
+    Heavy-tailed and *not* compactly supported; included to demonstrate a
+    kernel that fails condition (ii) badly (its tails never vanish), for
+    the kernel ablation.
+    """
+
+    name = "cauchy"
+
+    def profile(self, radii: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.square(radii))
+
+    @property
+    def upper_bound(self) -> float:
+        return 1.0
+
+    @property
+    def support_radius(self) -> float:
+        return math.inf
+
+    @property
+    def ball_lower_bound(self) -> tuple[float, float]:
+        return (0.5, 1.0)
+
+
+_REGISTRY: dict[str, type[RadialKernel]] = {
+    cls.name: cls
+    for cls in (
+        GaussianKernel,
+        TruncatedGaussianKernel,
+        BoxcarKernel,
+        EpanechnikovKernel,
+        TriangularKernel,
+        TricubeKernel,
+        CosineKernel,
+        CauchyKernel,
+    )
+}
+
+
+def kernel_by_name(name: str, **kwargs) -> RadialKernel:
+    """Instantiate a kernel from its registry name.
+
+    >>> kernel_by_name("gaussian")
+    GaussianKernel()
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown kernel {name!r}; known kernels: {known}") from None
+    return cls(**kwargs)

@@ -1,0 +1,34 @@
+"""Linear-algebra substrate: block inversion, Neumann series, iterative solvers."""
+
+from repro.linalg.advanced import (
+    jacobi_preconditioner,
+    preconditioned_conjugate_gradient,
+    sor,
+)
+from repro.linalg.block import BlockMatrix, block_inverse, schur_complement
+from repro.linalg.iterative import (
+    IterativeResult,
+    conjugate_gradient,
+    gauss_seidel,
+    jacobi,
+)
+from repro.linalg.neumann import NeumannDiagnostics, neumann_inverse, neumann_partial_sums
+from repro.linalg.solvers import solve_spd, solve_square
+
+__all__ = [
+    "BlockMatrix",
+    "block_inverse",
+    "schur_complement",
+    "neumann_partial_sums",
+    "neumann_inverse",
+    "NeumannDiagnostics",
+    "jacobi",
+    "gauss_seidel",
+    "conjugate_gradient",
+    "IterativeResult",
+    "solve_spd",
+    "solve_square",
+    "sor",
+    "preconditioned_conjugate_gradient",
+    "jacobi_preconditioner",
+]

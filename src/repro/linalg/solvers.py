@@ -1,0 +1,84 @@
+"""Unified linear-solver dispatch.
+
+The core criteria reduce to solving symmetric (positive-definite after
+reachability holds) systems.  :func:`solve_spd` picks a backend by name:
+
+* ``"direct"`` — dense Cholesky (``scipy.linalg.cho_factor``) with an LU
+  fallback for marginally indefinite inputs;
+* ``"cg"`` — this library's conjugate gradients;
+* ``"jacobi"`` / ``"gauss_seidel"`` — classical splittings (Jacobi on the
+  hard system is exactly label propagation);
+* ``"sparse"`` — scipy's sparse factorization (``splu``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg as dense_linalg
+from scipy import sparse
+from scipy.sparse.linalg import splu
+
+from repro.exceptions import ConfigurationError, SingularSystemError
+from repro.linalg.iterative import conjugate_gradient, gauss_seidel, jacobi
+from repro.utils.validation import check_vector
+
+__all__ = ["solve_spd", "solve_square"]
+
+_ITERATIVE = {
+    "cg": conjugate_gradient,
+    "jacobi": jacobi,
+    "gauss_seidel": gauss_seidel,
+}
+
+
+def solve_square(matrix, rhs) -> np.ndarray:
+    """Direct solve of a general square system, dense or sparse.
+
+    Raises :class:`~repro.exceptions.SingularSystemError` on singular
+    input instead of numpy's ``LinAlgError``.
+    """
+    rhs = check_vector(rhs, "rhs", min_length=0)
+    try:
+        if sparse.issparse(matrix):
+            factor = splu(matrix.tocsc())
+            return factor.solve(rhs)
+        return np.linalg.solve(np.asarray(matrix, dtype=np.float64), rhs)
+    except (np.linalg.LinAlgError, RuntimeError) as exc:
+        raise SingularSystemError(f"linear system is singular: {exc}") from exc
+
+
+def solve_spd(matrix, rhs, *, method: str = "direct", tol: float = 1e-10, max_iter: int | None = None) -> np.ndarray:
+    """Solve a symmetric positive-definite system with a chosen backend.
+
+    Parameters
+    ----------
+    matrix:
+        SPD matrix, dense or scipy sparse.
+    rhs:
+        Right-hand-side vector.
+    method:
+        ``"direct"``, ``"sparse"``, ``"cg"``, ``"jacobi"`` or
+        ``"gauss_seidel"``.
+    tol, max_iter:
+        Forwarded to the iterative backends.
+    """
+    rhs = check_vector(rhs, "rhs", min_length=0)
+    if method == "direct":
+        dense = np.asarray(matrix.todense()) if sparse.issparse(matrix) else np.asarray(matrix, dtype=np.float64)
+        try:
+            factor = dense_linalg.cho_factor(dense, check_finite=False)
+            return dense_linalg.cho_solve(factor, rhs, check_finite=False)
+        except dense_linalg.LinAlgError:
+            # Marginally semidefinite systems (e.g. lambda = 0 soft systems)
+            # fall back to LU, raising a library error if truly singular.
+            return solve_square(dense, rhs)
+    if method == "sparse":
+        mat = matrix if sparse.issparse(matrix) else sparse.csc_matrix(matrix)
+        return solve_square(mat, rhs)
+    if method in _ITERATIVE:
+        kwargs = {"tol": tol}
+        if max_iter is not None:
+            kwargs["max_iter"] = max_iter
+        return _ITERATIVE[method](matrix, rhs, **kwargs).x
+    known = "direct, sparse, " + ", ".join(sorted(_ITERATIVE))
+    raise ConfigurationError(f"unknown solver method {method!r}; known: {known}")

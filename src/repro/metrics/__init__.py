@@ -1,0 +1,45 @@
+"""Evaluation metrics: regression (RMSE family) and classification (AUC family)."""
+
+from repro.metrics.classification import (
+    accuracy,
+    auc,
+    confusion_counts,
+    matthews_corrcoef,
+    roc_curve,
+    sensitivity_specificity,
+)
+from repro.metrics.isotonic import IsotonicCalibrator, pav_isotonic
+from repro.metrics.probabilistic import (
+    brier_score,
+    log_loss,
+    macro_ovr_auc,
+    precision_recall_f1,
+)
+from repro.metrics.thresholds import best_f1_threshold, youden_threshold
+from repro.metrics.regression import (
+    calibration_error,
+    mean_absolute_error,
+    mean_squared_error,
+    root_mean_squared_error,
+)
+
+__all__ = [
+    "root_mean_squared_error",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "calibration_error",
+    "roc_curve",
+    "auc",
+    "accuracy",
+    "confusion_counts",
+    "matthews_corrcoef",
+    "sensitivity_specificity",
+    "brier_score",
+    "log_loss",
+    "precision_recall_f1",
+    "macro_ovr_auc",
+    "pav_isotonic",
+    "IsotonicCalibrator",
+    "youden_threshold",
+    "best_f1_threshold",
+]

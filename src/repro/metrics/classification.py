@@ -1,0 +1,141 @@
+"""Binary-classification metrics, implemented from scratch.
+
+The COIL experiment scores methods by the area under the ROC curve
+(:func:`auc`), computed by sorting scores, sweeping every distinct
+threshold, and integrating sensitivity against 1-specificity by the
+trapezoidal rule — with proper tie handling (tied scores contribute a
+single diagonal segment, which the rank-statistic form resolves as half
+credit).  Accuracy, confusion counts, Matthews correlation and the
+sensitivity/specificity pair (the ROC's axes, as the paper defines them)
+are included for the extended studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.utils.validation import check_vector
+
+__all__ = [
+    "roc_curve",
+    "auc",
+    "accuracy",
+    "confusion_counts",
+    "matthews_corrcoef",
+    "sensitivity_specificity",
+]
+
+
+def _binary_pair(y_true, scores) -> tuple[np.ndarray, np.ndarray]:
+    y_true = check_vector(y_true, "y_true")
+    scores = check_vector(scores, "scores")
+    if y_true.shape[0] != scores.shape[0]:
+        raise DataValidationError(
+            f"y_true and scores must have equal length; "
+            f"got {y_true.shape[0]} and {scores.shape[0]}"
+        )
+    unique = np.unique(y_true)
+    if not np.all(np.isin(unique, (0.0, 1.0))):
+        raise DataValidationError(
+            f"y_true must contain only 0 and 1, got values {unique[:5]}"
+        )
+    return y_true, scores
+
+
+def roc_curve(y_true, scores) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve points ``(fpr, tpr, thresholds)``.
+
+    Thresholds are the distinct score values in decreasing order; a point
+    gives the false/true positive rates of the classifier
+    ``score >= threshold``.  The returned arrays start at ``(0, 0)`` (an
+    implicit threshold above every score) and end at ``(1, 1)``.
+
+    Requires both classes present (the rates are otherwise undefined).
+    """
+    y_true, scores = _binary_pair(y_true, scores)
+    n_pos = float(np.sum(y_true == 1.0))
+    n_neg = float(np.sum(y_true == 0.0))
+    if n_pos == 0 or n_neg == 0:
+        raise DataValidationError(
+            "roc_curve requires at least one positive and one negative sample"
+        )
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_truth = y_true[order]
+
+    # Indices where the score strictly drops — threshold boundaries.
+    distinct = np.flatnonzero(np.diff(sorted_scores) != 0.0)
+    boundaries = np.concatenate([distinct, [sorted_scores.shape[0] - 1]])
+
+    tps = np.cumsum(sorted_truth)[boundaries]
+    fps = (boundaries + 1) - tps
+    tpr = np.concatenate([[0.0], tps / n_pos])
+    fpr = np.concatenate([[0.0], fps / n_neg])
+    thresholds = np.concatenate([[np.inf], sorted_scores[boundaries]])
+    return fpr, tpr, thresholds
+
+
+def auc(y_true, scores) -> float:
+    """Area under the ROC curve by trapezoidal integration.
+
+    Ties receive half credit (the trapezoid over a tied block has the
+    same area as the Mann-Whitney rank statistic assigns).
+    """
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true = check_vector(y_true, "y_true")
+    y_pred = check_vector(y_pred, "y_pred")
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise DataValidationError(
+            f"y_true and y_pred must have equal length; "
+            f"got {y_true.shape[0]} and {y_pred.shape[0]}"
+        )
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_counts(y_true, y_pred) -> tuple[int, int, int, int]:
+    """Binary confusion counts ``(tp, fp, tn, fn)`` at given hard labels."""
+    y_true, y_pred = _binary_pair(y_true, y_pred)
+    unique_pred = np.unique(y_pred)
+    if not np.all(np.isin(unique_pred, (0.0, 1.0))):
+        raise DataValidationError(
+            f"y_pred must contain only 0 and 1, got values {unique_pred[:5]}"
+        )
+    tp = int(np.sum((y_true == 1.0) & (y_pred == 1.0)))
+    fp = int(np.sum((y_true == 0.0) & (y_pred == 1.0)))
+    tn = int(np.sum((y_true == 0.0) & (y_pred == 0.0)))
+    fn = int(np.sum((y_true == 1.0) & (y_pred == 0.0)))
+    return tp, fp, tn, fn
+
+
+def matthews_corrcoef(y_true, y_pred) -> float:
+    """Matthews correlation coefficient (the paper's future-work metric).
+
+    Returns 0.0 when any marginal is empty (the standard degenerate-case
+    convention), matching the limit of the formula as the product of
+    marginals goes to zero.
+    """
+    tp, fp, tn, fn = confusion_counts(y_true, y_pred)
+    denom_sq = float(tp + fp) * float(tp + fn) * float(tn + fp) * float(tn + fn)
+    if denom_sq == 0.0:
+        return 0.0
+    return float((tp * tn - fp * fn) / np.sqrt(denom_sq))
+
+
+def sensitivity_specificity(y_true, y_pred) -> tuple[float, float]:
+    """Sensitivity (TPR) and specificity (TNR) at given hard labels.
+
+    These are the ROC curve's axes as the paper defines them; both
+    classes must be present.
+    """
+    tp, fp, tn, fn = confusion_counts(y_true, y_pred)
+    if tp + fn == 0 or tn + fp == 0:
+        raise DataValidationError(
+            "sensitivity/specificity require both classes present in y_true"
+        )
+    return tp / (tp + fn), tn / (tn + fp)

@@ -1,0 +1,119 @@
+"""Probabilistic and threshold metrics beyond the paper's RMSE/AUC.
+
+Round out the evaluation toolbox: Brier score and log loss for
+probability quality, precision/recall/F1 at a threshold, and a macro
+one-vs-rest AUC for the multiclass propagation module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.metrics.classification import auc, confusion_counts
+from repro.utils.validation import check_vector
+
+__all__ = [
+    "brier_score",
+    "log_loss",
+    "precision_recall_f1",
+    "macro_ovr_auc",
+]
+
+
+def _binary_with_probs(y_true, probabilities) -> tuple[np.ndarray, np.ndarray]:
+    y_true = check_vector(y_true, "y_true")
+    probabilities = check_vector(probabilities, "probabilities")
+    if y_true.shape[0] != probabilities.shape[0]:
+        raise DataValidationError(
+            f"y_true and probabilities must have equal length; "
+            f"got {y_true.shape[0]} and {probabilities.shape[0]}"
+        )
+    if not np.all(np.isin(np.unique(y_true), (0.0, 1.0))):
+        raise DataValidationError("y_true must be binary 0/1")
+    if probabilities.min() < 0 or probabilities.max() > 1:
+        raise DataValidationError("probabilities must lie in [0, 1]")
+    return y_true, probabilities
+
+
+def brier_score(y_true, probabilities) -> float:
+    """Mean squared error between outcomes and probabilities.
+
+    Note this is *different* from the paper's RMSE metric, which
+    compares against the true regression function ``q(X)`` rather than
+    the realized 0/1 outcomes.
+    """
+    y_true, probabilities = _binary_with_probs(y_true, probabilities)
+    return float(np.mean((y_true - probabilities) ** 2))
+
+
+def log_loss(y_true, probabilities, *, eps: float = 1e-12) -> float:
+    """Mean negative log-likelihood of the outcomes.
+
+    Probabilities are clipped to ``[eps, 1 - eps]`` so certain-but-wrong
+    predictions yield a large finite penalty instead of infinity.
+    """
+    y_true, probabilities = _binary_with_probs(y_true, probabilities)
+    clipped = np.clip(probabilities, eps, 1.0 - eps)
+    return float(
+        -np.mean(y_true * np.log(clipped) + (1.0 - y_true) * np.log(1.0 - clipped))
+    )
+
+
+def precision_recall_f1(y_true, y_pred) -> tuple[float, float, float]:
+    """Precision, recall and F1 of hard 0/1 predictions.
+
+    Degenerate denominators follow the usual convention: a quantity with
+    an empty denominator is 0.
+    """
+    tp, fp, _, fn = confusion_counts(y_true, y_pred)
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    if precision + recall == 0.0:
+        return precision, recall, 0.0
+    f1 = 2.0 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def macro_ovr_auc(y_true, score_matrix, classes=None) -> float:
+    """Macro-averaged one-vs-rest AUC for multiclass scores.
+
+    Parameters
+    ----------
+    y_true:
+        Class labels of length m.
+    score_matrix:
+        ``(m, K)`` per-class scores (e.g.
+        :attr:`repro.core.multiclass.MulticlassFit.scores`).
+    classes:
+        Class value per column; defaults to ``unique(y_true)`` which
+        must then have exactly K values.
+
+    Classes absent from ``y_true`` (no positives) are skipped; at least
+    one class must be scorable.
+    """
+    y_true = check_vector(y_true, "y_true")
+    scores = np.asarray(score_matrix, dtype=np.float64)
+    if scores.ndim != 2 or scores.shape[0] != y_true.shape[0]:
+        raise DataValidationError(
+            f"score_matrix must be (len(y_true), K); got {scores.shape}"
+        )
+    if classes is None:
+        classes = np.unique(y_true)
+    else:
+        classes = np.asarray(classes)
+    if classes.shape[0] != scores.shape[1]:
+        raise DataValidationError(
+            f"{classes.shape[0]} classes but {scores.shape[1]} score columns"
+        )
+    aucs = []
+    for k, cls in enumerate(classes):
+        positives = (y_true == cls).astype(float)
+        if positives.min() == positives.max():
+            continue  # class absent (or only class present): AUC undefined
+        aucs.append(auc(positives, scores[:, k]))
+    if not aucs:
+        raise DataValidationError(
+            "macro AUC undefined: no class has both positives and negatives"
+        )
+    return float(np.mean(aucs))

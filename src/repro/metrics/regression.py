@@ -1,0 +1,81 @@
+"""Regression metrics.
+
+The paper's synthetic experiments score estimators by the root mean
+squared error between the estimated scores and the *true regression
+function* on the unlabeled points:
+
+    RMSE = sqrt( (1/m) sum_a ( q(X_{n+a}) - q_hat_{n+a} )^2 )
+
+(:func:`root_mean_squared_error` with ``y_true = q``).  MSE, MAE and a
+binned calibration error are included for the extended studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.utils.validation import check_vector
+
+__all__ = [
+    "root_mean_squared_error",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "calibration_error",
+]
+
+
+def _paired(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = check_vector(y_true, "y_true")
+    y_pred = check_vector(y_pred, "y_pred")
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise DataValidationError(
+            f"y_true and y_pred must have equal length; "
+            f"got {y_true.shape[0]} and {y_pred.shape[0]}"
+        )
+    return y_true, y_pred
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean of squared residuals."""
+    y_true, y_pred = _paired(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """The paper's RMSE: square root of :func:`mean_squared_error`."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean of absolute residuals."""
+    y_true, y_pred = _paired(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def calibration_error(y_true, probabilities, *, n_bins: int = 10) -> float:
+    """Expected calibration error of probability predictions.
+
+    Bins predictions into ``n_bins`` equal-width probability bins and
+    averages ``|mean(y) - mean(p)|`` over bins, weighted by bin size.
+    ``y_true`` must be 0/1 outcomes and ``probabilities`` in [0, 1].
+    """
+    y_true, probabilities = _paired(y_true, probabilities)
+    if n_bins < 1:
+        raise DataValidationError(f"n_bins must be >= 1, got {n_bins}")
+    if probabilities.min() < 0 or probabilities.max() > 1:
+        raise DataValidationError("probabilities must lie in [0, 1]")
+    if not np.all(np.isin(np.unique(y_true), (0.0, 1.0))):
+        raise DataValidationError("y_true must be binary 0/1 outcomes")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bin_ids = np.clip(np.digitize(probabilities, edges[1:-1]), 0, n_bins - 1)
+    total = y_true.shape[0]
+    error = 0.0
+    for b in range(n_bins):
+        mask = bin_ids == b
+        count = int(np.sum(mask))
+        if count == 0:
+            continue
+        gap = abs(float(np.mean(y_true[mask])) - float(np.mean(probabilities[mask])))
+        error += (count / total) * gap
+    return float(error)

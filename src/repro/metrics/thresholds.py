@@ -1,0 +1,73 @@
+"""Decision-threshold selection for score-based classifiers.
+
+The criteria output scores; turning them into labels requires a
+threshold, and 0.5 is only right for calibrated scores.  Two standard
+data-driven choices:
+
+* :func:`youden_threshold` — maximizes Youden's J = sensitivity +
+  specificity - 1, i.e. the ROC point farthest above the diagonal;
+* :func:`best_f1_threshold` — maximizes F1 over all candidate
+  thresholds.
+
+Both consider the midpoints between consecutive distinct scores (plus
+the extremes), so every achievable confusion table is examined.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.metrics.classification import roc_curve
+from repro.metrics.probabilistic import precision_recall_f1
+from repro.utils.validation import check_vector
+
+__all__ = ["youden_threshold", "best_f1_threshold"]
+
+
+def youden_threshold(y_true, scores) -> float:
+    """Threshold maximizing Youden's J statistic.
+
+    Uses the ROC curve's threshold set directly: J(t) = TPR(t) - FPR(t).
+    Ties resolve to the smallest qualifying threshold (more sensitive).
+    """
+    fpr, tpr, thresholds = roc_curve(y_true, scores)
+    j_statistic = tpr - fpr
+    # Skip the artificial (0,0) point at threshold +inf when any real
+    # threshold matches its J value.
+    best = int(np.argmax(j_statistic))
+    if np.isinf(thresholds[best]):
+        best = int(np.argmax(j_statistic[1:])) + 1
+    return float(thresholds[best])
+
+
+def best_f1_threshold(y_true, scores) -> float:
+    """Threshold maximizing F1 of the rule ``score >= t``."""
+    y_true = check_vector(y_true, "y_true")
+    scores = check_vector(scores, "scores")
+    if y_true.shape[0] != scores.shape[0]:
+        raise DataValidationError(
+            f"y_true and scores must have equal length; "
+            f"got {y_true.shape[0]} and {scores.shape[0]}"
+        )
+    if not np.all(np.isin(np.unique(y_true), (0.0, 1.0))):
+        raise DataValidationError("y_true must be binary 0/1")
+    distinct = np.unique(scores)
+    if distinct.shape[0] == 1:
+        return float(distinct[0])
+    candidates = np.concatenate(
+        [
+            [distinct[0] - 1.0],
+            (distinct[:-1] + distinct[1:]) / 2.0,
+            [distinct[-1] + 1.0],
+        ]
+    )
+    best_threshold = candidates[0]
+    best_f1 = -1.0
+    for threshold in candidates:
+        predictions = (scores >= threshold).astype(float)
+        _, _, f1 = precision_recall_f1(y_true, predictions)
+        if f1 > best_f1:
+            best_f1 = f1
+            best_threshold = threshold
+    return float(best_threshold)

@@ -1,0 +1,23 @@
+"""Model selection: transductive cross-validation over lambda / bandwidth.
+
+The paper's practical message is that the hard criterion removes the
+need to tune lambda.  This subpackage provides the tuning machinery a
+practitioner would otherwise reach for — k-fold transductive
+cross-validation over a lambda grid or a bandwidth grid — so the claim
+can be tested head-on: even the *CV-tuned* soft criterion does not beat
+the untuned hard criterion (see ``bench_ablation_tuned_lambda``).
+"""
+
+from repro.model_selection.search import (
+    GridSearchResult,
+    cross_validate_lambda,
+    select_bandwidth,
+    select_lambda,
+)
+
+__all__ = [
+    "GridSearchResult",
+    "cross_validate_lambda",
+    "select_lambda",
+    "select_bandwidth",
+]

@@ -1,0 +1,30 @@
+"""Shared utilities: RNG management, input validation, timing."""
+
+from repro.utils.rng import as_rng, spawn_rngs, spawn_seeds
+from repro.utils.timing import Stopwatch, fit_power_law
+from repro.utils.validation import (
+    check_finite_array,
+    check_labels,
+    check_matrix_2d,
+    check_positive_scalar,
+    check_square_matrix,
+    check_symmetric,
+    check_vector,
+    check_weight_matrix,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "spawn_seeds",
+    "Stopwatch",
+    "fit_power_law",
+    "check_finite_array",
+    "check_labels",
+    "check_matrix_2d",
+    "check_positive_scalar",
+    "check_square_matrix",
+    "check_symmetric",
+    "check_vector",
+    "check_weight_matrix",
+]

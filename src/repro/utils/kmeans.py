@@ -1,0 +1,135 @@
+"""Lloyd's k-means, from scratch (used for anchor selection).
+
+Implements k-means++ seeding and Lloyd iterations with empty-cluster
+repair (an empty cluster is re-seeded at the point farthest from its
+assigned center).  Only the pieces anchor selection needs — no
+mini-batching, no multiple inits beyond ``n_init``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.kernels.base import pairwise_sq_distances
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_matrix_2d
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one k-means fit.
+
+    Attributes
+    ----------
+    centers:
+        ``(k, d)`` cluster centers.
+    labels:
+        Cluster assignment per input row.
+    inertia:
+        Sum of squared distances to assigned centers.
+    iterations:
+        Lloyd iterations performed in the winning init.
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+
+
+def _plus_plus_seeds(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by D^2 sampling."""
+    n = x.shape[0]
+    centers = np.empty((k, x.shape[1]))
+    first = int(rng.integers(0, n))
+    centers[0] = x[first]
+    closest_sq = pairwise_sq_distances(x, centers[:1]).ravel()
+    for j in range(1, k):
+        total = float(closest_sq.sum())
+        if total <= 0:
+            # All remaining points coincide with chosen centers.
+            centers[j:] = x[rng.integers(0, n, size=k - j)]
+            break
+        probabilities = closest_sq / total
+        choice = int(rng.choice(n, p=probabilities))
+        centers[j] = x[choice]
+        new_sq = pairwise_sq_distances(x, centers[j : j + 1]).ravel()
+        closest_sq = np.minimum(closest_sq, new_sq)
+    return centers
+
+
+def _lloyd(
+    x: np.ndarray, centers: np.ndarray, max_iter: int, tol: float
+) -> tuple[np.ndarray, np.ndarray, float, int]:
+    k = centers.shape[0]
+    labels = np.zeros(x.shape[0], dtype=np.intp)
+    for iteration in range(1, max_iter + 1):
+        sq = pairwise_sq_distances(x, centers)
+        labels = np.argmin(sq, axis=1)
+        new_centers = centers.copy()
+        for j in range(k):
+            members = x[labels == j]
+            if members.shape[0] == 0:
+                # Empty cluster: re-seed at the overall farthest point.
+                farthest = int(np.argmax(np.min(sq, axis=1)))
+                new_centers[j] = x[farthest]
+            else:
+                new_centers[j] = members.mean(axis=0)
+        shift = float(np.max(np.abs(new_centers - centers)))
+        centers = new_centers
+        if shift <= tol:
+            break
+    sq = pairwise_sq_distances(x, centers)
+    labels = np.argmin(sq, axis=1)
+    inertia = float(np.sum(sq[np.arange(x.shape[0]), labels]))
+    return centers, labels, inertia, iteration
+
+
+def kmeans(
+    x,
+    k: int,
+    *,
+    n_init: int = 3,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+    seed=None,
+) -> KMeansResult:
+    """Fit k-means with k-means++ seeding and ``n_init`` restarts.
+
+    Parameters
+    ----------
+    x:
+        Data matrix ``(n, d)`` with ``n >= k``.
+    k:
+        Number of clusters.
+    n_init:
+        Independent restarts; the lowest-inertia fit wins.
+    max_iter, tol:
+        Lloyd-iteration budget and center-shift stopping tolerance.
+    seed:
+        RNG seed.
+    """
+    x = check_matrix_2d(x, "x")
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if x.shape[0] < k:
+        raise DataValidationError(
+            f"need at least k={k} samples, got {x.shape[0]}"
+        )
+    if n_init < 1:
+        raise ConfigurationError(f"n_init must be >= 1, got {n_init}")
+    rng = as_rng(seed)
+    best: KMeansResult | None = None
+    for _ in range(n_init):
+        centers = _plus_plus_seeds(x, k, rng)
+        centers, labels, inertia, iterations = _lloyd(x, centers, max_iter, tol)
+        if best is None or inertia < best.inertia:
+            best = KMeansResult(
+                centers=centers, labels=labels, inertia=inertia, iterations=iterations
+            )
+    return best

@@ -1,0 +1,54 @@
+"""Random-number-generator management.
+
+All stochastic code in this library takes a ``seed`` argument that may be
+``None``, an integer, or an existing :class:`numpy.random.Generator`, and
+normalizes it with :func:`as_rng`.  Experiment replicates draw independent
+child generators via :func:`spawn_rngs` so that:
+
+* every replicate is reproducible from the experiment's master seed, and
+* replicates are statistically independent (numpy ``SeedSequence.spawn``),
+  rather than consecutive slices of one stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_rng", "spawn_rngs", "spawn_seeds"]
+
+SeedLike = int | None | np.random.Generator | np.random.SeedSequence
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an integer seed, a ``SeedSequence``,
+        or an existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: SeedLike, count: int) -> list[np.random.SeedSequence]:
+    """Spawn ``count`` independent seed sequences from a master ``seed``."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    elif isinstance(seed, np.random.Generator):
+        # Derive a SeedSequence from the generator's own stream so repeated
+        # calls on the same generator yield different (but deterministic)
+        # families of children.
+        root = np.random.SeedSequence(int(seed.integers(0, 2**63)))
+    else:
+        root = np.random.SeedSequence(seed)
+    return root.spawn(count)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Spawn ``count`` independent generators from a master ``seed``."""
+    return [np.random.default_rng(s) for s in spawn_seeds(seed, count)]

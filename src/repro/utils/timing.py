@@ -1,0 +1,83 @@
+"""Timing helpers for the complexity experiments.
+
+The paper claims (Section II) that solving the hard criterion costs
+``O(m^3)`` while the soft criterion's full-system form costs
+``O((n+m)^3)``.  :class:`Stopwatch` collects wall-clock samples and
+:func:`fit_power_law` fits the growth exponent ``b`` in ``t ≈ a·x^b`` by
+least squares on log-log data, which is how ``bench_complexity``
+verifies the claim.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Stopwatch", "fit_power_law"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates labelled wall-clock samples.
+
+    Example
+    -------
+    >>> watch = Stopwatch()
+    >>> with watch.measure("solve"):
+    ...     _ = sum(range(1000))
+    >>> watch.total("solve") >= 0.0
+    True
+    """
+
+    samples: dict[str, list[float]] = field(default_factory=dict)
+
+    def measure(self, label: str) -> "_Measurement":
+        """Return a context manager that records one sample under ``label``."""
+        return _Measurement(self, label)
+
+    def add(self, label: str, seconds: float) -> None:
+        self.samples.setdefault(label, []).append(float(seconds))
+
+    def total(self, label: str) -> float:
+        return float(sum(self.samples.get(label, [])))
+
+    def mean(self, label: str) -> float:
+        values = self.samples.get(label, [])
+        if not values:
+            raise KeyError(f"no samples recorded for label {label!r}")
+        return float(np.mean(values))
+
+    def count(self, label: str) -> int:
+        return len(self.samples.get(label, []))
+
+
+class _Measurement:
+    def __init__(self, watch: Stopwatch, label: str):
+        self._watch = watch
+        self._label = label
+        self._start = 0.0
+
+    def __enter__(self) -> "_Measurement":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._watch.add(self._label, time.perf_counter() - self._start)
+
+
+def fit_power_law(sizes, times) -> tuple[float, float]:
+    """Fit ``t = a * x**b`` by least squares in log-log space.
+
+    Returns ``(a, b)``.  Used to estimate the empirical complexity
+    exponent of the hard/soft solvers.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    times = np.asarray(times, dtype=np.float64)
+    if sizes.shape != times.shape or sizes.ndim != 1 or sizes.size < 2:
+        raise ValueError("sizes and times must be equal-length 1-d arrays of length >= 2")
+    if np.any(sizes <= 0) or np.any(times <= 0):
+        raise ValueError("power-law fit requires strictly positive sizes and times")
+    slope, intercept = np.polyfit(np.log(sizes), np.log(times), deg=1)
+    return float(np.exp(intercept)), float(slope)

@@ -1,0 +1,20 @@
+"""Numeric verification of the consistency proof's constructs (Section IV)."""
+
+from repro.validation.consistency import ConsistencyCurve, run_consistency_curve
+from repro.validation.proof_constructs import (
+    PhiConcentration,
+    ProofConstructSnapshot,
+    proof_construct_snapshot,
+    run_phi_concentration,
+    run_proof_construct_sweep,
+)
+
+__all__ = [
+    "ProofConstructSnapshot",
+    "proof_construct_snapshot",
+    "run_proof_construct_sweep",
+    "PhiConcentration",
+    "run_phi_concentration",
+    "ConsistencyCurve",
+    "run_consistency_curve",
+]

@@ -1,0 +1,127 @@
+"""Empirical consistency curves.
+
+Theorem II.1 says the hard criterion's unlabeled scores converge in
+probability to the true regression function when ``m = o(n h_n^d)``.
+:func:`run_consistency_curve` traces the empirical convergence: for a
+growing-n schedule it estimates, over replicates, both the RMSE of the
+hard criterion and of the Nadaraya-Watson estimator against the true
+``q(X)``, plus the probability that the worst-case score error exceeds a
+fixed epsilon (the literal definition of convergence in probability).
+The curve must decrease in n, and the hard criterion must shadow NW —
+the proof's mechanism made visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hard import solve_hard_criterion
+from repro.core.nadaraya_watson import nadaraya_watson_from_weights
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import run_replicates
+from repro.graph.similarity import full_kernel_graph
+from repro.kernels.bandwidth import paper_bandwidth_rule
+
+__all__ = ["ConsistencyCurve", "run_consistency_curve"]
+
+
+@dataclass(frozen=True)
+class ConsistencyCurve:
+    """Empirical consistency trace along a growing-n schedule.
+
+    Attributes
+    ----------
+    n_values:
+        Labeled sample sizes.
+    hard_rmse, nw_rmse:
+        Mean RMSE of the hard criterion and of Nadaraya-Watson against
+        the true regression function at each n.
+    exceedance:
+        Mean fraction of replicates where
+        ``max_a |f_(n+a) - q(X_(n+a))| > epsilon``.
+    epsilon:
+        The threshold in the exceedance probability.
+    n_replicates:
+        Replicates per n.
+    """
+
+    n_values: tuple[int, ...]
+    hard_rmse: tuple[float, ...]
+    nw_rmse: tuple[float, ...]
+    exceedance: tuple[float, ...]
+    epsilon: float
+    n_replicates: int
+
+    @property
+    def rmse_decreases(self) -> bool:
+        """Overall downward RMSE trend (first vs last grid point)."""
+        return self.hard_rmse[-1] < self.hard_rmse[0]
+
+    def to_rows(self) -> list[list]:
+        return [
+            [n, hard, nw, prob]
+            for n, hard, nw, prob in zip(
+                self.n_values, self.hard_rmse, self.nw_rmse, self.exceedance
+            )
+        ]
+
+    @staticmethod
+    def headers() -> list[str]:
+        return ["n", "hard_rmse", "nw_rmse", "P(max err > eps)"]
+
+
+def run_consistency_curve(
+    *,
+    n_values: tuple[int, ...] = (25, 50, 100, 200, 400, 800),
+    n_unlabeled: int = 20,
+    epsilon: float = 0.35,
+    model: str = "model1",
+    n_replicates: int = 100,
+    seed=None,
+) -> ConsistencyCurve:
+    """Trace empirical consistency of the hard criterion along growing n."""
+    if len(n_values) < 2:
+        raise ConfigurationError("need at least two n values to see a trend")
+    if epsilon <= 0:
+        raise ConfigurationError(f"epsilon must be > 0, got {epsilon}")
+
+    hard_rmse = []
+    nw_rmse = []
+    exceedance = []
+    for j, n in enumerate(n_values):
+        def replicate(rng, n=n):
+            data = make_synthetic_dataset(n, n_unlabeled, model=model, seed=rng)
+            bandwidth = paper_bandwidth_rule(n, data.x_labeled.shape[1])
+            graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+            hard = solve_hard_criterion(
+                graph.weights, data.y_labeled, check_reachability=False
+            )
+            nw = nadaraya_watson_from_weights(graph.weights, data.y_labeled)
+            errors = np.abs(hard.unlabeled_scores - data.q_unlabeled)
+            return {
+                "hard_rmse": float(np.sqrt(np.mean(errors**2))),
+                "nw_rmse": float(
+                    np.sqrt(np.mean((nw - data.q_unlabeled) ** 2))
+                ),
+                "exceed": float(np.max(errors) > epsilon),
+            }
+
+        summary = run_replicates(
+            replicate,
+            n_replicates=n_replicates,
+            seed=None if seed is None else (hash((seed, j)) % (2**32)),
+        )
+        hard_rmse.append(summary.means["hard_rmse"])
+        nw_rmse.append(summary.means["nw_rmse"])
+        exceedance.append(summary.means["exceed"])
+    return ConsistencyCurve(
+        n_values=tuple(n_values),
+        hard_rmse=tuple(hard_rmse),
+        nw_rmse=tuple(nw_rmse),
+        exceedance=tuple(exceedance),
+        epsilon=epsilon,
+        n_replicates=n_replicates,
+    )

@@ -1,0 +1,267 @@
+"""Numerical verification of the Section IV proof constructs.
+
+The consistency proof decomposes the hard solution as
+
+    f_(n+a) = NW_(n+a) - g_(n+a) + (S)_a D22^{-1} W21 Y_n
+
+and establishes, with probability approaching one:
+
+1. *tiny elements*: ``||D22^{-1} W22||_max <= M / (n h^d)``;
+2. the Neumann series ``S = sum_k (D22^{-1} W22)^k`` converges with
+   ``||S||_max <= 2M / (n h^d)``;
+3. the NW-denominator correction ``g_(n+a)`` is bounded by
+   ``sum_{k>n} w_{k,n+a} / d_{n+a} <= mM/(n h^d)`` and vanishes;
+4. hence ``max_a |f_(n+a) - NW_(n+a)| -> 0``: the hard criterion inherits
+   the Nadaraya-Watson estimator's consistency.
+
+:func:`proof_construct_snapshot` measures every quantity on one sampled
+problem; :func:`run_proof_construct_sweep` tracks them along a growing-n
+schedule, which is the numerical content of the proof: each measured
+quantity must shrink at (or below) its theoretical envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hard import solve_hard_criterion
+from repro.core.nadaraya_watson import nadaraya_watson_from_weights
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.exceptions import ConfigurationError
+from repro.graph.similarity import full_kernel_graph
+from repro.kernels.bandwidth import paper_bandwidth_rule
+from repro.kernels.library import GaussianKernel
+from repro.utils.rng import spawn_rngs
+
+__all__ = [
+    "ProofConstructSnapshot",
+    "proof_construct_snapshot",
+    "run_proof_construct_sweep",
+    "PhiConcentration",
+    "run_phi_concentration",
+]
+
+
+@dataclass(frozen=True)
+class ProofConstructSnapshot:
+    """Every proof-tracked quantity measured on one sampled problem.
+
+    Attributes
+    ----------
+    n, m, bandwidth:
+        Problem size and the bandwidth used.
+    tiny_elements_max:
+        ``||D22^{-1} W22||_max`` (proof step 1's left-hand side).
+    envelope:
+        The scale ``1 / (n h^d)`` the proof's bound is proportional to.
+    spectral_radius:
+        Spectral radius of ``D22^{-1} W22`` (< 1 iff the Neumann series
+        converges).
+    neumann_max:
+        ``||S||_max`` of the converged series (proof step 2).
+    g_max:
+        ``max_a |g_(n+a)|`` — the NW-denominator correction (step 3).
+    g_envelope:
+        The proof's bound on ``|g|``: ``max_a sum_{k>n} w_{k,n+a}/d_{n+a}``.
+    hard_nw_gap:
+        ``max_a |f_(n+a) - NW_(n+a)|`` (step 4's conclusion).
+    """
+
+    n: int
+    m: int
+    bandwidth: float
+    tiny_elements_max: float
+    envelope: float
+    spectral_radius: float
+    neumann_max: float
+    g_max: float
+    g_envelope: float
+    hard_nw_gap: float
+
+
+def proof_construct_snapshot(
+    *,
+    n_labeled: int,
+    n_unlabeled: int,
+    bandwidth: float | None = None,
+    model: str = "model1",
+    seed=None,
+) -> ProofConstructSnapshot:
+    """Measure the proof constructs on one draw of the paper's DGP."""
+    data = make_synthetic_dataset(n_labeled, n_unlabeled, model=model, seed=seed)
+    dim = data.x_labeled.shape[1]
+    if bandwidth is None:
+        bandwidth = paper_bandwidth_rule(n_labeled, dim)
+    graph = full_kernel_graph(data.x_all, kernel=GaussianKernel(), bandwidth=bandwidth)
+    weights = graph.dense_weights()
+    n, m = n_labeled, n_unlabeled
+
+    degrees = weights.sum(axis=1)
+    w21 = weights[n:, :n]
+    w22 = weights[n:, n:]
+    d22 = degrees[n:]
+    iterated = w22 / d22[:, None]  # D22^{-1} W22
+
+    tiny_max = float(np.max(iterated))
+    radius = float(np.max(np.abs(np.linalg.eigvals(iterated)))) if m else 0.0
+    if radius < 1.0:
+        neumann = np.linalg.inv(np.eye(m) - iterated) - np.eye(m)
+        neumann_max = float(np.max(np.abs(neumann)))
+    else:
+        neumann_max = float("inf")
+
+    # g_(n+a): difference between the NW denominator (labeled-only) and
+    # the full degree d_{n+a}; its proof bound is the unlabeled weight mass.
+    labeled_mass = w21.sum(axis=1)
+    unlabeled_mass = w22.sum(axis=1)
+    nw = nadaraya_watson_from_weights(weights, data.y_labeled)
+    first_order = (w21 @ data.y_labeled) / d22
+    g = nw - first_order
+    g_envelope = float(np.max(unlabeled_mass / (labeled_mass + unlabeled_mass)))
+
+    hard = solve_hard_criterion(weights, data.y_labeled, check_reachability=False)
+    hard_nw_gap = float(np.max(np.abs(hard.unlabeled_scores - nw)))
+
+    return ProofConstructSnapshot(
+        n=n,
+        m=m,
+        bandwidth=float(bandwidth),
+        tiny_elements_max=tiny_max,
+        envelope=1.0 / (n * bandwidth**dim),
+        spectral_radius=radius,
+        neumann_max=neumann_max,
+        g_max=float(np.max(np.abs(g))),
+        g_envelope=g_envelope,
+        hard_nw_gap=hard_nw_gap,
+    )
+
+
+@dataclass(frozen=True)
+class PhiConcentration:
+    """Concentration of the proof's ball-hit ratio ``Phi_n(a)``.
+
+    The proof's first probabilistic step defines
+
+        Phi_n(a) = sum_{i<=n} I{||X_i - X_{n+a}|| <= delta h} / (n p(X_{n+a}))
+
+    and shows by Chebyshev that ``P(|Phi_n(a) - 1| >= eps)`` is at most
+    ``1/(eps^2 s n h^d) -> 0``.  With *uniform* inputs on ``[0,1]^d``
+    and interior query points, ``p(x) = V_d (delta h)^d`` exactly, so
+    Phi is computable without estimating a density and the bound can be
+    checked numerically.
+
+    Attributes
+    ----------
+    n_values:
+        Labeled sample sizes.
+    exceedance:
+        Empirical ``P(|Phi - 1| >= eps)`` per n.
+    chebyshev_bound:
+        The proof's bound ``1 / (eps^2 n p)`` per n.
+    epsilon:
+        The deviation threshold.
+    """
+
+    n_values: tuple[int, ...]
+    exceedance: tuple[float, ...]
+    chebyshev_bound: tuple[float, ...]
+    epsilon: float
+
+    @property
+    def bound_holds(self) -> bool:
+        """Empirical exceedance below the Chebyshev envelope everywhere."""
+        return all(
+            emp <= bound + 1e-12
+            for emp, bound in zip(self.exceedance, self.chebyshev_bound)
+        )
+
+    @property
+    def concentrates(self) -> bool:
+        """Exceedance decreases from the smallest to the largest n."""
+        return self.exceedance[-1] <= self.exceedance[0]
+
+
+def run_phi_concentration(
+    *,
+    n_values: tuple[int, ...] = (100, 400, 1600),
+    dim: int = 2,
+    delta_h: float = 0.15,
+    epsilon: float = 0.3,
+    n_replicates: int = 200,
+    seed=None,
+) -> PhiConcentration:
+    """Verify the proof's Chebyshev step under uniform inputs.
+
+    Parameters
+    ----------
+    n_values:
+        Labeled sizes to sweep (``n (delta h)^d`` should grow).
+    dim:
+        Input dimension (kept small so balls carry measurable mass).
+    delta_h:
+        The ball radius ``delta * h`` (held fixed across n for a clean
+        comparison of the concentration rate).
+    epsilon:
+        Deviation threshold in ``P(|Phi - 1| >= eps)``.
+    n_replicates:
+        Independent (sample, query) draws per n.
+    """
+    from repro.core.theory import volume_unit_ball
+    from repro.exceptions import ConfigurationError
+
+    if not 0 < delta_h < 0.5:
+        raise ConfigurationError(
+            f"delta_h must be in (0, 0.5) so interior queries exist, "
+            f"got {delta_h}"
+        )
+    if epsilon <= 0:
+        raise ConfigurationError(f"epsilon must be > 0, got {epsilon}")
+    ball_mass = volume_unit_ball(dim) * delta_h**dim
+    if ball_mass >= 1:
+        raise ConfigurationError(
+            "delta_h ball exceeds the unit cube; decrease delta_h or dim"
+        )
+    exceedance = []
+    bounds = []
+    for n, rng in zip(n_values, spawn_rngs(seed, len(n_values))):
+        hits = 0
+        for _ in range(n_replicates):
+            x = rng.uniform(0.0, 1.0, size=(n, dim))
+            query = rng.uniform(delta_h, 1.0 - delta_h, size=dim)
+            count = int(
+                np.sum(np.linalg.norm(x - query[None, :], axis=1) <= delta_h)
+            )
+            phi = count / (n * ball_mass)
+            hits += abs(phi - 1.0) >= epsilon
+        exceedance.append(hits / n_replicates)
+        bounds.append(min(1.0, 1.0 / (epsilon**2 * n * ball_mass)))
+    return PhiConcentration(
+        n_values=tuple(n_values),
+        exceedance=tuple(exceedance),
+        chebyshev_bound=tuple(bounds),
+        epsilon=epsilon,
+    )
+
+
+def run_proof_construct_sweep(
+    *,
+    n_values: tuple[int, ...] = (50, 100, 200, 400, 800),
+    n_unlabeled: int = 20,
+    seed=None,
+) -> list[ProofConstructSnapshot]:
+    """Measure the proof constructs along a growing-n schedule.
+
+    With m fixed and the paper's bandwidth, every tracked quantity must
+    shrink as n grows — the numerical shadow of "with probability
+    approaching one".
+    """
+    if len(n_values) < 2:
+        raise ConfigurationError("need at least two n values to see a trend")
+    snapshots = []
+    for n, rng in zip(n_values, spawn_rngs(seed, len(n_values))):
+        snapshots.append(
+            proof_construct_snapshot(n_labeled=n, n_unlabeled=n_unlabeled, seed=rng)
+        )
+    return snapshots

@@ -1,0 +1,59 @@
+"""Shared fixtures: small graphs and datasets reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.graph.similarity import full_kernel_graph
+from repro.kernels.bandwidth import paper_bandwidth_rule
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for test-local randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_weights():
+    """A hand-written 4-vertex symmetric weight matrix (2 labeled first).
+
+    Vertex layout: 0-1 labeled, 2-3 unlabeled; vertex 3 touches the
+    labeled set only through vertex 2.
+    """
+    return np.array(
+        [
+            [1.0, 0.5, 0.8, 0.0],
+            [0.5, 1.0, 0.1, 0.0],
+            [0.8, 0.1, 1.0, 0.6],
+            [0.0, 0.0, 0.6, 1.0],
+        ]
+    )
+
+
+@pytest.fixture
+def small_problem():
+    """A small synthetic transductive problem with its graph.
+
+    Returns ``(data, weights, bandwidth)`` with n=40 labeled, m=10
+    unlabeled, built exactly as the paper's synthetic experiments do.
+    """
+    data = make_synthetic_dataset(40, 10, model="model1", seed=777)
+    bandwidth = paper_bandwidth_rule(40, data.x_labeled.shape[1])
+    graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+    return data, graph.dense_weights(), bandwidth
+
+
+@pytest.fixture
+def disconnected_weights():
+    """5 vertices (2 labeled): vertices 3-4 form an orphan component."""
+    w = np.zeros((5, 5))
+    # Component A: labeled 0, 1 and unlabeled 2.
+    w[0, 1] = w[1, 0] = 0.9
+    w[0, 2] = w[2, 0] = 0.7
+    # Component B: unlabeled 3, 4 only.
+    w[3, 4] = w[4, 3] = 0.8
+    np.fill_diagonal(w, 1.0)
+    return w

@@ -1,0 +1,149 @@
+"""Tests for the active-learning strategies and simulation loop."""
+
+import numpy as np
+import pytest
+
+from repro.active.loop import run_active_learning
+from repro.active.strategies import (
+    expected_risk_strategy,
+    margin_strategy,
+    random_strategy,
+    strategy_by_name,
+    variance_strategy,
+)
+from repro.datasets.toy import two_moons
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.graph.similarity import full_kernel_graph
+
+
+@pytest.fixture(scope="module")
+def moons_pool():
+    x, y = two_moons(120, noise=0.08, seed=0)
+    weights = full_kernel_graph(x, bandwidth=0.3).dense_weights()
+    seeds = np.concatenate(
+        [np.flatnonzero(y == 0.0)[:2], np.flatnonzero(y == 1.0)[:2]]
+    )
+    return weights, y, seeds
+
+
+class TestStrategies:
+    def test_registry(self):
+        assert strategy_by_name("random") is random_strategy
+        assert strategy_by_name("margin") is margin_strategy
+        assert strategy_by_name("variance") is variance_strategy
+        assert strategy_by_name("expected_risk") is expected_risk_strategy
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown strategy"):
+            strategy_by_name("oracle")
+
+    @pytest.mark.parametrize(
+        "strategy", [random_strategy, margin_strategy, variance_strategy, expected_risk_strategy]
+    )
+    def test_returns_valid_unlabeled_index(self, moons_pool, strategy):
+        weights, y, seeds = moons_pool
+        order = np.concatenate([seeds, np.setdiff1d(np.arange(len(y)), seeds)])
+        w_perm = weights[np.ix_(order, order)]
+        rng = np.random.default_rng(0)
+        pick = strategy(w_perm, len(seeds), y[seeds], rng)
+        assert 0 <= pick < len(y) - len(seeds)
+
+    def test_margin_picks_most_ambiguous(self, small_problem):
+        data, weights, _ = small_problem
+        rng = np.random.default_rng(0)
+        pick = margin_strategy(weights, data.n_labeled, data.y_labeled, rng)
+        from repro.core.hard import solve_hard_criterion
+
+        scores = solve_hard_criterion(weights, data.y_labeled).unlabeled_scores
+        assert abs(scores[pick] - 0.5) == pytest.approx(np.min(np.abs(scores - 0.5)))
+
+    def test_variance_picks_max_variance(self, small_problem):
+        data, weights, _ = small_problem
+        from repro.core.uncertainty import gaussian_field_posterior
+
+        rng = np.random.default_rng(0)
+        pick = variance_strategy(weights, data.n_labeled, data.y_labeled, rng)
+        posterior = gaussian_field_posterior(weights, data.y_labeled)
+        assert posterior.variance[pick] == posterior.variance.max()
+
+
+class TestLoop:
+    def test_history_structure(self, moons_pool):
+        weights, y, seeds = moons_pool
+        history = run_active_learning(
+            weights, y, seed_indices=seeds, budget=5, strategy="random", rng_seed=0
+        )
+        assert len(history.accuracies) == 6  # seed eval + 5 queries
+        assert history.n_labeled == tuple(range(4, 10))
+        assert len(history.queried) == 5
+        assert 0.0 <= history.final_accuracy <= 1.0
+        assert 0.0 <= history.area_under_curve() <= 1.0
+
+    def test_queried_vertices_unique_and_outside_seed(self, moons_pool):
+        weights, y, seeds = moons_pool
+        history = run_active_learning(
+            weights, y, seed_indices=seeds, budget=10, strategy="variance", rng_seed=0
+        )
+        assert len(set(history.queried)) == 10
+        assert not set(history.queried) & set(seeds.tolist())
+
+    def test_informed_strategies_beat_random_on_moons(self, moons_pool):
+        """Label-efficiency ordering: risk/variance/margin >= random."""
+        weights, y, seeds = moons_pool
+        curves = {
+            name: run_active_learning(
+                weights, y, seed_indices=seeds, budget=8,
+                strategy=name, rng_seed=3,
+            ).area_under_curve()
+            for name in ("random", "margin", "variance", "expected_risk")
+        }
+        assert curves["expected_risk"] >= curves["random"]
+        assert curves["variance"] >= curves["random"]
+
+    def test_reproducible(self, moons_pool):
+        weights, y, seeds = moons_pool
+        a = run_active_learning(
+            weights, y, seed_indices=seeds, budget=4, strategy="random", rng_seed=7
+        )
+        b = run_active_learning(
+            weights, y, seed_indices=seeds, budget=4, strategy="random", rng_seed=7
+        )
+        assert a.queried == b.queried
+        assert a.accuracies == b.accuracies
+
+    def test_custom_callable_strategy(self, moons_pool):
+        weights, y, seeds = moons_pool
+        history = run_active_learning(
+            weights, y, seed_indices=seeds, budget=3,
+            strategy=lambda w, n, labels, rng: 0, rng_seed=0,
+        )
+        assert len(history.queried) == 3
+
+    def test_validation_errors(self, moons_pool):
+        weights, y, seeds = moons_pool
+        with pytest.raises(ConfigurationError):
+            run_active_learning(weights, y, seed_indices=[], budget=3, strategy="random")
+        with pytest.raises(ConfigurationError):
+            run_active_learning(
+                weights, y, seed_indices=[0, 0], budget=3, strategy="random"
+            )
+        with pytest.raises(ConfigurationError):
+            run_active_learning(
+                weights, y, seed_indices=seeds, budget=0, strategy="random"
+            )
+        with pytest.raises(ConfigurationError):
+            run_active_learning(
+                weights, y, seed_indices=seeds, budget=10**6, strategy="random"
+            )
+        with pytest.raises(DataValidationError, match="binary"):
+            run_active_learning(
+                weights, y + 0.5, seed_indices=seeds, budget=3, strategy="random"
+            )
+
+    def test_out_of_range_strategy_pick_rejected(self, moons_pool):
+        weights, y, seeds = moons_pool
+        with pytest.raises(ConfigurationError, match="out-of-range"):
+            run_active_learning(
+                weights, y, seed_indices=seeds, budget=1,
+                strategy=lambda w, n, labels, rng: 10**9,
+            )

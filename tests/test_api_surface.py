@@ -1,0 +1,137 @@
+"""API-surface tests: result containers, reprs, exports, small contracts."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.result import FitResult, PropagationResult
+from repro.exceptions import (
+    AssumptionViolationError,
+    ConfigurationError,
+    ConvergenceError,
+    DataValidationError,
+    DisconnectedGraphError,
+    GraphStructureError,
+    NotFittedError,
+    ReproError,
+    SingularSystemError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            DataValidationError,
+            GraphStructureError,
+            DisconnectedGraphError,
+            SingularSystemError,
+            ConvergenceError,
+            AssumptionViolationError,
+            NotFittedError,
+            ConfigurationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        """Validation-style errors double as ValueError for generic callers."""
+        for exc in (DataValidationError, GraphStructureError, ConfigurationError):
+            assert issubclass(exc, ValueError)
+
+    def test_runtime_error_compatibility(self):
+        for exc in (ConvergenceError, NotFittedError):
+            assert issubclass(exc, RuntimeError)
+
+    def test_convergence_error_payload(self):
+        error = ConvergenceError("no", iterations=7, residual=0.5)
+        assert error.iterations == 7
+        assert error.residual == 0.5
+
+    def test_disconnected_error_payload(self):
+        error = DisconnectedGraphError("orphans", component_indices=(3, 4))
+        assert error.component_indices == (3, 4)
+
+
+class TestResultContainers:
+    def test_fit_result_views(self):
+        scores = np.arange(7, dtype=float)
+        fit = FitResult(
+            scores=scores, n_labeled=4, lam=0.2, method="direct",
+            criterion="soft",
+        )
+        np.testing.assert_array_equal(fit.labeled_scores, [0, 1, 2, 3])
+        np.testing.assert_array_equal(fit.unlabeled_scores, [4, 5, 6])
+        assert fit.n_unlabeled == 3
+
+    def test_propagation_result_delegation(self):
+        fit = FitResult(
+            scores=np.array([1.0, 2.0]), n_labeled=1, lam=0.0,
+            method="propagation", criterion="hard",
+        )
+        prop = PropagationResult(
+            fit=fit, iterations=3, delta_norms=(0.1, 0.01, 0.001), converged=True
+        )
+        np.testing.assert_array_equal(prop.scores, fit.scores)
+        np.testing.assert_array_equal(prop.unlabeled_scores, [2.0])
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("name", repro.__all__)
+    def test_all_entries_resolve(self, name):
+        assert getattr(repro, name) is not None
+
+    def test_core_star_names_resolve(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert getattr(core, name) is not None
+
+    def test_graph_star_names_resolve(self):
+        import repro.graph as graph
+
+        for name in graph.__all__:
+            assert getattr(graph, name) is not None
+
+    def test_metrics_star_names_resolve(self):
+        import repro.metrics as metrics
+
+        for name in metrics.__all__:
+            assert getattr(metrics, name) is not None
+
+    def test_datasets_star_names_resolve(self):
+        import repro.datasets as datasets
+
+        for name in datasets.__all__:
+            assert getattr(datasets, name) is not None
+
+    def test_linalg_star_names_resolve(self):
+        import repro.linalg as linalg
+
+        for name in linalg.__all__:
+            assert getattr(linalg, name) is not None
+
+
+class TestKernelReprs:
+    def test_default_repr(self):
+        from repro.kernels import GaussianKernel, TruncatedGaussianKernel
+
+        assert repr(GaussianKernel()) == "GaussianKernel()"
+        assert "cutoff=5.0" in repr(TruncatedGaussianKernel(cutoff=5.0))
+
+
+class TestEstimatorSoftMethodParam:
+    def test_soft_method_full_matches_schur(self):
+        from repro.core.estimators import SoftLabelPropagation
+        from repro.datasets.synthetic import make_synthetic_dataset
+
+        data = make_synthetic_dataset(40, 10, seed=9)
+        schur = SoftLabelPropagation(0.3, bandwidth="paper", soft_method="schur")
+        full = SoftLabelPropagation(0.3, bandwidth="paper", soft_method="full")
+        a = schur.fit_predict(data.x_labeled, data.y_labeled, data.x_unlabeled)
+        b = full.fit_predict(data.x_labeled, data.y_labeled, data.x_unlabeled)
+        np.testing.assert_allclose(a, b, atol=1e-8)

@@ -1,0 +1,159 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in (
+            "figure1", "figure2", "figure3", "figure4", "figure5",
+            "toy", "complexity", "prop21", "prop22",
+            "proof-constructs", "consistency", "metric-study",
+            "m-growth", "tuned-lambda", "lambda-curve",
+        ):
+            args = parser.parse_args([command])
+            assert args.command == command
+            assert callable(args.handler)
+
+    def test_common_options_parsed(self):
+        args = build_parser().parse_args(
+            ["figure1", "--seed", "7", "--replicates", "3", "--csv", "/tmp/x.csv"]
+        )
+        assert args.seed == 7
+        assert args.replicates == 3
+        assert args.csv == "/tmp/x.csv"
+
+
+class TestCommands:
+    def test_toy_command(self, capsys):
+        code = main(["toy", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "toy example" in out
+        assert "labeled mean" in out
+
+    def test_figure1_tiny(self, capsys, tmp_path):
+        csv = tmp_path / "fig1.csv"
+        code = main([
+            "figure1", "--replicates", "2", "--seed", "0", "--csv", str(csv),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "figure1" in out
+        assert csv.exists()
+        header = csv.read_text().splitlines()[0]
+        assert header.startswith("n,lambda=0")
+
+    def test_prop21_command(self, capsys):
+        code = main(["prop21", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Proposition II.1" in out
+
+    def test_prop22_command(self, capsys):
+        code = main(["prop22", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Proposition II.2" in out
+        assert "gap" in out
+
+    def test_m_growth_command(self, capsys):
+        code = main([
+            "m-growth", "--gamma", "1.2", "--replicates", "2", "--seed", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "m-growth" in out
+        assert "hard always ahead" in out
+
+    def test_metric_study_command(self, capsys):
+        code = main(["metric-study", "--replicates", "2", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "auc" in out and "mcc" in out
+
+    def test_tuned_lambda_command(self, capsys):
+        code = main(["tuned-lambda", "--replicates", "2", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CV-tuned" in out or "CV selected" in out
+
+    def test_figure5_tiny(self, capsys):
+        code = main([
+            "figure5", "--images-per-class", "20", "--repeats", "1",
+            "--seed", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "figure5" in out
+        assert "ratio 80/20" in out
+
+    def test_complexity_command(self, capsys):
+        code = main(["complexity", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "exponents" in out
+
+    def test_proof_constructs_command(self, capsys):
+        code = main(["proof-constructs", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spec radius" in out
+
+    def test_lambda_curve_command(self, capsys):
+        code = main(["lambda-curve", "--replicates", "2", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "anchors" in out
+
+    def test_ablation_command(self, capsys):
+        code = main(["ablation", "graph", "--replicates", "2", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "full" in out and "knn" in out
+
+    def test_ablation_solvers_command(self, capsys):
+        code = main(["ablation", "solvers", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "direct" in out
+
+    def test_diagnose_command(self, capsys, tmp_path, rng):
+        import numpy as np
+
+        from repro.datasets.io import TransductiveProblem, save_transductive_npz
+
+        problem = TransductiveProblem(
+            x_labeled=rng.normal(size=(20, 3)),
+            y_labeled=rng.integers(0, 2, 20).astype(float),
+            x_unlabeled=rng.normal(size=(8, 3)),
+        )
+        path = save_transductive_npz(tmp_path / "p.npz", problem)
+        code = main(["diagnose", str(path)])
+        out = capsys.readouterr().out
+        assert "graph:" in out
+        assert code in (0, 1)  # healthy or warned, but never crashed
+
+    def test_diagnose_flags_disconnected(self, capsys, tmp_path, rng):
+        import numpy as np
+
+        from repro.datasets.io import TransductiveProblem, save_transductive_npz
+
+        problem = TransductiveProblem(
+            x_labeled=rng.normal(size=(10, 2)),
+            y_labeled=rng.integers(0, 2, 10).astype(float),
+            x_unlabeled=rng.normal(size=(4, 2)) + 1000.0,
+        )
+        path = save_transductive_npz(tmp_path / "far.npz", problem)
+        code = main(["diagnose", str(path), "--bandwidth", "0.5"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "warnings" in out

@@ -1,0 +1,151 @@
+"""Unit tests for the anchor-subset approximation."""
+
+import numpy as np
+import pytest
+
+from repro.core.anchors import AnchoredLabelPropagation, solve_anchored
+from repro.core.hard import solve_hard_criterion
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.graph.similarity import full_kernel_graph
+from repro.kernels.bandwidth import paper_bandwidth_rule
+
+
+@pytest.fixture(scope="module")
+def problem():
+    data = make_synthetic_dataset(50, 30, seed=0)
+    bandwidth = paper_bandwidth_rule(50, 5)
+    return data, bandwidth
+
+
+class TestSolveAnchored:
+    def test_full_budget_is_exact(self, problem):
+        data, bandwidth = problem
+        graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+        exact = solve_hard_criterion(graph.weights, data.y_labeled)
+        fit = solve_anchored(
+            data.x_labeled, data.y_labeled, data.x_unlabeled,
+            n_anchors=data.n_unlabeled, bandwidth=bandwidth, seed=0,
+        )
+        np.testing.assert_allclose(
+            fit.unlabeled_scores, exact.unlabeled_scores, atol=1e-10
+        )
+        assert fit.n_anchors_total == data.n_labeled + data.n_unlabeled
+
+    def test_over_budget_also_exact(self, problem):
+        data, bandwidth = problem
+        graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+        exact = solve_hard_criterion(graph.weights, data.y_labeled)
+        fit = solve_anchored(
+            data.x_labeled, data.y_labeled, data.x_unlabeled,
+            n_anchors=10_000, bandwidth=bandwidth, seed=0,
+        )
+        np.testing.assert_allclose(
+            fit.unlabeled_scores, exact.unlabeled_scores, atol=1e-10
+        )
+
+    @pytest.mark.parametrize("method", ["random", "kmeans"])
+    def test_reduced_budget_reasonable(self, problem, method):
+        """A small anchor budget stays within a modest deviation."""
+        data, bandwidth = problem
+        graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+        exact = solve_hard_criterion(graph.weights, data.y_labeled)
+        fit = solve_anchored(
+            data.x_labeled, data.y_labeled, data.x_unlabeled,
+            n_anchors=8, anchor_method=method, bandwidth=bandwidth, seed=0,
+        )
+        deviation = np.max(np.abs(fit.unlabeled_scores - exact.unlabeled_scores))
+        assert deviation < 0.25
+        assert fit.anchor_indices.shape == (8,)
+
+    def test_anchor_scores_are_reduced_solve_scores(self, problem):
+        """Anchored unlabeled vertices carry the reduced system's scores."""
+        data, bandwidth = problem
+        fit = solve_anchored(
+            data.x_labeled, data.y_labeled, data.x_unlabeled,
+            n_anchors=10, anchor_method="random", bandwidth=bandwidth, seed=1,
+        )
+        x_anchors = np.vstack(
+            [data.x_labeled, data.x_unlabeled[fit.anchor_indices]]
+        )
+        graph = full_kernel_graph(x_anchors, bandwidth=bandwidth)
+        reduced = solve_hard_criterion(graph.weights, data.y_labeled)
+        np.testing.assert_allclose(
+            fit.unlabeled_scores[fit.anchor_indices],
+            reduced.unlabeled_scores,
+            atol=1e-10,
+        )
+
+    def test_budget_grid_monotone_on_average(self, problem):
+        """More anchors → no worse agreement with the exact solution
+        (checked on mean absolute deviation, k-means anchors)."""
+        data, bandwidth = problem
+        graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+        exact = solve_hard_criterion(graph.weights, data.y_labeled)
+        deviations = []
+        for budget in (5, 15, 30):
+            fit = solve_anchored(
+                data.x_labeled, data.y_labeled, data.x_unlabeled,
+                n_anchors=budget, bandwidth=bandwidth, seed=2,
+            )
+            deviations.append(
+                float(np.mean(np.abs(fit.unlabeled_scores - exact.unlabeled_scores)))
+            )
+        assert deviations[2] <= deviations[0]
+        assert deviations[2] == pytest.approx(0.0, abs=1e-10)
+
+    def test_soft_criterion_through_anchors(self, problem):
+        data, bandwidth = problem
+        fit = solve_anchored(
+            data.x_labeled, data.y_labeled, data.x_unlabeled,
+            n_anchors=data.n_unlabeled, lam=0.1, bandwidth=bandwidth, seed=0,
+        )
+        from repro.core.soft import solve_soft_criterion
+
+        graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+        exact = solve_soft_criterion(graph.weights, data.y_labeled, 0.1)
+        np.testing.assert_allclose(
+            fit.unlabeled_scores, exact.unlabeled_scores, atol=1e-8
+        )
+
+    def test_validation(self, problem):
+        data, bandwidth = problem
+        with pytest.raises(ConfigurationError):
+            solve_anchored(
+                data.x_labeled, data.y_labeled, data.x_unlabeled,
+                n_anchors=0, bandwidth=bandwidth,
+            )
+        with pytest.raises(ConfigurationError, match="anchor method"):
+            solve_anchored(
+                data.x_labeled, data.y_labeled, data.x_unlabeled,
+                n_anchors=5, anchor_method="grid", bandwidth=bandwidth,
+            )
+        with pytest.raises(DataValidationError, match="columns"):
+            solve_anchored(
+                data.x_labeled, data.y_labeled, data.x_unlabeled[:, :3],
+                n_anchors=5, bandwidth=bandwidth,
+            )
+
+
+class TestEstimator:
+    def test_fit_predict(self, problem):
+        data, bandwidth = problem
+        model = AnchoredLabelPropagation(12, bandwidth=bandwidth, seed=0)
+        scores = model.fit_predict(
+            data.x_labeled, data.y_labeled, data.x_unlabeled
+        )
+        assert scores.shape == (data.n_unlabeled,)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            AnchoredLabelPropagation(5).predict()
+
+    def test_invalid_constructor(self):
+        with pytest.raises(ConfigurationError):
+            AnchoredLabelPropagation(0)
+
+    def test_median_bandwidth_rule(self, problem):
+        data, _ = problem
+        model = AnchoredLabelPropagation(10, bandwidth="median", seed=0)
+        model.fit(data.x_labeled, data.y_labeled, data.x_unlabeled)
+        assert model.bandwidth_ > 0

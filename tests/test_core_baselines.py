@@ -1,0 +1,113 @@
+"""Unit tests for the supervised baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import KNNClassifier, KNNRegressor, MeanPredictor
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+
+
+class TestKNNRegressor:
+    def test_k1_returns_nearest_label(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([10.0, 20.0, 30.0])
+        model = KNNRegressor(k=1).fit(x, y)
+        got = model.predict(np.array([[0.1], [1.9]]))
+        np.testing.assert_array_equal(got, [10.0, 30.0])
+
+    def test_uniform_average(self):
+        x = np.array([[0.0], [1.0], [10.0]])
+        y = np.array([0.0, 2.0, 100.0])
+        model = KNNRegressor(k=2).fit(x, y)
+        assert model.predict(np.array([[0.5]]))[0] == pytest.approx(1.0)
+
+    def test_distance_weighting(self):
+        x = np.array([[0.0], [3.0]])
+        y = np.array([0.0, 3.0])
+        model = KNNRegressor(k=2, weighting="distance").fit(x, y)
+        # Query at 1.0: weights 1/1 and 1/2 -> (0*1 + 3*0.5) / 1.5 = 1.0
+        assert model.predict(np.array([[1.0]]))[0] == pytest.approx(1.0)
+
+    def test_distance_weighting_exact_match(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([5.0, 9.0])
+        model = KNNRegressor(k=2, weighting="distance").fit(x, y)
+        assert model.predict(np.array([[1.0]]))[0] == pytest.approx(9.0)
+
+    def test_k_larger_than_train_raises(self):
+        with pytest.raises(DataValidationError):
+            KNNRegressor(k=5).fit(np.zeros((3, 1)), np.zeros(3))
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ConfigurationError):
+            KNNRegressor(k=0)
+        with pytest.raises(ConfigurationError):
+            KNNRegressor(weighting="cosine")
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            KNNRegressor().predict(np.zeros((1, 2)))
+
+    def test_k_equals_n_gives_global_mean(self, rng):
+        x = rng.normal(size=(10, 2))
+        y = rng.normal(size=10)
+        model = KNNRegressor(k=10).fit(x, y)
+        got = model.predict(rng.normal(size=(3, 2)))
+        np.testing.assert_allclose(got, np.full(3, y.mean()), atol=1e-12)
+
+
+class TestKNNClassifier:
+    def test_requires_binary(self, rng):
+        with pytest.raises(DataValidationError, match="binary"):
+            KNNClassifier().fit(rng.normal(size=(5, 2)), np.arange(5.0))
+
+    def test_proba_is_neighbour_fraction(self):
+        x = np.array([[0.0], [0.1], [0.2], [5.0]])
+        y = np.array([1.0, 1.0, 0.0, 0.0])
+        model = KNNClassifier(k=3).fit(x, y)
+        assert model.predict_proba(np.array([[0.05]]))[0] == pytest.approx(2 / 3)
+
+    def test_predict_thresholds(self):
+        x = np.array([[0.0], [0.1], [5.0], [5.1]])
+        y = np.array([1.0, 1.0, 0.0, 0.0])
+        model = KNNClassifier(k=2).fit(x, y)
+        np.testing.assert_array_equal(model.predict(np.array([[0.0], [5.0]])), [1.0, 0.0])
+
+    def test_tie_breaks_positive(self):
+        """A 50/50 neighbourhood vote maps to the positive class."""
+        x = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 1.0])
+        model = KNNClassifier(k=2).fit(x, y)
+        assert model.predict(np.array([[0.5]]))[0] == 1.0
+
+    def test_separable_clusters_perfect(self, rng):
+        x0 = rng.normal(size=(30, 2))
+        x1 = rng.normal(size=(30, 2)) + 10.0
+        x = np.vstack([x0, x1])
+        y = np.concatenate([np.zeros(30), np.ones(30)])
+        model = KNNClassifier(k=5).fit(x, y)
+        queries = np.vstack([rng.normal(size=(5, 2)), rng.normal(size=(5, 2)) + 10.0])
+        expected = np.concatenate([np.zeros(5), np.ones(5)])
+        np.testing.assert_array_equal(model.predict(queries), expected)
+
+
+class TestMeanPredictor:
+    def test_predicts_mean_everywhere(self, rng):
+        x = rng.normal(size=(20, 3))
+        y = rng.normal(size=20)
+        model = MeanPredictor().fit(x, y)
+        got = model.predict(rng.normal(size=(7, 3)))
+        np.testing.assert_allclose(got, np.full(7, y.mean()))
+
+    def test_matches_soft_infinity_limit(self, rng):
+        from repro.core.soft import soft_lambda_infinity_limit
+
+        y = rng.normal(size=10)
+        model = MeanPredictor().fit(rng.normal(size=(10, 2)), y)
+        got = model.predict(rng.normal(size=(4, 2)))
+        limit = soft_lambda_infinity_limit(y, 14)
+        np.testing.assert_allclose(got, limit[10:])
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            MeanPredictor().predict(np.zeros((1, 2)))

@@ -1,0 +1,126 @@
+"""Tests for the eigenbasis baseline and the soft fixed-point iteration."""
+
+import numpy as np
+import pytest
+
+from repro.core.eigenbasis import EigenbasisRegressor, solve_eigenbasis
+from repro.core.propagation import propagate_soft
+from repro.core.soft import solve_soft_criterion
+from repro.datasets.toy import two_moons
+from repro.exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    DataValidationError,
+    NotFittedError,
+)
+from repro.graph.similarity import full_kernel_graph
+
+
+class TestSoftPropagation:
+    @pytest.mark.parametrize("lam", [0.05, 0.5, 2.0])
+    def test_fixed_point_matches_closed_form(self, small_problem, lam):
+        data, weights, _ = small_problem
+        prop = propagate_soft(weights, data.y_labeled, lam, tol=1e-13)
+        closed = solve_soft_criterion(weights, data.y_labeled, lam, method="full")
+        assert prop.converged
+        np.testing.assert_allclose(prop.scores, closed.scores, atol=1e-9)
+
+    def test_labeled_scores_not_clamped(self, small_problem):
+        data, weights, _ = small_problem
+        prop = propagate_soft(weights, data.y_labeled, 1.0, tol=1e-12)
+        assert np.max(np.abs(prop.scores[: data.n_labeled] - data.y_labeled)) > 1e-3
+
+    def test_sparse_input(self, small_problem):
+        from scipy import sparse
+
+        data, weights, _ = small_problem
+        dense = propagate_soft(weights, data.y_labeled, 0.3, tol=1e-12)
+        sp = propagate_soft(
+            sparse.csr_matrix(weights), data.y_labeled, 0.3, tol=1e-12
+        )
+        np.testing.assert_allclose(sp.scores, dense.scores, atol=1e-9)
+
+    def test_lambda_zero_rejected(self, small_problem):
+        data, weights, _ = small_problem
+        with pytest.raises(DataValidationError, match="lam > 0"):
+            propagate_soft(weights, data.y_labeled, 0.0)
+
+    def test_budget_exhaustion(self, small_problem):
+        data, weights, _ = small_problem
+        with pytest.raises(ConvergenceError):
+            propagate_soft(weights, data.y_labeled, 0.5, tol=1e-15, max_iter=2)
+
+    def test_larger_lambda_converges_more_slowly(self, small_problem):
+        """Heavier smoothing couples vertices more strongly, so the
+        fixed point takes more sweeps."""
+        data, weights, _ = small_problem
+        fast = propagate_soft(weights, data.y_labeled, 0.01, tol=1e-10)
+        slow = propagate_soft(weights, data.y_labeled, 10.0, tol=1e-10)
+        assert slow.iterations > fast.iterations
+
+
+class TestEigenbasis:
+    def test_solves_two_moons(self):
+        x, y = two_moons(300, noise=0.07, seed=1)
+        labeled_idx = np.concatenate(
+            [np.flatnonzero(y == 0.0)[:6], np.flatnonzero(y == 1.0)[:6]]
+        )
+        rest = np.setdiff1d(np.arange(300), labeled_idx)
+        order = np.concatenate([labeled_idx, rest])
+        graph = full_kernel_graph(x[order], bandwidth=0.25)
+        fit = solve_eigenbasis(graph.weights, y[labeled_idx], n_components=6)
+        predictions = (fit.unlabeled_scores >= 0.5).astype(float)
+        assert np.mean(predictions == y[rest]) > 0.95
+
+    def test_one_component_is_constant_fit(self, small_problem):
+        """p=1: the basis is the constant vector, so every score equals
+        the labeled mean (the connected graph's smoothest function)."""
+        data, weights, _ = small_problem
+        fit = solve_eigenbasis(weights, data.y_labeled, n_components=1)
+        np.testing.assert_allclose(
+            fit.scores, np.full(weights.shape[0], data.y_labeled.mean()), atol=1e-6
+        )
+
+    def test_ridge_caps_coefficient_blowup(self, small_problem):
+        """On a flat graph, stronger ridge gives smaller score norms."""
+        data, weights, _ = small_problem
+        loose = solve_eigenbasis(
+            weights, data.y_labeled, n_components=10, ridge=1e-9
+        )
+        tight = solve_eigenbasis(
+            weights, data.y_labeled, n_components=10, ridge=1.0
+        )
+        assert np.abs(tight.scores).max() <= np.abs(loose.scores).max() + 1e-9
+
+    def test_component_budget_validation(self, small_problem):
+        data, weights, _ = small_problem
+        with pytest.raises(ConfigurationError):
+            solve_eigenbasis(weights, data.y_labeled, n_components=0)
+        with pytest.raises(ConfigurationError):
+            solve_eigenbasis(
+                weights, data.y_labeled, n_components=data.n_labeled + 1
+            )
+        with pytest.raises(ConfigurationError):
+            solve_eigenbasis(
+                weights, data.y_labeled, n_components=2, ridge=-1.0
+            )
+
+    def test_estimator_interface(self):
+        x, y = two_moons(150, noise=0.07, seed=2)
+        labeled_idx = np.concatenate(
+            [np.flatnonzero(y == 0.0)[:5], np.flatnonzero(y == 1.0)[:5]]
+        )
+        rest = np.setdiff1d(np.arange(150), labeled_idx)
+        model = EigenbasisRegressor(5, bandwidth=0.25)
+        scores = model.fit_predict(x[labeled_idx], y[labeled_idx], x[rest])
+        assert scores.shape == (len(rest),)
+        predictions = (scores >= 0.5).astype(float)
+        assert np.mean(predictions == y[rest]) > 0.9
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            EigenbasisRegressor(3).predict()
+
+    def test_invalid_constructor(self):
+        with pytest.raises(ConfigurationError):
+            EigenbasisRegressor(0)

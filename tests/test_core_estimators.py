@@ -1,0 +1,180 @@
+"""Unit tests for the estimator-style API."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (
+    GraphSSLClassifier,
+    GraphSSLRegressor,
+    HardLabelPropagation,
+    NadarayaWatsonClassifier,
+    NadarayaWatsonRegressor,
+    SoftLabelPropagation,
+)
+from repro.core.hard import solve_hard_criterion
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.graph.similarity import full_kernel_graph
+from repro.kernels.bandwidth import paper_bandwidth_rule
+
+
+@pytest.fixture
+def data():
+    return make_synthetic_dataset(60, 15, seed=42)
+
+
+class TestGraphSSLRegressor:
+    def test_matches_functional_core(self, data):
+        model = GraphSSLRegressor(lam=0.0, bandwidth="paper")
+        model.fit(data.x_labeled, data.y_labeled, data.x_unlabeled)
+        bandwidth = paper_bandwidth_rule(60, 5)
+        graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+        expected = solve_hard_criterion(graph.weights, data.y_labeled)
+        np.testing.assert_allclose(
+            model.predict(), expected.unlabeled_scores, atol=1e-10
+        )
+
+    def test_explicit_float_bandwidth(self, data):
+        model = GraphSSLRegressor(bandwidth=0.5)
+        model.fit(data.x_labeled, data.y_labeled, data.x_unlabeled)
+        assert model.bandwidth_ == 0.5
+
+    @pytest.mark.parametrize("rule", ["paper", "median", "scott", "silverman", "knn"])
+    def test_named_bandwidth_rules(self, data, rule):
+        model = GraphSSLRegressor(bandwidth=rule)
+        model.fit(data.x_labeled, data.y_labeled, data.x_unlabeled)
+        assert model.bandwidth_ > 0
+
+    def test_unknown_bandwidth_rule_raises(self, data):
+        model = GraphSSLRegressor(bandwidth="oracle")
+        with pytest.raises(ConfigurationError, match="bandwidth"):
+            model.fit(data.x_labeled, data.y_labeled, data.x_unlabeled)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            GraphSSLRegressor().predict()
+
+    def test_fit_predict_shortcut(self, data):
+        a = GraphSSLRegressor(lam=0.1).fit_predict(
+            data.x_labeled, data.y_labeled, data.x_unlabeled
+        )
+        b = (
+            GraphSSLRegressor(lam=0.1)
+            .fit(data.x_labeled, data.y_labeled, data.x_unlabeled)
+            .predict()
+        )
+        np.testing.assert_allclose(a, b)
+
+    def test_dimension_mismatch_raises(self, data):
+        with pytest.raises(DataValidationError, match="columns"):
+            GraphSSLRegressor().fit(
+                data.x_labeled, data.y_labeled, data.x_unlabeled[:, :3]
+            )
+
+    def test_scores_property(self, data):
+        model = GraphSSLRegressor().fit(
+            data.x_labeled, data.y_labeled, data.x_unlabeled
+        )
+        assert model.scores_.shape == (75,)
+        np.testing.assert_array_equal(model.scores_[:60], data.y_labeled)
+
+    def test_knn_graph_construction(self, data):
+        model = GraphSSLRegressor(graph="knn", graph_params={"k": 10})
+        model.fit(data.x_labeled, data.y_labeled, data.x_unlabeled)
+        assert model.graph_.construction == "knn"
+        assert model.predict().shape == (15,)
+
+    def test_empty_unlabeled_ok(self, data):
+        model = GraphSSLRegressor()
+        model.fit(data.x_labeled, data.y_labeled, np.empty((0, 5)))
+        assert model.predict().shape == (0,)
+
+
+class TestHardSoftWrappers:
+    def test_hard_rejects_lam(self):
+        with pytest.raises(ConfigurationError):
+            HardLabelPropagation(lam=0.1)
+
+    def test_hard_is_lam_zero(self, data):
+        hard = HardLabelPropagation().fit_predict(
+            data.x_labeled, data.y_labeled, data.x_unlabeled
+        )
+        generic = GraphSSLRegressor(lam=0.0).fit_predict(
+            data.x_labeled, data.y_labeled, data.x_unlabeled
+        )
+        np.testing.assert_allclose(hard, generic)
+
+    def test_soft_requires_positive_lam(self):
+        with pytest.raises(DataValidationError):
+            SoftLabelPropagation(0.0)
+
+    def test_soft_differs_from_hard(self, data):
+        hard = HardLabelPropagation().fit_predict(
+            data.x_labeled, data.y_labeled, data.x_unlabeled
+        )
+        soft = SoftLabelPropagation(1.0).fit_predict(
+            data.x_labeled, data.y_labeled, data.x_unlabeled
+        )
+        assert np.max(np.abs(hard - soft)) > 1e-4
+
+
+class TestClassifier:
+    def test_requires_binary_labels(self, data):
+        model = GraphSSLClassifier()
+        with pytest.raises(DataValidationError, match="binary"):
+            model.fit(data.x_labeled, data.y_labeled + 0.5, data.x_unlabeled)
+
+    def test_proba_in_unit_interval(self, data):
+        model = GraphSSLClassifier().fit(
+            data.x_labeled, data.y_labeled, data.x_unlabeled
+        )
+        proba = model.predict_proba()
+        assert proba.min() >= 0.0 and proba.max() <= 1.0
+
+    def test_predictions_are_binary(self, data):
+        model = GraphSSLClassifier().fit(
+            data.x_labeled, data.y_labeled, data.x_unlabeled
+        )
+        assert set(np.unique(model.predict())) <= {0.0, 1.0}
+
+    def test_threshold_consistency(self, data):
+        model = GraphSSLClassifier().fit(
+            data.x_labeled, data.y_labeled, data.x_unlabeled
+        )
+        np.testing.assert_array_equal(
+            model.predict(), (model.decision_scores() >= 0.5).astype(float)
+        )
+
+
+class TestNadarayaWatsonEstimators:
+    def test_regressor_matches_function(self, data):
+        from repro.core.nadaraya_watson import nadaraya_watson
+
+        model = NadarayaWatsonRegressor(bandwidth=0.6)
+        got = model.fit(data.x_labeled, data.y_labeled).predict(data.x_unlabeled)
+        expected = nadaraya_watson(
+            data.x_labeled, data.y_labeled, data.x_unlabeled, bandwidth=0.6
+        )
+        np.testing.assert_allclose(got, expected)
+
+    def test_predict_before_fit_raises(self, data):
+        with pytest.raises(NotFittedError):
+            NadarayaWatsonRegressor().predict(data.x_unlabeled)
+
+    def test_paper_bandwidth_resolved_on_labeled_count(self, data):
+        model = NadarayaWatsonRegressor(bandwidth="paper")
+        model.fit(data.x_labeled, data.y_labeled)
+        assert model.bandwidth_ == pytest.approx(paper_bandwidth_rule(60, 5))
+
+    def test_classifier_proba_and_labels(self, data):
+        model = NadarayaWatsonClassifier(bandwidth=0.6)
+        model.fit(data.x_labeled, data.y_labeled)
+        proba = model.predict_proba(data.x_unlabeled)
+        assert proba.min() >= 0.0 and proba.max() <= 1.0
+        np.testing.assert_array_equal(
+            model.predict(data.x_unlabeled), (proba >= 0.5).astype(float)
+        )
+
+    def test_classifier_requires_binary(self, data):
+        with pytest.raises(DataValidationError, match="binary"):
+            NadarayaWatsonClassifier().fit(data.x_labeled, data.q_labeled)

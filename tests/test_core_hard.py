@@ -1,0 +1,175 @@
+"""Unit tests for the hard criterion (Eq. 1/5)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.hard import hard_criterion_objective, solve_hard_criterion
+from repro.exceptions import DataValidationError, DisconnectedGraphError
+from repro.graph.similarity import full_kernel_graph
+
+
+class TestClosedForm:
+    def test_matches_eq5_bruteforce(self, small_problem):
+        """Solver output equals a literal transcription of Eq. (5)."""
+        data, weights, _ = small_problem
+        n = data.n_labeled
+        degrees = weights.sum(axis=1)
+        d22 = np.diag(degrees[n:])
+        w22 = weights[n:, n:]
+        w21 = weights[n:, :n]
+        expected = np.linalg.solve(d22 - w22, w21 @ data.y_labeled)
+        fit = solve_hard_criterion(weights, data.y_labeled)
+        np.testing.assert_allclose(fit.unlabeled_scores, expected, atol=1e-10)
+
+    def test_labeled_scores_clamped_exactly(self, small_problem):
+        data, weights, _ = small_problem
+        fit = solve_hard_criterion(weights, data.y_labeled)
+        np.testing.assert_array_equal(fit.labeled_scores, data.y_labeled)
+
+    def test_hand_computed_path_graph(self):
+        """Path 0-1-2 with unit weights, vertex 0 labeled y=1, 1-2 unlabeled.
+
+        System: d = (1, 2, 1) ignoring self-weights; solving
+        (D22-W22) f = W21 y gives f = (2/3, 1/3)... with weights
+        w01=w12=1, w02=0 and no self-loops:
+        D22 = diag(2, 1), W22 = [[0,1],[1,0]], W21 = [[1],[0]].
+        (D22-W22)^{-1} W21 y = [[2,-1],[-1,1]]^{-1} [1,0]^T = [1, 1].
+        A harmonic function with one boundary value is constant.
+        """
+        w = np.array(
+            [
+                [0.0, 1.0, 0.0],
+                [1.0, 0.0, 1.0],
+                [0.0, 1.0, 0.0],
+            ]
+        )
+        fit = solve_hard_criterion(w, np.array([1.0]))
+        np.testing.assert_allclose(fit.unlabeled_scores, [1.0, 1.0], atol=1e-12)
+
+    def test_two_boundary_path_interpolates(self):
+        """Path 0-2-3-1 (labeled ends 0 and 1): linear interpolation."""
+        # Vertex order: labeled 0 (y=0), labeled 1 (y=3), unlabeled 2, 3.
+        # Edges: 0-2, 2-3, 3-1, all weight 1.
+        w = np.zeros((4, 4))
+        for i, j in [(0, 2), (2, 3), (3, 1)]:
+            w[i, j] = w[j, i] = 1.0
+        fit = solve_hard_criterion(w, np.array([0.0, 3.0]))
+        np.testing.assert_allclose(fit.unlabeled_scores, [1.0, 2.0], atol=1e-12)
+
+    def test_maximum_principle(self, small_problem):
+        """Harmonic scores lie inside [min Y, max Y]."""
+        data, weights, _ = small_problem
+        fit = solve_hard_criterion(weights, data.y_labeled)
+        assert fit.unlabeled_scores.min() >= data.y_labeled.min() - 1e-10
+        assert fit.unlabeled_scores.max() <= data.y_labeled.max() + 1e-10
+
+    def test_is_minimizer_of_objective(self, small_problem, rng):
+        """Random feasible perturbations never decrease Eq. (1)."""
+        data, weights, _ = small_problem
+        fit = solve_hard_criterion(weights, data.y_labeled)
+        base = hard_criterion_objective(weights, fit.scores)
+        for _ in range(10):
+            perturbed = fit.scores.copy()
+            perturbed[data.n_labeled :] += 0.05 * rng.normal(
+                size=fit.n_unlabeled
+            )
+            assert hard_criterion_objective(weights, perturbed) >= base - 1e-9
+
+
+class TestSolverBackends:
+    @pytest.mark.parametrize("method", ["cg", "jacobi", "gauss_seidel", "sparse"])
+    def test_backends_match_direct(self, small_problem, method):
+        data, weights, _ = small_problem
+        direct = solve_hard_criterion(weights, data.y_labeled, method="direct")
+        other = solve_hard_criterion(
+            weights, data.y_labeled, method=method, tol=1e-12
+        )
+        np.testing.assert_allclose(
+            other.unlabeled_scores, direct.unlabeled_scores, atol=1e-7
+        )
+
+    def test_sparse_weight_matrix(self, small_problem):
+        data, weights, _ = small_problem
+        dense_fit = solve_hard_criterion(weights, data.y_labeled)
+        sparse_fit = solve_hard_criterion(sparse.csr_matrix(weights), data.y_labeled)
+        np.testing.assert_allclose(
+            sparse_fit.unlabeled_scores, dense_fit.unlabeled_scores, atol=1e-8
+        )
+
+    def test_result_metadata(self, small_problem):
+        data, weights, _ = small_problem
+        fit = solve_hard_criterion(weights, data.y_labeled)
+        assert fit.criterion == "hard"
+        assert fit.lam == 0.0
+        assert fit.n_labeled == data.n_labeled
+        assert fit.n_unlabeled == data.n_unlabeled
+
+
+class TestEdgeCases:
+    def test_no_unlabeled_returns_labels(self, rng):
+        x = rng.normal(size=(5, 2))
+        graph = full_kernel_graph(x, bandwidth=1.0)
+        y = rng.normal(size=5)
+        fit = solve_hard_criterion(graph.weights, y)
+        np.testing.assert_array_equal(fit.scores, y)
+        assert fit.n_unlabeled == 0
+
+    def test_single_label(self, rng):
+        x = rng.normal(size=(6, 2))
+        graph = full_kernel_graph(x, bandwidth=2.0)
+        fit = solve_hard_criterion(graph.weights, np.array([4.2]))
+        # One boundary value: the harmonic extension is constant.
+        np.testing.assert_allclose(fit.unlabeled_scores, np.full(5, 4.2), atol=1e-8)
+
+    def test_disconnected_raises(self, disconnected_weights):
+        with pytest.raises(DisconnectedGraphError):
+            solve_hard_criterion(disconnected_weights, np.array([1.0, 0.0]))
+
+    def test_reachability_check_can_be_disabled(self, disconnected_weights):
+        from repro.exceptions import SingularSystemError, ConvergenceError
+
+        with pytest.raises((SingularSystemError, ConvergenceError, DisconnectedGraphError)):
+            # Without the check the singular system itself must fail loudly.
+            solve_hard_criterion(
+                disconnected_weights,
+                np.array([1.0, 0.0]),
+                check_reachability=False,
+            )
+
+    def test_more_labels_than_vertices_raises(self, tiny_weights):
+        with pytest.raises(DataValidationError):
+            solve_hard_criterion(tiny_weights, np.ones(9))
+
+    def test_permutation_equivariance_of_unlabeled(self, small_problem, rng):
+        """Permuting unlabeled vertices permutes their scores."""
+        data, weights, _ = small_problem
+        n, m = data.n_labeled, data.n_unlabeled
+        perm = rng.permutation(m)
+        order = np.concatenate([np.arange(n), n + perm])
+        permuted = weights[np.ix_(order, order)]
+        base = solve_hard_criterion(weights, data.y_labeled)
+        shuffled = solve_hard_criterion(permuted, data.y_labeled)
+        np.testing.assert_allclose(
+            shuffled.unlabeled_scores, base.unlabeled_scores[perm], atol=1e-10
+        )
+
+
+class TestObjective:
+    def test_zero_for_constant_scores(self, tiny_weights):
+        assert hard_criterion_objective(tiny_weights, np.ones(4)) == pytest.approx(0.0)
+
+    def test_matches_laplacian_quadratic_form(self, small_problem, rng):
+        _, weights, _ = small_problem
+        f = rng.normal(size=weights.shape[0])
+        from repro.graph.laplacian import laplacian
+
+        expected = 2.0 * f @ laplacian(weights) @ f
+        assert hard_criterion_objective(weights, f) == pytest.approx(expected, rel=1e-9)
+
+    def test_sparse_matches_dense(self, small_problem, rng):
+        _, weights, _ = small_problem
+        f = rng.normal(size=weights.shape[0])
+        dense = hard_criterion_objective(weights, f)
+        sp = hard_criterion_objective(sparse.csr_matrix(weights), f)
+        assert sp == pytest.approx(dense, rel=1e-9)

@@ -1,0 +1,102 @@
+"""Unit tests for incremental label acquisition."""
+
+import numpy as np
+import pytest
+
+from repro.core.hard import solve_hard_criterion
+from repro.core.incremental import IncrementalHarmonicLabeler
+from repro.exceptions import DataValidationError
+
+
+def _resolve_with_extra(weights, y_labeled, extra: dict) -> np.ndarray:
+    """From-scratch hard solve after moving `extra` vertices to labeled."""
+    n = y_labeled.shape[0]
+    total = weights.shape[0]
+    extra_vertices = list(extra)
+    remaining = [i for i in range(n, total) if i not in extra]
+    order = list(range(n)) + extra_vertices + remaining
+    w_perm = weights[np.ix_(order, order)]
+    y_full = np.concatenate([y_labeled, [extra[v] for v in extra_vertices]])
+    return solve_hard_criterion(w_perm, y_full).unlabeled_scores
+
+
+class TestIncrementalLabeler:
+    def test_initial_state_matches_hard(self, small_problem):
+        data, weights, _ = small_problem
+        labeler = IncrementalHarmonicLabeler(weights, data.y_labeled)
+        hard = solve_hard_criterion(weights, data.y_labeled)
+        np.testing.assert_allclose(labeler.scores, hard.unlabeled_scores, atol=1e-10)
+        assert labeler.unlabeled_vertices == tuple(
+            range(data.n_labeled, data.n_labeled + data.n_unlabeled)
+        )
+
+    def test_single_observation_equals_resolve(self, small_problem):
+        data, weights, _ = small_problem
+        labeler = IncrementalHarmonicLabeler(weights, data.y_labeled)
+        vertex = labeler.unlabeled_vertices[4]
+        labeler.observe(vertex, 1.0)
+        expected = _resolve_with_extra(weights, data.y_labeled, {vertex: 1.0})
+        np.testing.assert_allclose(labeler.scores, expected, atol=1e-8)
+
+    def test_sequence_of_observations_equals_resolve(self, small_problem, rng):
+        data, weights, _ = small_problem
+        labeler = IncrementalHarmonicLabeler(weights, data.y_labeled)
+        acquired = {}
+        for _ in range(5):
+            vertex = int(rng.choice(labeler.unlabeled_vertices))
+            value = float(rng.integers(0, 2))
+            labeler.observe(vertex, value)
+            acquired[vertex] = value
+            expected = _resolve_with_extra(weights, data.y_labeled, acquired)
+            np.testing.assert_allclose(labeler.scores, expected, atol=1e-7)
+
+    def test_variance_shrinks_after_observation(self, small_problem):
+        data, weights, _ = small_problem
+        labeler = IncrementalHarmonicLabeler(weights, data.y_labeled)
+        before = labeler.variances
+        vertex = labeler.unlabeled_vertices[0]
+        keep = np.arange(1, before.shape[0])
+        labeler.observe(vertex, 0.0)
+        after = labeler.variances
+        assert np.all(after <= before[keep] + 1e-12)
+
+    def test_observed_bookkeeping(self, small_problem):
+        data, weights, _ = small_problem
+        labeler = IncrementalHarmonicLabeler(weights, data.y_labeled)
+        vertex = labeler.unlabeled_vertices[2]
+        labeler.observe(vertex, 1.0)
+        assert labeler.observed == {vertex: 1.0}
+        assert vertex not in labeler.unlabeled_vertices
+
+    def test_score_of_by_original_index(self, small_problem):
+        data, weights, _ = small_problem
+        labeler = IncrementalHarmonicLabeler(weights, data.y_labeled)
+        vertex = labeler.unlabeled_vertices[3]
+        assert labeler.score_of(vertex) == pytest.approx(labeler.scores[3])
+
+    def test_double_observation_raises(self, small_problem):
+        data, weights, _ = small_problem
+        labeler = IncrementalHarmonicLabeler(weights, data.y_labeled)
+        vertex = labeler.unlabeled_vertices[0]
+        labeler.observe(vertex, 1.0)
+        with pytest.raises(DataValidationError, match="not an unlabeled"):
+            labeler.observe(vertex, 0.0)
+
+    def test_labeled_vertex_rejected(self, small_problem):
+        data, weights, _ = small_problem
+        labeler = IncrementalHarmonicLabeler(weights, data.y_labeled)
+        with pytest.raises(DataValidationError):
+            labeler.observe(0, 1.0)  # vertex 0 is initially labeled
+
+    def test_non_finite_value_rejected(self, small_problem):
+        data, weights, _ = small_problem
+        labeler = IncrementalHarmonicLabeler(weights, data.y_labeled)
+        with pytest.raises(DataValidationError, match="finite"):
+            labeler.observe(labeler.unlabeled_vertices[0], np.nan)
+
+    def test_posterior_snapshot(self, small_problem):
+        data, weights, _ = small_problem
+        labeler = IncrementalHarmonicLabeler(weights, data.y_labeled)
+        snapshot = labeler.posterior(field_scale=2.0)
+        np.testing.assert_allclose(snapshot.mean, labeler.scores)
+        np.testing.assert_allclose(snapshot.variance, 4.0 * labeler.variances)

@@ -1,0 +1,175 @@
+"""Unit tests for multiclass label propagation."""
+
+import numpy as np
+import pytest
+
+from repro.core.hard import solve_hard_criterion
+from repro.core.multiclass import (
+    MulticlassLabelPropagation,
+    solve_multiclass_hard,
+)
+from repro.datasets.toy import gaussian_blobs
+from repro.exceptions import DataValidationError, NotFittedError
+from repro.graph.similarity import full_kernel_graph
+
+
+@pytest.fixture
+def blob_problem(rng):
+    """Three well-separated blobs; 5 labels per blob, rest unlabeled."""
+    centers = np.array([[0.0, 0.0], [6.0, 0.0], [3.0, 5.0]])
+    x, y = gaussian_blobs(90, centers=centers, std=0.5, seed=1)
+    labeled_idx = np.concatenate(
+        [np.flatnonzero(y == c)[:5] for c in (0.0, 1.0, 2.0)]
+    )
+    unlabeled_idx = np.setdiff1d(np.arange(90), labeled_idx)
+    order = np.concatenate([labeled_idx, unlabeled_idx])
+    x, y = x[order], y[order]
+    graph = full_kernel_graph(x, bandwidth=1.0)
+    return x, y, graph.dense_weights(), len(labeled_idx)
+
+
+class TestSolveMulticlass:
+    def test_rows_sum_to_one(self, blob_problem):
+        x, y, weights, n = blob_problem
+        fit = solve_multiclass_hard(weights, y[:n])
+        np.testing.assert_allclose(fit.scores.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_scores_in_unit_interval(self, blob_problem):
+        x, y, weights, n = blob_problem
+        fit = solve_multiclass_hard(weights, y[:n])
+        assert fit.scores.min() >= -1e-10
+        assert fit.scores.max() <= 1.0 + 1e-10
+
+    def test_each_column_is_binary_hard_criterion(self, blob_problem):
+        """Column k equals the hard criterion with one-vs-rest labels."""
+        x, y, weights, n = blob_problem
+        fit = solve_multiclass_hard(weights, y[:n])
+        for k, cls in enumerate(fit.classes):
+            binary = (y[:n] == cls).astype(float)
+            expected = solve_hard_criterion(weights, binary).unlabeled_scores
+            np.testing.assert_allclose(fit.scores[:, k], expected, atol=1e-9)
+
+    def test_separable_blobs_classified_perfectly(self, blob_problem):
+        x, y, weights, n = blob_problem
+        fit = solve_multiclass_hard(weights, y[:n])
+        np.testing.assert_array_equal(fit.predict(), y[n:])
+
+    def test_predict_proba_normalized(self, blob_problem):
+        x, y, weights, n = blob_problem
+        proba = solve_multiclass_hard(weights, y[:n]).predict_proba()
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-10)
+        assert proba.min() >= 0.0
+
+    def test_two_classes_matches_binary(self, small_problem):
+        """K=2 multiclass reduces to the binary hard criterion."""
+        data, weights, _ = small_problem
+        fit = solve_multiclass_hard(weights, data.y_labeled)
+        binary = solve_hard_criterion(weights, data.y_labeled)
+        positive_col = list(fit.classes).index(1.0)
+        np.testing.assert_allclose(
+            fit.scores[:, positive_col], binary.unlabeled_scores, atol=1e-9
+        )
+
+    def test_single_class_raises(self, tiny_weights):
+        with pytest.raises(DataValidationError, match=">= 2 classes"):
+            solve_multiclass_hard(tiny_weights, np.array([1.0, 1.0]))
+
+    def test_no_unlabeled_raises(self, tiny_weights):
+        with pytest.raises(DataValidationError):
+            solve_multiclass_hard(tiny_weights, np.array([0.0, 1.0, 0.0, 1.0]))
+
+    def test_string_free_integer_classes(self, blob_problem):
+        """Arbitrary numeric class values survive the round trip."""
+        x, y, weights, n = blob_problem
+        relabeled = np.where(y == 0.0, 10.0, np.where(y == 1.0, 20.0, 30.0))
+        fit = solve_multiclass_hard(weights, relabeled[:n])
+        np.testing.assert_array_equal(np.unique(fit.predict()), [10.0, 20.0, 30.0])
+
+
+class TestClassMassNormalization:
+    def test_preserves_within_column_ranking(self, blob_problem):
+        from repro.core.multiclass import class_mass_normalize
+
+        x, y, weights, n = blob_problem
+        fit = solve_multiclass_hard(weights, y[:n])
+        normalized = class_mass_normalize(fit.scores, fit.priors)
+        for k in range(fit.scores.shape[1]):
+            np.testing.assert_array_equal(
+                np.argsort(fit.scores[:, k]), np.argsort(normalized[:, k])
+            )
+
+    def test_masses_match_priors_after_normalization(self, blob_problem):
+        from repro.core.multiclass import class_mass_normalize
+
+        x, y, weights, n = blob_problem
+        fit = solve_multiclass_hard(weights, y[:n])
+        normalized = class_mass_normalize(fit.scores, fit.priors)
+        np.testing.assert_allclose(normalized.mean(axis=0), fit.priors, atol=1e-10)
+
+    def test_corrects_baseline_shifted_columns(self):
+        """When one column carries an additive baseline advantage that
+        the priors do not justify, raw argmax collapses to that class;
+        CMN restores the signal-driven decision."""
+        from repro.core.multiclass import MulticlassFit, class_mass_normalize
+
+        signal = np.linspace(-0.04, 0.04, 9)
+        scores = np.column_stack([0.60 + signal, 0.40 - signal])
+        fit = MulticlassFit(
+            scores=scores,
+            classes=np.array([0.0, 1.0]),
+            priors=np.array([0.5, 0.5]),
+        )
+        raw = fit.predict(class_mass_normalization=False)
+        assert np.all(raw == 0.0)  # baseline swamps the signal
+        cmn = fit.predict(class_mass_normalization=True)
+        assert set(np.unique(cmn)) == {0.0, 1.0}
+        # After CMN, the decision follows the signal's sign.
+        normalized = class_mass_normalize(scores, fit.priors)
+        expected = (normalized[:, 1] > normalized[:, 0]).astype(float)
+        np.testing.assert_array_equal(cmn, expected)
+
+    def test_validation(self):
+        from repro.core.multiclass import class_mass_normalize
+
+        with pytest.raises(DataValidationError):
+            class_mass_normalize(np.ones((3, 2)), np.ones(3))
+        with pytest.raises(DataValidationError):
+            class_mass_normalize(np.ones((3, 2)), np.array([0.5, 0.0]))
+        with pytest.raises(DataValidationError, match="mass"):
+            class_mass_normalize(np.zeros((3, 2)), np.array([0.5, 0.5]))
+
+
+class TestEstimator:
+    def test_fit_predict_on_blobs(self, rng):
+        centers = np.array([[0.0, 0.0], [8.0, 0.0], [4.0, 7.0]])
+        x, y = gaussian_blobs(120, centers=centers, std=0.6, seed=2)
+        labeled_idx = np.concatenate(
+            [np.flatnonzero(y == c)[:6] for c in (0.0, 1.0, 2.0)]
+        )
+        unlabeled_idx = np.setdiff1d(np.arange(120), labeled_idx)
+        model = MulticlassLabelPropagation(bandwidth=1.0)
+        model.fit(x[labeled_idx], y[labeled_idx], x[unlabeled_idx])
+        assert np.mean(model.predict() == y[unlabeled_idx]) > 0.95
+        proba = model.predict_proba()
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-10)
+        np.testing.assert_array_equal(model.classes_, [0.0, 1.0, 2.0])
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            MulticlassLabelPropagation().predict()
+
+    def test_dimension_mismatch_raises(self, rng):
+        model = MulticlassLabelPropagation(bandwidth=1.0)
+        with pytest.raises(DataValidationError, match="columns"):
+            model.fit(
+                rng.normal(size=(6, 2)),
+                np.array([0, 0, 0, 1, 1, 1], dtype=float),
+                rng.normal(size=(3, 4)),
+            )
+
+    def test_median_bandwidth_default(self, rng):
+        centers = np.array([[0.0, 0.0], [5.0, 0.0]])
+        x, y = gaussian_blobs(40, centers=centers, std=0.5, seed=3)
+        model = MulticlassLabelPropagation()
+        model.fit(x[:20], y[:20], x[20:])
+        assert model.bandwidth_ > 0

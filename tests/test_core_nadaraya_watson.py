@@ -1,0 +1,106 @@
+"""Unit tests for the Nadaraya-Watson estimator (Eq. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.nadaraya_watson import nadaraya_watson, nadaraya_watson_from_weights
+from repro.exceptions import DataValidationError
+from repro.kernels.library import BoxcarKernel, GaussianKernel
+
+
+class TestFromWeights:
+    def test_matches_eq6_bruteforce(self, small_problem):
+        data, weights, _ = small_problem
+        n = data.n_labeled
+        got = nadaraya_watson_from_weights(weights, data.y_labeled)
+        w21 = weights[n:, :n]
+        expected = (w21 @ data.y_labeled) / w21.sum(axis=1)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_convex_combination_of_labels(self, small_problem):
+        data, weights, _ = small_problem
+        got = nadaraya_watson_from_weights(weights, data.y_labeled)
+        assert got.min() >= data.y_labeled.min() - 1e-12
+        assert got.max() <= data.y_labeled.max() + 1e-12
+
+    def test_denominator_sums_labeled_only(self):
+        """The NW denominator excludes unlabeled neighbours (unlike d_{n+a})."""
+        w = np.array(
+            [
+                [1.0, 0.0, 0.5, 0.1],
+                [0.0, 1.0, 0.5, 0.0],
+                [0.5, 0.5, 1.0, 0.9],
+                [0.1, 0.0, 0.9, 1.0],
+            ]
+        )
+        y = np.array([1.0, 0.0])
+        got = nadaraya_watson_from_weights(w, y)
+        # Vertex 2: (0.5*1 + 0.5*0) / (0.5+0.5) = 0.5 despite heavy edge to 3.
+        assert got[0] == pytest.approx(0.5)
+
+    def test_requires_unlabeled(self, tiny_weights):
+        with pytest.raises(DataValidationError):
+            nadaraya_watson_from_weights(tiny_weights, np.ones(4))
+
+    def test_zero_labeled_mass_raises(self):
+        w = np.zeros((3, 3))
+        np.fill_diagonal(w, 1.0)
+        w[1, 2] = w[2, 1] = 0.5  # unlabeled pair, no edge to labeled 0
+        with pytest.raises(DataValidationError, match="zero total weight"):
+            nadaraya_watson_from_weights(w, np.array([1.0]))
+
+
+class TestFromData:
+    def test_matches_weights_version(self, small_problem):
+        data, weights, bandwidth = small_problem
+        from_data = nadaraya_watson(
+            data.x_labeled, data.y_labeled, data.x_unlabeled, bandwidth=bandwidth
+        )
+        from_weights = nadaraya_watson_from_weights(weights, data.y_labeled)
+        np.testing.assert_allclose(from_data, from_weights, atol=1e-10)
+
+    def test_boxcar_is_local_average(self, rng):
+        """With a boxcar kernel NW is the plain mean of in-ball labels."""
+        x = np.array([[0.0], [0.1], [0.2], [5.0]])
+        y = np.array([1.0, 2.0, 3.0, 100.0])
+        query = np.array([[0.1]])
+        got = nadaraya_watson(x, y, query, kernel=BoxcarKernel(), bandwidth=0.5)
+        assert got[0] == pytest.approx(2.0)
+
+    def test_interpolates_at_training_point_small_bandwidth(self, rng):
+        x = rng.normal(size=(20, 2))
+        y = rng.normal(size=20)
+        got = nadaraya_watson(x, y, x[:1], bandwidth=1e-3)
+        assert got[0] == pytest.approx(y[0], abs=1e-6)
+
+    def test_constant_labels_reproduced(self, rng):
+        x = rng.normal(size=(15, 3))
+        y = np.full(15, 3.3)
+        query = rng.normal(size=(4, 3))
+        got = nadaraya_watson(x, y, query, bandwidth=1.0)
+        np.testing.assert_allclose(got, np.full(4, 3.3), atol=1e-12)
+
+    def test_empty_support_raises(self):
+        x = np.array([[0.0, 0.0]])
+        y = np.array([1.0])
+        far_query = np.array([[100.0, 100.0]])
+        with pytest.raises(DataValidationError, match="bandwidth"):
+            nadaraya_watson(x, y, far_query, kernel=BoxcarKernel(), bandwidth=1.0)
+
+    def test_recovers_smooth_function(self, rng):
+        """Statistical sanity: NW approximates a smooth 1-d regression."""
+        n = 3000
+        x = rng.uniform(0, 1, size=(n, 1))
+        q = np.sin(2 * np.pi * x[:, 0])
+        y = q + 0.1 * rng.normal(size=n)
+        query = np.linspace(0.1, 0.9, 20)[:, None]
+        got = nadaraya_watson(x, y, query, kernel=GaussianKernel(), bandwidth=0.03)
+        truth = np.sin(2 * np.pi * query[:, 0])
+        assert np.max(np.abs(got - truth)) < 0.1
+
+    def test_label_length_mismatch_raises(self, rng):
+        with pytest.raises(DataValidationError):
+            nadaraya_watson(
+                rng.normal(size=(5, 2)), np.ones(4), rng.normal(size=(2, 2)),
+                bandwidth=1.0,
+            )

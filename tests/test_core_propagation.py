@@ -1,0 +1,129 @@
+"""Unit tests for iterative label propagation and the LGC baseline."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.hard import solve_hard_criterion
+from repro.core.propagation import local_global_consistency, propagate_labels
+from repro.exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    DataValidationError,
+    DisconnectedGraphError,
+)
+
+
+class TestPropagation:
+    def test_fixed_point_equals_hard_solution(self, small_problem):
+        data, weights, _ = small_problem
+        hard = solve_hard_criterion(weights, data.y_labeled)
+        prop = propagate_labels(weights, data.y_labeled, tol=1e-13)
+        assert prop.converged
+        np.testing.assert_allclose(
+            prop.unlabeled_scores, hard.unlabeled_scores, atol=1e-8
+        )
+
+    def test_labeled_scores_clamped(self, small_problem):
+        data, weights, _ = small_problem
+        prop = propagate_labels(weights, data.y_labeled)
+        np.testing.assert_array_equal(
+            prop.scores[: data.n_labeled], data.y_labeled
+        )
+
+    def test_delta_trace_monotone_tail(self, small_problem):
+        """Updates eventually contract geometrically."""
+        data, weights, _ = small_problem
+        prop = propagate_labels(weights, data.y_labeled, tol=1e-12)
+        deltas = np.array(prop.delta_norms)
+        tail = deltas[len(deltas) // 2 :]
+        assert np.all(np.diff(tail) <= 1e-15)
+
+    def test_sparse_input(self, small_problem):
+        data, weights, _ = small_problem
+        dense = propagate_labels(weights, data.y_labeled, tol=1e-12)
+        sp = propagate_labels(sparse.csr_matrix(weights), data.y_labeled, tol=1e-12)
+        np.testing.assert_allclose(
+            sp.unlabeled_scores, dense.unlabeled_scores, atol=1e-9
+        )
+
+    def test_max_iter_exhaustion_raises(self, small_problem):
+        data, weights, _ = small_problem
+        with pytest.raises(ConvergenceError) as excinfo:
+            propagate_labels(weights, data.y_labeled, tol=1e-15, max_iter=2)
+        assert excinfo.value.iterations == 2
+
+    def test_disconnected_raises(self, disconnected_weights):
+        with pytest.raises(DisconnectedGraphError):
+            propagate_labels(disconnected_weights, np.array([1.0, 0.0]))
+
+    def test_no_unlabeled(self, tiny_weights):
+        prop = propagate_labels(tiny_weights, np.ones(4))
+        assert prop.iterations == 0
+        assert prop.converged
+        np.testing.assert_array_equal(prop.scores, np.ones(4))
+
+    def test_zero_degree_unlabeled_vertex_raises(self):
+        w = np.zeros((3, 3))
+        w[0, 1] = w[1, 0] = 1.0
+        # Vertex 2 is isolated AND unlabeled -> reachability error first.
+        with pytest.raises((DisconnectedGraphError, DataValidationError)):
+            propagate_labels(w, np.array([1.0]))
+
+
+class TestLocalGlobalConsistency:
+    def test_matches_closed_form(self, small_problem):
+        data, weights, _ = small_problem
+        alpha = 0.9
+        fit = local_global_consistency(weights, data.y_labeled, alpha=alpha)
+        degrees = weights.sum(axis=1)
+        inv_sqrt = 1.0 / np.sqrt(degrees)
+        sym = inv_sqrt[:, None] * weights * inv_sqrt[None, :]
+        y0 = np.zeros(weights.shape[0])
+        y0[: data.n_labeled] = data.y_labeled
+        expected = (1 - alpha) * np.linalg.solve(
+            np.eye(weights.shape[0]) - alpha * sym, y0
+        )
+        np.testing.assert_allclose(fit.scores, expected, atol=1e-10)
+
+    def test_alpha_bounds_enforced(self, small_problem):
+        data, weights, _ = small_problem
+        for alpha in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                local_global_consistency(weights, data.y_labeled, alpha=alpha)
+
+    def test_small_alpha_tracks_initial_labels(self, small_problem):
+        """alpha -> 0: scores -> (1-alpha) y0 ~ y0."""
+        data, weights, _ = small_problem
+        fit = local_global_consistency(weights, data.y_labeled, alpha=1e-6)
+        np.testing.assert_allclose(
+            fit.scores[: data.n_labeled], data.y_labeled, atol=1e-3
+        )
+
+    def test_isolated_vertex_raises(self):
+        w = np.zeros((3, 3))
+        w[0, 1] = w[1, 0] = 1.0
+        with pytest.raises(DataValidationError):
+            local_global_consistency(w, np.array([1.0]), alpha=0.5)
+
+    def test_ranking_agrees_with_hard_on_clusters(self, rng):
+        """On well-separated clusters LGC and hard rank identically."""
+        from repro.graph.similarity import full_kernel_graph
+
+        centers = np.array([[0.0, 0.0], [6.0, 0.0]])
+        assignments = np.repeat([0, 1], 20)
+        x = centers[assignments] + 0.4 * rng.normal(size=(40, 2))
+        y_full = assignments.astype(float)
+        # Label 5 points from each cluster (first 10 vertices overall).
+        order = np.concatenate(
+            [np.arange(0, 5), np.arange(20, 25), np.arange(5, 20), np.arange(25, 40)]
+        )
+        x, y_full = x[order], y_full[order]
+        graph = full_kernel_graph(x, bandwidth=1.0)
+        y_labeled = y_full[:10]
+        hard = solve_hard_criterion(graph.weights, y_labeled)
+        lgc = local_global_consistency(graph.weights, y_labeled, alpha=0.9)
+        hidden = y_full[10:]
+        assert np.all((hard.unlabeled_scores > 0.5) == (hidden == 1.0))
+        b = lgc.scores[10:]
+        assert np.all((b > np.median(b)) == (hidden == 1.0))

@@ -1,0 +1,128 @@
+"""Unit tests for the Theorem II.1 assumption checkers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.theory import (
+    check_theorem_assumptions,
+    consistency_ratio,
+    tiny_element_bound,
+    volume_unit_ball,
+)
+from repro.exceptions import AssumptionViolationError, DataValidationError
+from repro.kernels.library import BoxcarKernel, GaussianKernel
+
+
+class TestVolumeUnitBall:
+    def test_known_dimensions(self):
+        assert volume_unit_ball(1) == pytest.approx(2.0)
+        assert volume_unit_ball(2) == pytest.approx(math.pi)
+        assert volume_unit_ball(3) == pytest.approx(4.0 * math.pi / 3.0)
+
+    def test_invalid_dim(self):
+        with pytest.raises(DataValidationError):
+            volume_unit_ball(0)
+
+
+class TestConsistencyRatio:
+    def test_formula(self):
+        assert consistency_ratio(100, 30, 0.5, 2) == pytest.approx(30 / (100 * 0.25))
+
+    def test_vanishes_under_paper_bandwidth(self):
+        """m fixed, h = (log n / n)^{1/d}: ratio = m / log n -> 0."""
+        from repro.kernels.bandwidth import paper_bandwidth_rule
+
+        d, m = 5, 30
+        ratios = [
+            consistency_ratio(n, m, paper_bandwidth_rule(n, d), d)
+            for n in (10, 100, 10_000, 10_000_000)
+        ]
+        assert all(b < a for a, b in zip(ratios, ratios[1:]))
+
+    def test_validation(self):
+        with pytest.raises(DataValidationError):
+            consistency_ratio(0, 1, 0.5, 2)
+        with pytest.raises(DataValidationError):
+            consistency_ratio(1, -1, 0.5, 2)
+        with pytest.raises(DataValidationError):
+            consistency_ratio(1, 1, 0.0, 2)
+
+
+class TestTinyElementBound:
+    def test_boxcar_closed_form(self):
+        """Boxcar: k*=1, beta=1, delta=1 so M = 4 / (s* V_d)."""
+        bound = tiny_element_bound(BoxcarKernel(), n=100, bandwidth=0.5, dim=2, density_lower_bound=1.0)
+        s = 1.0 * math.pi * 1.0 / 2.0
+        expected = (2.0 / s) / (100 * 0.25)
+        assert bound == pytest.approx(expected)
+
+    def test_shrinks_with_n(self):
+        kernel = GaussianKernel()
+        b1 = tiny_element_bound(kernel, 100, 0.5, 2, 1.0)
+        b2 = tiny_element_bound(kernel, 1000, 0.5, 2, 1.0)
+        assert b2 < b1
+
+    def test_requires_positive_density(self):
+        with pytest.raises(DataValidationError):
+            tiny_element_bound(GaussianKernel(), 10, 0.5, 2, 0.0)
+
+    def test_actually_bounds_matrix_elements(self, small_problem):
+        """Empirical ||D22^{-1} W22||_max is below the theoretical envelope
+        (with a conservative density lower bound)."""
+        data, weights, bandwidth = small_problem
+        n = data.n_labeled
+        degrees = weights.sum(axis=1)
+        iterated = weights[n:, n:] / degrees[n:, None]
+        empirical = float(np.max(iterated))
+        bound = tiny_element_bound(
+            GaussianKernel(), n, bandwidth, dim=5, density_lower_bound=0.05
+        )
+        assert empirical <= bound
+
+
+class TestAssumptionReport:
+    def test_gaussian_fails_compact_support(self):
+        report = check_theorem_assumptions(
+            GaussianKernel(), n=1000, m=30, dim=5, bandwidth=0.5
+        )
+        assert not report.kernel_conditions.compact_support
+        assert not report.all_satisfied
+
+    def test_boxcar_with_good_growth_passes(self):
+        report = check_theorem_assumptions(
+            BoxcarKernel(), n=10_000, m=5, dim=2, bandwidth=0.3
+        )
+        assert report.all_satisfied
+
+    def test_growth_violation_detected(self):
+        report = check_theorem_assumptions(
+            BoxcarKernel(), n=10, m=10_000, dim=2, bandwidth=0.3
+        )
+        assert not report.growth_ok
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(AssumptionViolationError, match="assumptions violated"):
+            check_theorem_assumptions(
+                GaussianKernel(), n=100, m=30, dim=5, bandwidth=0.5, strict=True
+            )
+
+    def test_summary_mentions_key_quantities(self):
+        report = check_theorem_assumptions(
+            BoxcarKernel(), n=100, m=30, dim=2, bandwidth=0.5
+        )
+        text = report.summary()
+        assert "n h^d" in text
+        assert "m/(n h^d)" in text
+
+    def test_effective_mass_formula(self):
+        report = check_theorem_assumptions(
+            BoxcarKernel(), n=100, m=10, dim=2, bandwidth=0.5
+        )
+        assert report.effective_labeled_mass == pytest.approx(25.0)
+        assert report.growth_ratio == pytest.approx(0.4)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(DataValidationError):
+            check_theorem_assumptions(BoxcarKernel(), n=0, m=1, dim=2, bandwidth=0.5)

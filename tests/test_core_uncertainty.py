@@ -1,0 +1,98 @@
+"""Unit tests for the Gaussian-field posterior (uncertainty quantification)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hard import solve_hard_criterion
+from repro.core.uncertainty import gaussian_field_posterior
+from repro.exceptions import DataValidationError, DisconnectedGraphError
+
+
+class TestPosterior:
+    def test_mean_is_hard_solution(self, small_problem):
+        data, weights, _ = small_problem
+        posterior = gaussian_field_posterior(weights, data.y_labeled)
+        hard = solve_hard_criterion(weights, data.y_labeled)
+        np.testing.assert_allclose(posterior.mean, hard.unlabeled_scores, atol=1e-10)
+
+    def test_covariance_is_grounded_laplacian_inverse(self, small_problem):
+        data, weights, _ = small_problem
+        n = data.n_labeled
+        posterior = gaussian_field_posterior(weights, data.y_labeled, field_scale=2.0)
+        degrees = weights.sum(axis=1)
+        grounded = np.diag(degrees[n:]) - weights[n:, n:]
+        np.testing.assert_allclose(
+            posterior.covariance, 4.0 * np.linalg.inv(grounded), atol=1e-8
+        )
+
+    def test_covariance_spd(self, small_problem):
+        data, weights, _ = small_problem
+        posterior = gaussian_field_posterior(weights, data.y_labeled)
+        np.testing.assert_allclose(
+            posterior.covariance, posterior.covariance.T, atol=1e-10
+        )
+        assert np.linalg.eigvalsh(posterior.covariance).min() > 0
+
+    def test_field_scale_scales_variance_not_mean(self, small_problem):
+        data, weights, _ = small_problem
+        p1 = gaussian_field_posterior(weights, data.y_labeled, field_scale=1.0)
+        p3 = gaussian_field_posterior(weights, data.y_labeled, field_scale=3.0)
+        np.testing.assert_allclose(p1.mean, p3.mean)
+        np.testing.assert_allclose(9.0 * p1.variance, p3.variance, rtol=1e-10)
+
+    def test_variance_larger_far_from_labels(self):
+        """On a path labeled at one end, variance grows with distance."""
+        length = 6
+        w = np.zeros((length, length))
+        for i in range(length - 1):
+            w[i, i + 1] = w[i + 1, i] = 1.0
+        posterior = gaussian_field_posterior(w, np.array([0.5]))
+        assert np.all(np.diff(posterior.variance) > 0)
+
+    def test_credible_interval_contains_mean(self, small_problem):
+        data, weights, _ = small_problem
+        posterior = gaussian_field_posterior(weights, data.y_labeled)
+        low, high = posterior.credible_interval()
+        assert np.all(low < posterior.mean)
+        assert np.all(posterior.mean < high)
+
+    def test_credible_interval_z_validation(self, small_problem):
+        data, weights, _ = small_problem
+        posterior = gaussian_field_posterior(weights, data.y_labeled)
+        with pytest.raises(DataValidationError):
+            posterior.credible_interval(z=0.0)
+
+    def test_most_uncertain_ordering(self, small_problem):
+        data, weights, _ = small_problem
+        posterior = gaussian_field_posterior(weights, data.y_labeled)
+        top3 = posterior.most_uncertain(3)
+        variances = posterior.variance
+        assert variances[top3[0]] >= variances[top3[1]] >= variances[top3[2]]
+        assert variances[top3[0]] == variances.max()
+
+    def test_most_uncertain_count_validation(self, small_problem):
+        data, weights, _ = small_problem
+        posterior = gaussian_field_posterior(weights, data.y_labeled)
+        with pytest.raises(DataValidationError):
+            posterior.most_uncertain(0)
+        with pytest.raises(DataValidationError):
+            posterior.most_uncertain(posterior.mean.shape[0] + 1)
+
+    def test_requires_unlabeled(self, tiny_weights):
+        with pytest.raises(DataValidationError):
+            gaussian_field_posterior(tiny_weights, np.ones(4))
+
+    def test_disconnected_raises(self, disconnected_weights):
+        with pytest.raises(DisconnectedGraphError):
+            gaussian_field_posterior(disconnected_weights, np.array([1.0, 0.0]))
+
+    def test_conditioning_consistency_with_resistance(self, small_problem):
+        """Variance relates to graph coupling: the unlabeled vertex with
+        the largest total weight to the labeled set is not the most
+        uncertain one."""
+        data, weights, _ = small_problem
+        n = data.n_labeled
+        posterior = gaussian_field_posterior(weights, data.y_labeled)
+        labeled_mass = weights[n:, :n].sum(axis=1)
+        most_connected = int(np.argmax(labeled_mass))
+        assert posterior.variance[most_connected] < posterior.variance.max()

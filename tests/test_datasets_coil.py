@@ -1,0 +1,132 @@
+"""Unit tests for the COIL-like procedural image dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.coil import make_coil_like
+from repro.exceptions import ConfigurationError, DataValidationError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_coil_like(images_per_class=50, seed=0)
+
+
+class TestStructure:
+    def test_paper_geometry(self, dataset):
+        assert dataset.images.shape == (300, 256)
+        assert dataset.image_size == 16
+        assert dataset.n_samples == 300
+
+    def test_six_balanced_classes(self, dataset):
+        values, counts = np.unique(dataset.class_labels, return_counts=True)
+        np.testing.assert_array_equal(values, np.arange(6))
+        np.testing.assert_array_equal(counts, np.full(6, 50))
+
+    def test_binary_grouping_first_three_vs_last_three(self, dataset):
+        np.testing.assert_array_equal(
+            dataset.binary_labels, (dataset.class_labels >= 3).astype(float)
+        )
+
+    def test_objects_match_classes(self, dataset):
+        np.testing.assert_array_equal(
+            dataset.class_labels, dataset.object_ids // 4
+        )
+
+    def test_angles_in_range(self, dataset):
+        assert dataset.angles.min() >= 0.0
+        assert dataset.angles.max() < 2 * np.pi
+
+    def test_full_size_counts(self):
+        data = make_coil_like(images_per_class=250, seed=1)
+        assert data.n_samples == 1500
+        # 288 available per class, 38 discarded.
+        values, counts = np.unique(data.class_labels, return_counts=True)
+        np.testing.assert_array_equal(counts, np.full(6, 250))
+
+    def test_image_accessor(self, dataset):
+        img = dataset.image(0)
+        assert img.shape == (16, 16)
+        np.testing.assert_array_equal(img.ravel(), dataset.images[0])
+
+    def test_shuffled_not_grouped(self, dataset):
+        """Rows must be shuffled (splits rely on random fold assignment
+        being meaningful even without extra shuffling)."""
+        first_block = dataset.class_labels[:50]
+        assert len(np.unique(first_block)) > 1
+
+
+class TestSignalStructure:
+    def test_same_object_adjacent_angles_are_similar(self, dataset):
+        """The manifold property: images of one object at nearby angles
+        are closer than images of different objects on average."""
+        images = dataset.images
+        object_ids = dataset.object_ids
+        angles = dataset.angles
+        within = []
+        for obj in np.unique(object_ids)[:6]:
+            members = np.flatnonzero(object_ids == obj)
+            members = members[np.argsort(angles[members])]
+            pairs = zip(members, members[1:])
+            within.extend(
+                np.linalg.norm(images[i] - images[j]) for i, j in pairs
+            )
+        rng = np.random.default_rng(0)
+        cross = []
+        for _ in range(300):
+            i, j = rng.integers(0, dataset.n_samples, 2)
+            if object_ids[i] != object_ids[j]:
+                cross.append(np.linalg.norm(images[i] - images[j]))
+        assert np.mean(within) < 0.5 * np.mean(cross)
+
+    def test_noise_increases_distances(self):
+        clean = make_coil_like(images_per_class=20, noise=0.0, seed=3)
+        noisy = make_coil_like(images_per_class=20, noise=0.5, seed=3)
+        assert noisy.images.std() > clean.images.std()
+
+    def test_reproducible(self):
+        a = make_coil_like(images_per_class=10, seed=5)
+        b = make_coil_like(images_per_class=10, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.class_labels, b.class_labels)
+
+    def test_confusable_pairs_reduce_separability(self):
+        plain = make_coil_like(images_per_class=30, seed=4, confusable_pairs=0)
+        confused = make_coil_like(
+            images_per_class=30, seed=4, confusable_pairs=12, confusable_jitter=0.005
+        )
+
+        def cross_group_min_distance(ds):
+            group0 = ds.images[ds.binary_labels == 0.0]
+            group1 = ds.images[ds.binary_labels == 1.0]
+            from repro.kernels.base import pairwise_sq_distances
+
+            return np.sqrt(pairwise_sq_distances(group0, group1).min())
+
+        assert cross_group_min_distance(confused) < cross_group_min_distance(plain)
+
+
+class TestValidation:
+    def test_invalid_images_per_class(self):
+        with pytest.raises(DataValidationError):
+            make_coil_like(images_per_class=300)  # > 288 available
+
+    def test_invalid_image_size(self):
+        with pytest.raises(DataValidationError):
+            make_coil_like(image_size=2)
+
+    def test_invalid_shared_structure(self):
+        with pytest.raises(ConfigurationError):
+            make_coil_like(shared_structure=1.0)
+
+    def test_invalid_noise(self):
+        with pytest.raises(ConfigurationError):
+            make_coil_like(noise=-0.1)
+
+    def test_invalid_confusable_pairs(self):
+        with pytest.raises(ConfigurationError):
+            make_coil_like(confusable_pairs=13)
+
+    def test_invalid_lighting(self):
+        with pytest.raises(ConfigurationError):
+            make_coil_like(lighting_amplitude=1.0)

@@ -1,0 +1,161 @@
+"""Tests for the transductive-problem IO helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import (
+    TransductiveProblem,
+    load_transductive_csv,
+    load_transductive_npz,
+    save_transductive_npz,
+)
+from repro.exceptions import DataValidationError
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(
+        "f1,f2,label\n"
+        "0.1,0.2,1\n"
+        "0.3,0.4,\n"
+        "0.5,0.6,0\n"
+        "0.7,0.8,?\n"
+        "0.9,1.0,1\n"
+    )
+    return path
+
+
+class TestCsvLoading:
+    def test_splits_labeled_and_unlabeled(self, csv_file):
+        problem = load_transductive_csv(csv_file, label_column="label")
+        assert problem.n_labeled == 3
+        assert problem.n_unlabeled == 2
+        np.testing.assert_array_equal(problem.y_labeled, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(
+            problem.x_unlabeled, [[0.3, 0.4], [0.7, 0.8]]
+        )
+        assert problem.feature_names == ("f1", "f2")
+
+    def test_label_column_position_irrelevant(self, tmp_path):
+        path = tmp_path / "mid.csv"
+        path.write_text("a,label,b\n1,5,2\n3,,4\n5,6,6\n")
+        problem = load_transductive_csv(path, label_column="label")
+        np.testing.assert_allclose(problem.x_labeled, [[1.0, 2.0], [5.0, 6.0]])
+        np.testing.assert_array_equal(problem.y_labeled, [5.0, 6.0])
+        np.testing.assert_allclose(problem.x_unlabeled, [[3.0, 4.0]])
+
+    def test_x_all_stacks_labeled_first(self, csv_file):
+        problem = load_transductive_csv(csv_file, label_column="label")
+        assert problem.x_all.shape == (5, 2)
+        np.testing.assert_allclose(problem.x_all[:3], problem.x_labeled)
+
+    def test_custom_missing_markers(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("f,label\n1,0\n2,MISSING\n3,1\n")
+        problem = load_transductive_csv(
+            path, label_column="label", missing_markers=("MISSING",)
+        )
+        assert problem.n_unlabeled == 1
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataValidationError, match="no such file"):
+            load_transductive_csv(tmp_path / "nope.csv", label_column="y")
+
+    def test_unknown_label_column(self, csv_file):
+        with pytest.raises(DataValidationError, match="label column"):
+            load_transductive_csv(csv_file, label_column="target")
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,label\n1,0\n2\n")
+        with pytest.raises(DataValidationError, match="expected 2 cells"):
+            load_transductive_csv(path, label_column="label")
+
+    def test_non_numeric_feature_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,label\nxyz,0\n1,\n")
+        with pytest.raises(DataValidationError, match="non-numeric feature"):
+            load_transductive_csv(path, label_column="label")
+
+    def test_non_numeric_label_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,label\n1,yes\n2,\n")
+        with pytest.raises(DataValidationError, match="non-numeric label"):
+            load_transductive_csv(path, label_column="label")
+
+    def test_all_labeled_rejected(self, tmp_path):
+        path = tmp_path / "full.csv"
+        path.write_text("a,label\n1,0\n2,1\n")
+        with pytest.raises(DataValidationError, match="no unlabeled rows"):
+            load_transductive_csv(path, label_column="label")
+
+    def test_none_labeled_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a,label\n1,\n2,\n")
+        with pytest.raises(DataValidationError, match="no labeled rows"):
+            load_transductive_csv(path, label_column="label")
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip(self, tmp_path, rng):
+        problem = TransductiveProblem(
+            x_labeled=rng.normal(size=(5, 3)),
+            y_labeled=rng.normal(size=5),
+            x_unlabeled=rng.normal(size=(4, 3)),
+            y_unlabeled=rng.normal(size=4),
+        )
+        path = save_transductive_npz(tmp_path / "sub" / "p.npz", problem)
+        loaded = load_transductive_npz(path)
+        np.testing.assert_array_equal(loaded.x_labeled, problem.x_labeled)
+        np.testing.assert_array_equal(loaded.y_labeled, problem.y_labeled)
+        np.testing.assert_array_equal(loaded.x_unlabeled, problem.x_unlabeled)
+        np.testing.assert_array_equal(loaded.y_unlabeled, problem.y_unlabeled)
+
+    def test_roundtrip_without_eval_labels(self, tmp_path, rng):
+        problem = TransductiveProblem(
+            x_labeled=rng.normal(size=(3, 2)),
+            y_labeled=rng.normal(size=3),
+            x_unlabeled=rng.normal(size=(2, 2)),
+        )
+        path = save_transductive_npz(tmp_path / "p.npz", problem)
+        loaded = load_transductive_npz(path)
+        assert loaded.y_unlabeled is None
+
+    def test_missing_arrays_rejected(self, tmp_path, rng):
+        path = tmp_path / "bad.npz"
+        np.savez(path, x_labeled=rng.normal(size=(3, 2)))
+        with pytest.raises(DataValidationError, match="missing required"):
+            load_transductive_npz(path)
+
+    def test_dimension_mismatch_rejected(self, tmp_path, rng):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            x_labeled=rng.normal(size=(3, 2)),
+            y_labeled=rng.normal(size=3),
+            x_unlabeled=rng.normal(size=(2, 5)),
+        )
+        with pytest.raises(DataValidationError, match="columns"):
+            load_transductive_npz(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataValidationError, match="no such file"):
+            load_transductive_npz(tmp_path / "nope.npz")
+
+    def test_pipeline_from_loaded_problem(self, tmp_path, rng):
+        """End to end: save -> load -> fit the hard criterion."""
+        from repro.core.estimators import HardLabelPropagation
+
+        problem = TransductiveProblem(
+            x_labeled=rng.normal(size=(20, 2)),
+            y_labeled=rng.integers(0, 2, 20).astype(float),
+            x_unlabeled=rng.normal(size=(8, 2)),
+        )
+        path = save_transductive_npz(tmp_path / "p.npz", problem)
+        loaded = load_transductive_npz(path)
+        model = HardLabelPropagation(bandwidth=1.0)
+        scores = model.fit_predict(
+            loaded.x_labeled, loaded.y_labeled, loaded.x_unlabeled
+        )
+        assert scores.shape == (8,)

@@ -1,0 +1,174 @@
+"""Unit tests for the transductive split protocols."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import (
+    COIL_SETTINGS,
+    kfold_indices,
+    paper_coil_protocol,
+    transductive_splits,
+)
+from repro.exceptions import ConfigurationError, DataValidationError
+
+
+class TestKFold:
+    def test_partition_property(self):
+        folds = kfold_indices(103, 5, seed=0)
+        assert len(folds) == 5
+        combined = np.sort(np.concatenate(folds))
+        np.testing.assert_array_equal(combined, np.arange(103))
+
+    def test_nearly_equal_sizes(self):
+        folds = kfold_indices(103, 5, seed=0)
+        sizes = [len(f) for f in folds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shuffled(self):
+        folds = kfold_indices(100, 5, seed=1)
+        # A contiguous-chunk split would make fold 0 == 0..19.
+        assert not np.array_equal(folds[0], np.arange(20))
+
+    def test_reproducible(self):
+        a = kfold_indices(50, 5, seed=3)
+        b = kfold_indices(50, 5, seed=3)
+        for fa, fb in zip(a, b):
+            np.testing.assert_array_equal(fa, fb)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            kfold_indices(10, 1)
+        with pytest.raises(DataValidationError):
+            kfold_indices(3, 5)
+
+
+class TestTransductiveSplits:
+    def test_yields_n_folds_rotations(self):
+        splits = list(transductive_splits(50, n_folds=5, labeled_folds=4, seed=0))
+        assert len(splits) == 5
+
+    def test_labeled_unlabeled_partition(self):
+        for labeled, unlabeled in transductive_splits(
+            53, n_folds=5, labeled_folds=4, seed=0
+        ):
+            combined = np.sort(np.concatenate([labeled, unlabeled]))
+            np.testing.assert_array_equal(combined, np.arange(53))
+
+    def test_ratio_80_20(self):
+        for labeled, unlabeled in transductive_splits(
+            100, n_folds=5, labeled_folds=4, seed=0
+        ):
+            assert len(labeled) == 80
+            assert len(unlabeled) == 20
+
+    def test_ratio_20_80(self):
+        for labeled, unlabeled in transductive_splits(
+            100, n_folds=5, labeled_folds=1, seed=0
+        ):
+            assert len(labeled) == 20
+            assert len(unlabeled) == 80
+
+    def test_every_sample_predicted_once_in_8020(self):
+        """With labeled_folds = n_folds - 1 the unlabeled sets tile the data."""
+        unlabeled_all = np.concatenate(
+            [
+                u
+                for _, u in transductive_splits(60, n_folds=5, labeled_folds=4, seed=0)
+            ]
+        )
+        np.testing.assert_array_equal(np.sort(unlabeled_all), np.arange(60))
+
+    def test_invalid_labeled_folds(self):
+        with pytest.raises(ConfigurationError):
+            list(transductive_splits(50, n_folds=5, labeled_folds=5, seed=0))
+        with pytest.raises(ConfigurationError):
+            list(transductive_splits(50, n_folds=5, labeled_folds=0, seed=0))
+
+
+class TestStratifiedSplits:
+    def test_folds_partition(self, rng):
+        from repro.datasets.splits import stratified_kfold_indices
+
+        labels = rng.integers(0, 3, 97).astype(float)
+        folds = stratified_kfold_indices(labels, 5, seed=0)
+        combined = np.sort(np.concatenate(folds))
+        np.testing.assert_array_equal(combined, np.arange(97))
+
+    def test_class_balance_preserved(self, rng):
+        from repro.datasets.splits import stratified_kfold_indices
+
+        labels = np.concatenate([np.zeros(60), np.ones(40)])
+        folds = stratified_kfold_indices(labels, 5, seed=1)
+        for fold in folds:
+            ones = labels[fold].sum()
+            assert 7 <= ones <= 9  # 40/5 = 8 +- 1
+
+    def test_validation(self):
+        from repro.datasets.splits import stratified_kfold_indices
+
+        with pytest.raises(ConfigurationError):
+            stratified_kfold_indices(np.zeros(10), 1)
+        with pytest.raises(DataValidationError):
+            stratified_kfold_indices(np.zeros(3), 5)
+
+    def test_labeled_split_fraction(self, rng):
+        from repro.datasets.splits import stratified_labeled_split
+
+        labels = rng.integers(0, 2, 200).astype(float)
+        labeled, unlabeled = stratified_labeled_split(labels, 0.2, seed=0)
+        assert abs(len(labeled) - 40) <= 2
+        np.testing.assert_array_equal(
+            np.sort(np.concatenate([labeled, unlabeled])), np.arange(200)
+        )
+
+    def test_labeled_split_covers_every_class(self, rng):
+        from repro.datasets.splits import stratified_labeled_split
+
+        # A rare class with 3 members at a tiny labeled fraction.
+        labels = np.concatenate([np.zeros(97), np.full(3, 1.0)])
+        labeled, _ = stratified_labeled_split(labels, 0.05, seed=1)
+        assert 1.0 in labels[labeled]
+
+    def test_labeled_split_validation(self):
+        from repro.datasets.splits import stratified_labeled_split
+
+        with pytest.raises(ConfigurationError):
+            stratified_labeled_split(np.zeros(10), 0.0)
+        with pytest.raises(ConfigurationError):
+            stratified_labeled_split(np.zeros(2), 0.99)
+
+
+class TestPaperProtocol:
+    def test_settings_table(self):
+        assert COIL_SETTINGS["80/20"] == (5, 4)
+        assert COIL_SETTINGS["20/80"] == (5, 1)
+        assert COIL_SETTINGS["10/90"] == (10, 1)
+
+    @pytest.mark.parametrize(
+        "setting,expected_labeled_fraction",
+        [("80/20", 0.8), ("20/80", 0.2), ("10/90", 0.1)],
+    )
+    def test_ratios(self, setting, expected_labeled_fraction):
+        n = 100
+        for labeled, unlabeled in paper_coil_protocol(n, setting, repeats=1, seed=0):
+            assert len(labeled) == pytest.approx(n * expected_labeled_fraction, abs=1)
+
+    def test_experiment_counts_match_paper(self):
+        """100 repeats give 500 experiments (5 folds) or 1000 (10 folds)."""
+        count_8020 = sum(1 for _ in paper_coil_protocol(50, "80/20", repeats=100, seed=0))
+        assert count_8020 == 500
+        count_1090 = sum(1 for _ in paper_coil_protocol(50, "10/90", repeats=100, seed=0))
+        assert count_1090 == 1000
+
+    def test_repeats_reshuffle(self):
+        splits = list(paper_coil_protocol(40, "80/20", repeats=2, seed=0))
+        first, second = splits[0][0], splits[5][0]
+        assert not np.array_equal(first, second)
+
+    def test_unknown_setting_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown setting"):
+            list(paper_coil_protocol(50, "50/50", repeats=1))
+
+    def test_invalid_repeats_raises(self):
+        with pytest.raises(ConfigurationError):
+            list(paper_coil_protocol(50, "80/20", repeats=0))

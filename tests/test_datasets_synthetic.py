@@ -1,0 +1,152 @@
+"""Unit tests for the paper's synthetic data-generating process."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    make_synthetic_dataset,
+    model1_logit,
+    model2_logit,
+    sample_binary_responses,
+    sigmoid,
+    true_regression,
+    truncated_mvn_inputs,
+)
+from repro.exceptions import ConfigurationError, DataValidationError
+
+
+class TestTruncatedInputs:
+    def test_support_is_unit_cube(self):
+        x = truncated_mvn_inputs(5000, seed=0)
+        assert x.min() >= 0.0
+        assert x.max() <= 1.0
+
+    def test_shape_and_dim(self):
+        x = truncated_mvn_inputs(10, dim=3, seed=0)
+        assert x.shape == (10, 3)
+
+    def test_truncation_zeroes_not_clips(self):
+        """Out-of-range draws must be set to 0, not clipped to the edge.
+
+        With variance 0.1 around 0.5 a noticeable mass exceeds 1; clipping
+        would pile it at 1.0, zeroing piles it at 0.0.  An atom at exactly
+        1.0 would reveal clipping.
+        """
+        x = truncated_mvn_inputs(20_000, seed=1)
+        assert np.sum(x == 1.0) == 0
+        assert np.sum(x == 0.0) > 100  # both tails mapped to zero
+
+    def test_interior_moments(self):
+        """Mean is close to 0.5 (mild truncation) and correlations positive."""
+        x = truncated_mvn_inputs(50_000, seed=2)
+        assert abs(x.mean() - 0.5) < 0.08
+        corr = np.corrcoef(x.T)
+        off_diag = corr[np.triu_indices(5, k=1)]
+        assert np.all(off_diag > 0.1)
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(
+            truncated_mvn_inputs(10, seed=3), truncated_mvn_inputs(10, seed=3)
+        )
+
+    def test_invalid_covariance_raises(self):
+        with pytest.raises(ConfigurationError):
+            truncated_mvn_inputs(10, variance=0.1, covariance=0.2)
+
+    def test_invalid_counts_raise(self):
+        with pytest.raises(DataValidationError):
+            truncated_mvn_inputs(0)
+
+
+class TestLogits:
+    def test_model1_hand_computed(self):
+        x = np.array([[1.0, 1.0, 1.0, 1.0, 1.0]])
+        # -1.35 + 2 - 1 + 1 - 1 + 2 = 1.65
+        assert model1_logit(x)[0] == pytest.approx(1.65)
+
+    def test_model2_adds_interactions(self):
+        x = np.array([[0.5, 0.5, 0.5, 0.5, 0.5]])
+        assert model2_logit(x)[0] == pytest.approx(model1_logit(x)[0] + 0.25 + 0.25)
+
+    def test_zero_input(self):
+        x = np.zeros((1, 5))
+        assert model1_logit(x)[0] == pytest.approx(-1.35)
+        assert model2_logit(x)[0] == pytest.approx(-1.35)
+
+    def test_wrong_dim_raises(self):
+        with pytest.raises(DataValidationError, match="5-dimensional"):
+            model1_logit(np.zeros((2, 3)))
+
+
+class TestSigmoidAndRegression:
+    def test_sigmoid_symmetry(self):
+        z = np.array([-3.0, -1.0, 0.0, 1.0, 3.0])
+        np.testing.assert_allclose(sigmoid(z) + sigmoid(-z), np.ones(5), atol=1e-12)
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == 0.0
+        assert out[1] == 1.0
+
+    def test_true_regression_in_unit_interval(self):
+        x = truncated_mvn_inputs(100, seed=0)
+        for model in ("model1", "model2"):
+            q = true_regression(x, model)
+            assert q.min() >= 0.0 and q.max() <= 1.0
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown model"):
+            true_regression(np.zeros((1, 5)), "model3")
+
+
+class TestResponses:
+    def test_respects_probabilities(self):
+        rng_q = np.full(100_000, 0.3)
+        y = sample_binary_responses(rng_q, seed=0)
+        assert set(np.unique(y)) <= {0.0, 1.0}
+        assert abs(y.mean() - 0.3) < 0.01
+
+    def test_deterministic_extremes(self):
+        y = sample_binary_responses(np.array([0.0, 1.0]), seed=0)
+        np.testing.assert_array_equal(y, [0.0, 1.0])
+
+    def test_invalid_probabilities_raise(self):
+        with pytest.raises(DataValidationError):
+            sample_binary_responses(np.array([1.5]))
+
+
+class TestMakeDataset:
+    def test_shapes_consistent(self):
+        data = make_synthetic_dataset(50, 20, seed=0)
+        assert data.x_labeled.shape == (50, 5)
+        assert data.x_unlabeled.shape == (20, 5)
+        assert data.y_labeled.shape == (50,)
+        assert data.q_unlabeled.shape == (20,)
+        assert data.x_all.shape == (70, 5)
+        assert data.n_labeled == 50
+        assert data.n_unlabeled == 20
+
+    def test_q_matches_inputs(self):
+        data = make_synthetic_dataset(30, 10, model="model2", seed=1)
+        np.testing.assert_allclose(
+            data.q_unlabeled, true_regression(data.x_unlabeled, "model2")
+        )
+
+    def test_labels_binary(self):
+        data = make_synthetic_dataset(100, 5, seed=2)
+        assert set(np.unique(data.y_labeled)) <= {0.0, 1.0}
+        assert set(np.unique(data.y_unlabeled)) <= {0.0, 1.0}
+
+    def test_reproducible(self):
+        a = make_synthetic_dataset(20, 5, seed=7)
+        b = make_synthetic_dataset(20, 5, seed=7)
+        np.testing.assert_array_equal(a.x_all, b.x_all)
+        np.testing.assert_array_equal(a.y_labeled, b.y_labeled)
+
+    def test_zero_unlabeled_allowed(self):
+        data = make_synthetic_dataset(10, 0, seed=0)
+        assert data.n_unlabeled == 0
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(DataValidationError):
+            make_synthetic_dataset(0, 5)

@@ -1,0 +1,113 @@
+"""Unit tests for the toy datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.toy import (
+    concentric_circles,
+    constant_input_toy,
+    gaussian_blobs,
+    swiss_roll,
+    two_moons,
+)
+from repro.exceptions import DataValidationError
+
+
+class TestConstantInputToy:
+    def test_inputs_all_identical(self):
+        toy = constant_input_toy(5, 3, value=0.7, seed=0)
+        assert toy.x_all.shape == (8, 2)
+        assert np.all(toy.x_all == 0.7)
+
+    def test_expected_score_is_label_mean(self):
+        toy = constant_input_toy(10, 4, seed=1)
+        assert toy.expected_unlabeled_score == pytest.approx(toy.y_labeled.mean())
+
+    def test_paper_inverse_entries(self):
+        toy = constant_input_toy(5, 3, seed=2)
+        # (n+1)/(n(m+n)) and 1/(n(m+n)) with n=5, m=3.
+        assert toy.expected_inverse_diagonal == pytest.approx(6 / 40)
+        assert toy.expected_inverse_off_diagonal == pytest.approx(1 / 40)
+
+    def test_inverse_formula_verified_against_numpy(self):
+        """The paper's explicit (D22-W22)^{-1} matches numerical inversion."""
+        n, m = 7, 4
+        toy = constant_input_toy(n, m, seed=3)
+        total = n + m
+        w = np.ones((total, total))
+        grounded = np.diag(np.full(m, float(total - 1))) - (
+            np.ones((m, m)) - np.eye(m)
+        )
+        inverse = np.linalg.inv(grounded)
+        expected = np.full((m, m), toy.expected_inverse_off_diagonal)
+        np.fill_diagonal(expected, toy.expected_inverse_diagonal)
+        np.testing.assert_allclose(inverse, expected, atol=1e-12)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(DataValidationError):
+            constant_input_toy(0, 3)
+        with pytest.raises(DataValidationError):
+            constant_input_toy(3, 0)
+
+
+class TestTwoMoons:
+    def test_shapes_and_labels(self):
+        x, y = two_moons(101, seed=0)
+        assert x.shape == (101, 2)
+        assert set(np.unique(y)) == {0.0, 1.0}
+        assert abs(y.sum() - 50.5) <= 0.5
+
+    def test_noiseless_points_on_circles(self):
+        x, y = two_moons(200, noise=0.0, seed=1)
+        upper = x[y == 0.0]
+        radii = np.linalg.norm(upper, axis=1)
+        np.testing.assert_allclose(radii, np.ones_like(radii), atol=1e-10)
+
+    def test_rows_shuffled(self):
+        _, y = two_moons(100, seed=2)
+        assert len(np.unique(y[:10])) > 1
+
+
+class TestCircles:
+    def test_radii_separated(self):
+        x, y = concentric_circles(300, radii=(1.0, 3.0), noise=0.0, seed=0)
+        inner = np.linalg.norm(x[y == 0.0], axis=1)
+        outer = np.linalg.norm(x[y == 1.0], axis=1)
+        assert inner.max() < outer.min()
+
+    def test_invalid_radii(self):
+        with pytest.raises(DataValidationError):
+            concentric_circles(10, radii=(2.0, 1.0))
+
+
+class TestBlobs:
+    def test_labels_match_centers(self):
+        centers = np.array([[0.0, 0.0], [100.0, 0.0]])
+        x, y = gaussian_blobs(200, centers=centers, std=0.5, seed=0)
+        for label, center in enumerate(centers):
+            members = x[y == float(label)]
+            np.testing.assert_allclose(
+                members.mean(axis=0), center, atol=0.5
+            )
+
+    def test_default_centers(self):
+        x, y = gaussian_blobs(50, seed=1)
+        assert x.shape == (50, 2)
+        assert set(np.unique(y)) <= {0.0, 1.0, 2.0}
+
+    def test_invalid_centers_shape(self):
+        with pytest.raises(DataValidationError):
+            gaussian_blobs(10, centers=np.zeros(3))
+
+
+class TestSwissRoll:
+    def test_shape_and_manifold_relation(self):
+        x, t = swiss_roll(500, noise=0.0, seed=0)
+        assert x.shape == (500, 3)
+        # x = (t cos t, h, t sin t): radius equals the manifold coordinate.
+        radii = np.sqrt(x[:, 0] ** 2 + x[:, 2] ** 2)
+        np.testing.assert_allclose(radii, t, atol=1e-10)
+
+    def test_minimum_samples(self):
+        with pytest.raises(DataValidationError):
+            swiss_roll(1)

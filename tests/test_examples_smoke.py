@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; letting them rot defeats
+their purpose.  Each runs in a subprocess with the repository's source
+tree on the path and must exit 0 with non-empty output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: A marker phrase expected in each example's output, proving the
+#: interesting part actually ran (not just the imports).
+EXPECTED_PHRASES = {
+    "quickstart.py": "hard criterion",
+    "two_moons_ssl.py": "accuracy",
+    "coil_image_classification.py": "AUC",
+    "consistency_study.py": "Proposition II.2",
+    "bandwidth_and_kernels.py": "ablation",
+    "solver_backends.py": "complexity claim",
+    "active_learning_demo.py": "learning curve",
+    "multiclass_coil.py": "overall accuracy",
+    "bring_your_own_data.py": "scored",
+    "calibration_and_thresholds.py": "calibration artifact",
+}
+
+
+def test_every_example_has_an_expectation():
+    names = {path.name for path in EXAMPLE_SCRIPTS}
+    assert names == set(EXPECTED_PHRASES), (
+        "examples/ and EXPECTED_PHRASES drifted apart; update the test"
+    )
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=lambda path: path.name
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stderr[-2000:]}"
+    )
+    assert EXPECTED_PHRASES[script.name] in result.stdout

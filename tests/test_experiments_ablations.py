@@ -1,0 +1,80 @@
+"""Tests for the ablation drivers (trimmed sizes)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.ablations import (
+    run_bandwidth_ablation,
+    run_graph_ablation,
+    run_kernel_ablation,
+    run_solver_ablation,
+)
+
+
+class TestKernelAblation:
+    def test_structure(self):
+        result = run_kernel_ablation(
+            kernels=("gaussian", "boxcar"),
+            n_labeled=40, n_unlabeled=10, n_replicates=3, seed=0,
+        )
+        assert result.x_values == ("gaussian", "boxcar")
+        assert result.means.shape == (1, 2)
+        assert np.all(result.means > 0)
+
+    def test_compact_kernels_competitive(self):
+        """Compactly-supported kernels should be in the same RMSE ballpark
+        as the paper's Gaussian (not degenerate)."""
+        result = run_kernel_ablation(
+            kernels=("gaussian", "epanechnikov"),
+            n_labeled=80, n_unlabeled=15, n_replicates=10, seed=1,
+        )
+        gaussian, epanechnikov = result.means[0]
+        assert epanechnikov < 2.0 * gaussian
+
+
+class TestBandwidthAblation:
+    def test_structure(self):
+        result = run_bandwidth_ablation(
+            rules=("paper", "median"),
+            n_labeled=40, n_unlabeled=10, n_replicates=3, seed=0,
+        )
+        assert result.x_values == ("paper", "median")
+        assert np.all(result.means > 0)
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ConfigurationError):
+            run_bandwidth_ablation(rules=("oracle",), n_replicates=1)
+
+
+class TestGraphAblation:
+    def test_structure(self):
+        result = run_graph_ablation(
+            constructions=("full", "knn"),
+            n_labeled=40, n_unlabeled=10, knn_k=15, n_replicates=3, seed=0,
+        )
+        assert result.x_values == ("full", "knn")
+        assert np.all(result.means > 0)
+
+    def test_unknown_construction_raises(self):
+        with pytest.raises(ConfigurationError):
+            run_graph_ablation(constructions=("delaunay",), n_replicates=1)
+
+
+class TestSolverAblation:
+    def test_all_backends_agree_with_direct(self):
+        result = run_solver_ablation(
+            methods=("direct", "cg", "jacobi", "gauss_seidel", "propagation"),
+            n_labeled=60, n_unlabeled=20, repeats=1, seed=0,
+        )
+        assert result.max_deviation[0] == 0.0  # direct vs itself
+        assert all(dev < 1e-6 for dev in result.max_deviation)
+        assert all(sec > 0 for sec in result.seconds)
+
+    def test_rows_align_with_headers(self):
+        result = run_solver_ablation(
+            methods=("direct", "cg"), n_labeled=40, n_unlabeled=10, repeats=1, seed=0
+        )
+        rows = result.to_rows()
+        assert len(rows) == 2
+        assert len(rows[0]) == len(result.headers())

@@ -1,0 +1,59 @@
+"""Unit tests for the replicate runner."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import run_replicates
+
+
+class TestRunReplicates:
+    def test_aggregates_means(self):
+        summary = run_replicates(
+            lambda rng: {"x": 2.0, "y": -1.0}, n_replicates=5, seed=0
+        )
+        assert summary.n_replicates == 5
+        assert summary.mean("x") == pytest.approx(2.0)
+        assert summary.mean("y") == pytest.approx(-1.0)
+        assert summary.std("x") == 0.0
+        assert summary.sem("x") == 0.0
+
+    def test_std_and_sem(self):
+        values = iter([1.0, 3.0])
+        summary = run_replicates(
+            lambda rng: {"v": next(values)}, n_replicates=2, seed=0
+        )
+        assert summary.mean("v") == pytest.approx(2.0)
+        assert summary.std("v") == pytest.approx(np.std([1.0, 3.0], ddof=1))
+        assert summary.sem("v") == pytest.approx(summary.std("v") / np.sqrt(2))
+
+    def test_single_replicate_zero_std(self):
+        summary = run_replicates(lambda rng: {"v": 7.0}, n_replicates=1, seed=0)
+        assert summary.std("v") == 0.0
+
+    def test_replicates_receive_independent_streams(self):
+        draws = []
+        run_replicates(
+            lambda rng: draws.append(rng.random()) or {"v": 0.0},
+            n_replicates=4,
+            seed=1,
+        )
+        assert len(set(draws)) == 4
+
+    def test_reproducible_from_seed(self):
+        def replicate(rng):
+            return {"v": float(rng.random())}
+
+        a = run_replicates(replicate, n_replicates=3, seed=42)
+        b = run_replicates(replicate, n_replicates=3, seed=42)
+        assert a.means == b.means
+
+    def test_inconsistent_keys_raise(self):
+        keys = iter([{"a": 1.0}, {"b": 1.0}])
+
+        with pytest.raises(ConfigurationError, match="inconsistent"):
+            run_replicates(lambda rng: next(keys), n_replicates=2, seed=0)
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            run_replicates(lambda rng: {"v": 0.0}, n_replicates=0)

@@ -1,0 +1,117 @@
+"""Unit tests for SweepResult and the reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.report import ascii_table, format_sweep_result, write_csv
+from repro.experiments.sweep import SweepResult
+
+
+@pytest.fixture
+def sweep():
+    return SweepResult(
+        name="demo",
+        x_label="n",
+        x_values=(10, 20, 30),
+        series_labels=("hard", "soft"),
+        means=np.array([[0.3, 0.2, 0.1], [0.4, 0.35, 0.3]]),
+        stds=np.zeros((2, 3)),
+        sems=np.zeros((2, 3)),
+        metric="rmse",
+        n_replicates=5,
+        meta={"model": "model1"},
+    )
+
+
+class TestSweepResult:
+    def test_series_lookup(self, sweep):
+        np.testing.assert_array_equal(sweep.series("hard"), [0.3, 0.2, 0.1])
+
+    def test_unknown_series_raises(self, sweep):
+        with pytest.raises(ConfigurationError, match="unknown series"):
+            sweep.series("medium")
+
+    def test_rows_and_headers_align(self, sweep):
+        rows = sweep.to_rows()
+        headers = sweep.headers()
+        assert headers == ["n", "hard", "soft"]
+        assert rows[0] == [10, 0.3, 0.4]
+        assert len(rows) == 3
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="shape"):
+            SweepResult(
+                name="bad",
+                x_label="n",
+                x_values=(1, 2),
+                series_labels=("a",),
+                means=np.zeros((2, 2)),
+                stds=np.zeros((1, 2)),
+                sems=np.zeros((1, 2)),
+                metric="rmse",
+                n_replicates=1,
+            )
+
+    def test_dominates_smaller_is_better(self, sweep):
+        assert sweep.series_dominates("hard", "soft")
+        assert not sweep.series_dominates("soft", "hard")
+
+    def test_dominates_with_slack(self, sweep):
+        assert sweep.series_dominates("soft", "hard", slack=0.5)
+
+    def test_dominates_larger_is_better(self, sweep):
+        assert sweep.series_dominates("soft", "hard", larger_is_better=True)
+
+    def test_trend_sign(self, sweep):
+        assert sweep.series_trend("hard") < 0
+        rising = SweepResult(
+            name="up",
+            x_label="m",
+            x_values=(1, 2, 3),
+            series_labels=("s",),
+            means=np.array([[0.1, 0.2, 0.4]]),
+            stds=np.zeros((1, 3)),
+            sems=np.zeros((1, 3)),
+            metric="rmse",
+            n_replicates=1,
+        )
+        assert rising.series_trend("s") > 0
+
+
+class TestAsciiTable:
+    def test_alignment_and_separator(self):
+        table = ascii_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1].replace(" ", "")) == {"-"}
+        # Fixed-width layout: every line has the same length.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_formatting(self):
+        table = ascii_table(["x"], [[0.123456]])
+        assert "0.1235" in table
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError, match="cells"):
+            ascii_table(["a", "b"], [[1]])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ConfigurationError):
+            ascii_table([], [])
+
+
+class TestFormatAndCsv:
+    def test_format_contains_title_meta_and_data(self, sweep):
+        text = format_sweep_result(sweep)
+        assert "demo" in text
+        assert "RMSE" in text
+        assert "model=model1" in text
+        assert "0.3000" in text
+
+    def test_write_csv_roundtrip(self, sweep, tmp_path):
+        path = write_csv(tmp_path / "out" / "demo.csv", sweep.headers(), sweep.to_rows())
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "n,hard,soft"
+        assert len(lines) == 4
+        assert lines[1].startswith("10,0.3")

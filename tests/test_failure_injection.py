@@ -1,0 +1,127 @@
+"""Failure-injection tests: broken inputs must fail loudly and helpfully.
+
+Every scenario here is a realistic misuse — disconnected graphs, NaN
+inputs, singular systems, shape mismatches — and the contract is that
+the library raises one of its own exception types with an actionable
+message, never a bare numpy error or a silent wrong answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import GraphSSLRegressor, HardLabelPropagation
+from repro.core.hard import solve_hard_criterion
+from repro.core.propagation import propagate_labels
+from repro.core.soft import solve_soft_criterion
+from repro.exceptions import (
+    ConvergenceError,
+    DataValidationError,
+    DisconnectedGraphError,
+    GraphStructureError,
+    ReproError,
+    SingularSystemError,
+)
+
+
+class TestDisconnectedGraphs:
+    def test_hard_criterion_names_orphans(self, disconnected_weights):
+        with pytest.raises(DisconnectedGraphError) as excinfo:
+            solve_hard_criterion(disconnected_weights, np.array([1.0, 0.0]))
+        message = str(excinfo.value)
+        assert "3" in message and "4" in message
+        assert "bandwidth" in message
+
+    def test_estimator_with_tiny_bandwidth_raises_disconnected(self, rng):
+        """A bandwidth far too small for the data disconnects the graph
+        once weights underflow to zero."""
+        x_labeled = rng.normal(size=(10, 2))
+        x_unlabeled = rng.normal(size=(5, 2)) + 500.0  # far away
+        model = GraphSSLRegressor(bandwidth=1e-3)
+        with pytest.raises(DisconnectedGraphError):
+            model.fit(x_labeled, rng.normal(size=10), x_unlabeled)
+
+    def test_propagation_same_contract(self, disconnected_weights):
+        with pytest.raises(DisconnectedGraphError):
+            propagate_labels(disconnected_weights, np.array([1.0, 0.0]))
+
+
+class TestNanAndInfInputs:
+    def test_nan_in_weights(self, tiny_weights):
+        bad = tiny_weights.copy()
+        bad[0, 1] = bad[1, 0] = np.nan
+        with pytest.raises(DataValidationError, match="non-finite"):
+            solve_hard_criterion(bad, np.array([1.0, 0.0]))
+
+    def test_nan_in_labels(self, tiny_weights):
+        with pytest.raises(DataValidationError, match="non-finite"):
+            solve_hard_criterion(tiny_weights, np.array([1.0, np.nan]))
+
+    def test_inf_in_estimator_inputs(self, rng):
+        x = rng.normal(size=(10, 2))
+        x[3, 1] = np.inf
+        model = HardLabelPropagation(bandwidth=1.0)
+        with pytest.raises(DataValidationError):
+            model.fit(x, rng.normal(size=10), rng.normal(size=(5, 2)))
+
+
+class TestStructuralMisuse:
+    def test_negative_weights_rejected(self):
+        w = np.array([[0.0, -0.5], [-0.5, 0.0]])
+        with pytest.raises(GraphStructureError, match="negative"):
+            solve_hard_criterion(w, np.array([1.0]))
+
+    def test_asymmetric_weights_rejected(self, tiny_weights):
+        bad = tiny_weights.copy()
+        bad[0, 1] = 0.9
+        with pytest.raises(GraphStructureError, match="symmetric"):
+            solve_hard_criterion(bad, np.array([1.0, 0.0]))
+
+    def test_non_square_weights_rejected(self):
+        with pytest.raises(DataValidationError, match="square"):
+            solve_hard_criterion(np.ones((3, 4)), np.array([1.0]))
+
+    def test_labels_longer_than_graph(self, tiny_weights):
+        with pytest.raises(DataValidationError, match="vertices"):
+            solve_soft_criterion(tiny_weights, np.ones(10), 0.1)
+
+    def test_2d_labels_rejected(self, tiny_weights):
+        with pytest.raises(DataValidationError, match="1-d"):
+            solve_hard_criterion(tiny_weights, np.ones((2, 1)))
+
+
+class TestSingularAndNonConvergent:
+    def test_singular_system_is_library_error(self):
+        """An all-zero-degree unlabeled block without the reachability
+        check still raises a ReproError subtype, not a numpy error."""
+        w = np.zeros((3, 3))
+        w[0, 1] = w[1, 0] = 1.0
+        with pytest.raises(ReproError):
+            solve_hard_criterion(w, np.array([1.0]), check_reachability=False)
+
+    def test_iteration_budget_exhaustion_reports_residual(self, small_problem):
+        data, weights, _ = small_problem
+        with pytest.raises(ConvergenceError) as excinfo:
+            propagate_labels(weights, data.y_labeled, tol=1e-16, max_iter=3)
+        assert excinfo.value.iterations == 3
+        assert np.isfinite(excinfo.value.residual)
+
+    def test_singular_error_type_hierarchy(self):
+        """SingularSystemError doubles as ValueError for generic callers."""
+        assert issubclass(SingularSystemError, ValueError)
+        assert issubclass(SingularSystemError, ReproError)
+        assert issubclass(DisconnectedGraphError, ReproError)
+
+
+class TestAllExceptionsAreCatchable:
+    def test_every_failure_path_caught_by_repro_error(self, disconnected_weights, tiny_weights):
+        failures = [
+            lambda: solve_hard_criterion(disconnected_weights, np.array([1.0, 0.0])),
+            lambda: solve_hard_criterion(tiny_weights, np.array([np.nan, 0.0])),
+            lambda: solve_soft_criterion(tiny_weights, np.array([1.0, 0.0]), -1.0),
+            lambda: GraphSSLRegressor(bandwidth="bogus").fit(
+                np.zeros((3, 2)), np.zeros(3), np.zeros((2, 2))
+            ),
+        ]
+        for failure in failures:
+            with pytest.raises(ReproError):
+                failure()

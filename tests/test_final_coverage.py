@@ -1,0 +1,130 @@
+"""Final coverage batch: cross-cutting behaviours not pinned elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import run_replicates
+
+
+class TestBootstrapMultiMetric:
+    def test_independent_intervals_per_metric(self):
+        summary = run_replicates(
+            lambda rng: {
+                "narrow": float(rng.normal(0.0, 0.01)),
+                "wide": float(rng.normal(0.0, 10.0)),
+            },
+            n_replicates=40,
+            seed=0,
+        )
+        narrow_low, narrow_high = summary.bootstrap_ci("narrow", seed=1)
+        wide_low, wide_high = summary.bootstrap_ci("wide", seed=1)
+        assert (narrow_high - narrow_low) < (wide_high - wide_low)
+
+    def test_values_exposed_per_metric(self):
+        summary = run_replicates(
+            lambda rng: {"v": float(rng.random())}, n_replicates=5, seed=2
+        )
+        assert len(summary.values["v"]) == 5
+        assert summary.mean("v") == pytest.approx(np.mean(summary.values["v"]))
+
+
+class TestEstimatorGraphVariants:
+    def test_epsilon_graph_through_estimator(self):
+        from repro.core.estimators import GraphSSLRegressor
+
+        data = make_synthetic_dataset(40, 10, seed=0)
+        model = GraphSSLRegressor(
+            graph="epsilon", graph_params={"radius": 2.0}, bandwidth=0.5
+        )
+        scores = model.fit_predict(data.x_labeled, data.y_labeled, data.x_unlabeled)
+        assert scores.shape == (10,)
+        assert model.graph_.construction == "epsilon"
+
+    def test_custom_kernel_through_estimator(self):
+        from repro.core.estimators import GraphSSLRegressor
+        from repro.kernels.library import EpanechnikovKernel
+
+        data = make_synthetic_dataset(40, 10, seed=1)
+        model = GraphSSLRegressor(kernel=EpanechnikovKernel(), bandwidth=1.0)
+        model.fit(data.x_labeled, data.y_labeled, data.x_unlabeled)
+        assert model.graph_.kernel_name == "epanechnikov"
+
+    def test_refit_replaces_state(self):
+        from repro.core.estimators import HardLabelPropagation
+
+        a = make_synthetic_dataset(30, 8, seed=2)
+        b = make_synthetic_dataset(30, 12, seed=3)
+        model = HardLabelPropagation(bandwidth="paper")
+        model.fit(a.x_labeled, a.y_labeled, a.x_unlabeled)
+        first = model.predict()
+        model.fit(b.x_labeled, b.y_labeled, b.x_unlabeled)
+        second = model.predict()
+        assert first.shape == (8,)
+        assert second.shape == (12,)
+
+
+class TestTheoryReportStrings:
+    def test_summary_flags_violations(self):
+        from repro.core.theory import check_theorem_assumptions
+        from repro.kernels.library import BoxcarKernel
+
+        report = check_theorem_assumptions(
+            BoxcarKernel(), n=10, m=10_000, dim=2, bandwidth=0.3
+        )
+        assert "TOO LARGE" in report.summary()
+
+    def test_summary_ok_case(self):
+        from repro.core.theory import check_theorem_assumptions
+        from repro.kernels.library import BoxcarKernel
+
+        report = check_theorem_assumptions(
+            BoxcarKernel(), n=100_000, m=5, dim=2, bandwidth=0.3
+        )
+        assert "(ok" in report.summary()
+
+
+class TestFig5Reproducibility:
+    def test_same_seed_same_result(self):
+        from repro.experiments.figures import run_figure5
+
+        kwargs = dict(
+            images_per_class=20, settings=("80/20",), lambdas=(0.0, 1.0),
+            repeats=1, seed=5,
+        )
+        a = run_figure5(**kwargs)
+        b = run_figure5(**kwargs)
+        np.testing.assert_array_equal(a.means, b.means)
+
+    def test_stds_and_sems_populated(self):
+        from repro.experiments.figures import run_figure5
+
+        result = run_figure5(
+            images_per_class=20, settings=("80/20",), lambdas=(0.0,),
+            repeats=2, seed=6,
+        )
+        assert result.stds.shape == result.means.shape
+        assert np.all(result.sems <= result.stds + 1e-15)
+
+
+class TestSolverKwargsPlumbing:
+    def test_tol_and_max_iter_reach_backend(self, small_problem):
+        from repro.core.hard import solve_hard_criterion
+        from repro.exceptions import ConvergenceError
+
+        data, weights, _ = small_problem
+        with pytest.raises(ConvergenceError):
+            solve_hard_criterion(
+                weights, data.y_labeled, method="cg", tol=1e-15, max_iter=1
+            )
+
+    def test_loose_tolerance_converges_fast(self, small_problem):
+        from repro.core.hard import solve_hard_criterion
+
+        data, weights, _ = small_problem
+        fit = solve_hard_criterion(
+            weights, data.y_labeled, method="jacobi", tol=1e-3
+        )
+        exact = solve_hard_criterion(weights, data.y_labeled)
+        assert np.max(np.abs(fit.unlabeled_scores - exact.unlabeled_scores)) < 0.1

@@ -1,0 +1,119 @@
+"""Unit tests for repro.graph.laplacian."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import GraphStructureError
+from repro.graph.laplacian import (
+    degree_vector,
+    laplacian,
+    normalized_laplacian,
+    random_walk_laplacian,
+)
+from repro.graph.laplacian import laplacian_by_name
+
+
+@pytest.fixture
+def weights(rng):
+    from repro.kernels.library import GaussianKernel
+
+    x = rng.normal(size=(12, 3))
+    return GaussianKernel().gram(x, bandwidth=1.0)
+
+
+class TestDegreeVector:
+    def test_row_sums(self, weights):
+        np.testing.assert_allclose(degree_vector(weights), weights.sum(axis=1))
+
+    def test_sparse_matches_dense(self, weights):
+        np.testing.assert_allclose(
+            degree_vector(sparse.csr_matrix(weights)), degree_vector(weights)
+        )
+
+
+class TestUnnormalizedLaplacian:
+    def test_row_sums_zero(self, weights):
+        lap = laplacian(weights)
+        np.testing.assert_allclose(lap.sum(axis=1), np.zeros(12), atol=1e-12)
+
+    def test_symmetric(self, weights):
+        lap = laplacian(weights)
+        np.testing.assert_allclose(lap, lap.T, atol=1e-12)
+
+    def test_positive_semidefinite(self, weights):
+        eigenvalues = np.linalg.eigvalsh(laplacian(weights))
+        assert eigenvalues.min() >= -1e-10
+
+    def test_quadratic_form_identity(self, weights, rng):
+        """f^T L f == (1/2) sum_ij w_ij (f_i - f_j)^2."""
+        f = rng.normal(size=12)
+        lap = laplacian(weights)
+        diffs = f[:, None] - f[None, :]
+        expected = 0.5 * np.sum(weights * diffs**2)
+        assert f @ lap @ f == pytest.approx(expected, rel=1e-10)
+
+    def test_constant_vector_in_null_space(self, weights):
+        lap = laplacian(weights)
+        np.testing.assert_allclose(lap @ np.ones(12), np.zeros(12), atol=1e-10)
+
+    def test_sparse_preserved(self, weights):
+        lap = laplacian(sparse.csr_matrix(weights))
+        assert sparse.issparse(lap)
+        np.testing.assert_allclose(np.asarray(lap.todense()), laplacian(weights))
+
+    def test_self_loops_cancel(self, weights):
+        """Self-weights contribute equally to D and W: L is unchanged."""
+        with_diag = weights.copy()
+        without_diag = weights.copy()
+        np.fill_diagonal(without_diag, 0.0)
+        delta = laplacian(with_diag) - laplacian(without_diag)
+        np.testing.assert_allclose(delta, np.zeros_like(weights), atol=1e-12)
+
+
+class TestNormalizedLaplacians:
+    def test_symmetric_normalized_psd_and_bounded(self, weights):
+        lap = normalized_laplacian(weights)
+        eigenvalues = np.linalg.eigvalsh(lap)
+        assert eigenvalues.min() >= -1e-10
+        assert eigenvalues.max() <= 2.0 + 1e-10
+
+    def test_random_walk_rows_sum_zero(self, weights):
+        lap = random_walk_laplacian(weights)
+        np.testing.assert_allclose(lap.sum(axis=1), np.zeros(12), atol=1e-12)
+
+    def test_similarity_relation(self, weights):
+        """L_rw = D^{-1/2} L_sym D^{1/2}: same eigenvalues."""
+        sym_vals = np.sort(np.linalg.eigvalsh(normalized_laplacian(weights)))
+        rw_vals = np.sort(np.real(np.linalg.eigvals(random_walk_laplacian(weights))))
+        np.testing.assert_allclose(sym_vals, rw_vals, atol=1e-8)
+
+    @pytest.mark.parametrize("builder", [normalized_laplacian, random_walk_laplacian])
+    def test_isolated_vertex_raises(self, builder):
+        w = np.zeros((3, 3))
+        w[0, 1] = w[1, 0] = 1.0
+        with pytest.raises(GraphStructureError, match="isolated"):
+            builder(w)
+
+    @pytest.mark.parametrize("builder", [normalized_laplacian, random_walk_laplacian])
+    def test_sparse_matches_dense(self, weights, builder):
+        dense = builder(weights)
+        sp = builder(sparse.csr_matrix(weights))
+        np.testing.assert_allclose(np.asarray(sp.todense()), dense, atol=1e-12)
+
+
+class TestDispatch:
+    def test_by_name(self, weights):
+        np.testing.assert_allclose(
+            laplacian_by_name(weights, "unnormalized"), laplacian(weights)
+        )
+        np.testing.assert_allclose(
+            laplacian_by_name(weights, "symmetric"), normalized_laplacian(weights)
+        )
+        np.testing.assert_allclose(
+            laplacian_by_name(weights, "random_walk"), random_walk_laplacian(weights)
+        )
+
+    def test_unknown_variant_raises(self, weights):
+        with pytest.raises(GraphStructureError, match="unknown"):
+            laplacian_by_name(weights, "magic")

@@ -1,0 +1,132 @@
+"""Unit tests for the random-walk semantics of the hard criterion."""
+
+import numpy as np
+import pytest
+
+from repro.core.hard import solve_hard_criterion
+from repro.exceptions import DataValidationError, DisconnectedGraphError
+from repro.graph.random_walk import (
+    absorption_probabilities,
+    effective_resistance,
+    expected_hitting_times,
+)
+
+
+class TestAbsorptionProbabilities:
+    def test_equals_hard_criterion(self, small_problem):
+        """The Markov-chain derivation and the optimization derivation of
+        the hard criterion agree to machine precision."""
+        data, weights, _ = small_problem
+        hard = solve_hard_criterion(weights, data.y_labeled)
+        absorb = absorption_probabilities(weights, data.y_labeled)
+        np.testing.assert_allclose(absorb, hard.unlabeled_scores, atol=1e-10)
+
+    def test_probabilities_in_unit_interval_for_binary(self, small_problem):
+        data, weights, _ = small_problem
+        absorb = absorption_probabilities(weights, data.y_labeled)
+        assert absorb.min() >= -1e-10
+        assert absorb.max() <= 1.0 + 1e-10
+
+    def test_hand_computed_chain(self):
+        """Chain 0 - 2 - 1 (0 labeled 0.0, 1 labeled 1.0): the walk from 2
+        hits either end first with probability 1/2 each."""
+        w = np.zeros((3, 3))
+        w[0, 2] = w[2, 0] = 1.0
+        w[1, 2] = w[2, 1] = 1.0
+        absorb = absorption_probabilities(w, np.array([0.0, 1.0]))
+        assert absorb[0] == pytest.approx(0.5)
+
+    def test_biased_edge_weights(self):
+        """Heavier edge toward the 1-label raises the absorption prob."""
+        w = np.zeros((3, 3))
+        w[0, 2] = w[2, 0] = 1.0
+        w[1, 2] = w[2, 1] = 3.0
+        absorb = absorption_probabilities(w, np.array([0.0, 1.0]))
+        assert absorb[0] == pytest.approx(0.75)
+
+    def test_disconnected_raises(self, disconnected_weights):
+        with pytest.raises(DisconnectedGraphError):
+            absorption_probabilities(disconnected_weights, np.array([1.0, 0.0]))
+
+
+class TestHittingTimes:
+    def test_all_positive_and_at_least_one(self, small_problem):
+        data, weights, _ = small_problem
+        times = expected_hitting_times(weights, data.n_labeled)
+        assert np.all(times >= 1.0 - 1e-10)
+
+    def test_chain_hand_computed(self):
+        """Path L - u1 - u2 (labeled end): standard gambler's-ruin times.
+
+        With unit weights the expected steps to reach the labeled end are
+        t1 = 3, t2 = 4 (from first-step equations t1 = 1 + t2/2,
+        t2 = 1 + t1).
+        """
+        w = np.zeros((3, 3))
+        w[0, 1] = w[1, 0] = 1.0
+        w[1, 2] = w[2, 1] = 1.0
+        times = expected_hitting_times(w, 1)
+        np.testing.assert_allclose(times, [3.0, 4.0], atol=1e-10)
+
+    def test_farther_vertices_take_longer(self):
+        """On a path labeled at one end, hitting time grows with distance."""
+        length = 6
+        w = np.zeros((length, length))
+        for i in range(length - 1):
+            w[i, i + 1] = w[i + 1, i] = 1.0
+        times = expected_hitting_times(w, 1)
+        assert np.all(np.diff(times) > 0)
+
+    def test_zero_labeled_raises(self, tiny_weights):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            expected_hitting_times(tiny_weights, 0)
+
+
+class TestEffectiveResistance:
+    def test_series_resistors(self):
+        """Path of 3 unit-conductance edges: R(ends) = 3."""
+        w = np.zeros((4, 4))
+        for i in range(3):
+            w[i, i + 1] = w[i + 1, i] = 1.0
+        resistance = effective_resistance(w, pairs=[(0, 3)])
+        assert resistance[0] == pytest.approx(3.0)
+
+    def test_parallel_resistors(self):
+        """Two vertices joined by weight 2 (conductance 2): R = 1/2."""
+        w = np.array([[0.0, 2.0], [2.0, 0.0]])
+        resistance = effective_resistance(w, pairs=[(0, 1)])
+        assert resistance[0] == pytest.approx(0.5)
+
+    def test_triangle(self):
+        """Unit triangle: R between any pair = 2/3 (1 parallel with 2)."""
+        w = np.ones((3, 3))
+        np.fill_diagonal(w, 0.0)
+        resistance = effective_resistance(w, pairs=[(0, 1), (1, 2), (0, 2)])
+        np.testing.assert_allclose(resistance, np.full(3, 2.0 / 3.0), atol=1e-10)
+
+    def test_full_matrix_properties(self, small_problem):
+        _, weights, _ = small_problem
+        resistance = effective_resistance(weights)
+        np.testing.assert_allclose(resistance, resistance.T, atol=1e-10)
+        np.testing.assert_allclose(np.diag(resistance), 0.0, atol=1e-10)
+        assert resistance[0, 1] > 0
+
+    def test_triangle_inequality(self, small_problem):
+        """Effective resistance is a metric."""
+        _, weights, _ = small_problem
+        resistance = effective_resistance(weights)
+        n = resistance.shape[0]
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            i, j, k = rng.integers(0, n, 3)
+            assert resistance[i, k] <= resistance[i, j] + resistance[j, k] + 1e-9
+
+    def test_disconnected_raises(self, disconnected_weights):
+        with pytest.raises(DataValidationError, match="connected"):
+            effective_resistance(disconnected_weights)
+
+    def test_bad_pairs_shape(self, tiny_weights):
+        with pytest.raises(DataValidationError):
+            effective_resistance(tiny_weights, pairs=[(0, 1, 2)])

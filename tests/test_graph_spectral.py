@@ -1,0 +1,99 @@
+"""Unit tests for repro.graph.spectral."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import DataValidationError
+from repro.graph.laplacian import laplacian
+from repro.graph.spectral import fiedler_value, laplacian_spectrum, spectral_embedding
+
+
+@pytest.fixture
+def ring_weights():
+    """A 6-cycle: known Laplacian spectrum 2 - 2 cos(2 pi k / 6)."""
+    n = 6
+    w = np.zeros((n, n))
+    for i in range(n):
+        w[i, (i + 1) % n] = 1.0
+        w[(i + 1) % n, i] = 1.0
+    return w
+
+
+class TestSpectrum:
+    def test_ring_spectrum_closed_form(self, ring_weights):
+        got = laplacian_spectrum(ring_weights)
+        expected = np.sort([2 - 2 * np.cos(2 * np.pi * k / 6) for k in range(6)])
+        np.testing.assert_allclose(got, expected, atol=1e-10)
+
+    def test_first_eigenvalue_zero(self, ring_weights):
+        assert laplacian_spectrum(ring_weights)[0] == pytest.approx(0.0, abs=1e-10)
+
+    def test_k_smallest_matches_full(self, ring_weights):
+        full = laplacian_spectrum(ring_weights)
+        partial = laplacian_spectrum(ring_weights, k=3)
+        np.testing.assert_allclose(partial, full[:3], atol=1e-10)
+
+    def test_sparse_partial(self, ring_weights):
+        partial = laplacian_spectrum(sparse.csr_matrix(ring_weights), k=2)
+        full = laplacian_spectrum(ring_weights)
+        np.testing.assert_allclose(partial, full[:2], atol=1e-8)
+
+    def test_invalid_k(self, ring_weights):
+        with pytest.raises(DataValidationError):
+            laplacian_spectrum(ring_weights, k=0)
+        with pytest.raises(DataValidationError):
+            laplacian_spectrum(ring_weights, k=7)
+
+
+class TestFiedler:
+    def test_zero_iff_disconnected(self, disconnected_weights):
+        assert fiedler_value(disconnected_weights) == pytest.approx(0.0, abs=1e-8)
+
+    def test_positive_when_connected(self, ring_weights):
+        assert fiedler_value(ring_weights) > 0.1
+
+    def test_complete_graph_value(self):
+        """Complete graph K_n (no self loops): Fiedler value = n."""
+        n = 5
+        w = np.ones((n, n))
+        np.fill_diagonal(w, 0.0)
+        assert fiedler_value(w) == pytest.approx(n, rel=1e-10)
+
+    def test_requires_two_vertices(self):
+        with pytest.raises(DataValidationError):
+            fiedler_value(np.zeros((1, 1)))
+
+
+class TestEmbedding:
+    def test_shape(self, ring_weights):
+        emb = spectral_embedding(ring_weights, n_components=2)
+        assert emb.shape == (6, 2)
+
+    def test_columns_are_eigenvectors(self, ring_weights):
+        emb = spectral_embedding(ring_weights, n_components=2)
+        lap = laplacian(ring_weights)
+        spectrum = laplacian_spectrum(ring_weights)
+        for col in range(2):
+            v = emb[:, col]
+            ratio = lap @ v
+            np.testing.assert_allclose(
+                ratio, spectrum[col + 1] * v, atol=1e-8
+            )
+
+    def test_separates_clusters(self):
+        """Two dense blobs joined weakly: embedding splits them by sign."""
+        w = np.zeros((6, 6))
+        w[:3, :3] = 1.0
+        w[3:, 3:] = 1.0
+        np.fill_diagonal(w, 0.0)
+        w[2, 3] = w[3, 2] = 0.01
+        emb = spectral_embedding(w, n_components=1).ravel()
+        assert np.all(np.sign(emb[:3]) == np.sign(emb[0]))
+        assert np.all(np.sign(emb[3:]) == -np.sign(emb[0]))
+
+    def test_invalid_components(self, ring_weights):
+        with pytest.raises(DataValidationError):
+            spectral_embedding(ring_weights, n_components=0)
+        with pytest.raises(DataValidationError):
+            spectral_embedding(ring_weights, n_components=6)

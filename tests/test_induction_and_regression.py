@@ -1,0 +1,164 @@
+"""Tests for out-of-sample induction and the regression-case DGP."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import GraphSSLClassifier, GraphSSLRegressor
+from repro.datasets.synthetic import make_regression_dataset, true_regression
+from repro.exceptions import DataValidationError, NotFittedError
+
+
+class TestInduction:
+    @pytest.fixture
+    def fitted(self):
+        data = make_regression_dataset(60, 20, seed=0)
+        model = GraphSSLRegressor(bandwidth="paper")
+        model.fit(data.x_labeled, data.y_labeled, data.x_unlabeled)
+        return data, model
+
+    def test_induce_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            GraphSSLRegressor().induce(np.zeros((1, 5)))
+
+    def test_shape(self, fitted):
+        data, model = fitted
+        out = model.induce(data.x_unlabeled[:4])
+        assert out.shape == (4,)
+
+    def test_induction_is_weighted_average_of_scores(self, fitted):
+        """The induced value lies within the fitted score range."""
+        data, model = fitted
+        out = model.induce(np.vstack([data.x_labeled[:3], data.x_unlabeled[:3]]))
+        scores = model.scores_
+        assert out.min() >= scores.min() - 1e-10
+        assert out.max() <= scores.max() + 1e-10
+
+    def test_induction_near_training_point_tracks_its_score(self):
+        """With a local kernel, inducing AT a fitted point returns nearly
+        that point's fitted score."""
+        data = make_regression_dataset(80, 20, seed=1)
+        model = GraphSSLRegressor(bandwidth=0.05)
+        try:
+            model.fit(data.x_labeled, data.y_labeled, data.x_unlabeled)
+        except Exception:
+            pytest.skip("graph disconnected at this tiny bandwidth")
+        induced = model.induce(data.x_unlabeled)
+        fitted_scores = model.predict()
+        # Self-weight dominates at a tiny bandwidth.
+        assert np.max(np.abs(induced - fitted_scores)) < 0.2
+
+    def test_induction_approximates_truth_statistically(self):
+        """Induced predictions at fresh points track q(X)."""
+        data = make_regression_dataset(800, 50, noise_std=0.05, seed=2)
+        model = GraphSSLRegressor(bandwidth="paper")
+        model.fit(data.x_labeled, data.y_labeled, data.x_unlabeled)
+        from repro.datasets.synthetic import truncated_mvn_inputs
+
+        fresh = truncated_mvn_inputs(30, seed=3)
+        induced = model.induce(fresh)
+        truth = true_regression(fresh, "model1")
+        rmse = float(np.sqrt(np.mean((induced - truth) ** 2)))
+        assert rmse < 0.15
+
+    def test_dimension_mismatch(self, fitted):
+        _, model = fitted
+        with pytest.raises(DataValidationError, match="columns"):
+            model.induce(np.zeros((2, 3)))
+
+    def test_no_support_raises(self):
+        from repro.kernels.library import BoxcarKernel
+
+        data = make_regression_dataset(30, 10, seed=4)
+        model = GraphSSLRegressor(kernel=BoxcarKernel(), bandwidth=2.0)
+        model.fit(data.x_labeled, data.y_labeled, data.x_unlabeled)
+        far = np.full((1, 5), 100.0)
+        with pytest.raises(DataValidationError, match="support"):
+            model.induce(far)
+
+    def test_classifier_induction_outputs(self):
+        from repro.datasets.synthetic import make_synthetic_dataset
+
+        data = make_synthetic_dataset(60, 20, seed=5)
+        model = GraphSSLClassifier(bandwidth="paper")
+        model.fit(data.x_labeled, data.y_labeled, data.x_unlabeled)
+        proba = model.induce_proba(data.x_unlabeled[:5])
+        labels = model.induce_labels(data.x_unlabeled[:5])
+        assert proba.min() >= 0.0 and proba.max() <= 1.0
+        assert set(np.unique(labels)) <= {0.0, 1.0}
+
+
+class TestRegressionDataset:
+    def test_responses_are_continuous(self):
+        data = make_regression_dataset(200, 30, seed=0)
+        assert len(np.unique(data.y_labeled)) > 100  # not binary
+
+    def test_responses_bounded_around_q(self):
+        noise_std = 0.1
+        data = make_regression_dataset(500, 50, noise_std=noise_std, seed=1)
+        residuals = data.y_labeled - data.q_labeled
+        half_width = noise_std * np.sqrt(3.0)
+        assert np.max(np.abs(residuals)) <= half_width + 1e-12
+        assert abs(float(np.std(residuals)) - noise_std) < 0.02
+
+    def test_zero_noise_gives_exact_q(self):
+        data = make_regression_dataset(50, 10, noise_std=0.0, seed=2)
+        np.testing.assert_allclose(data.y_labeled, data.q_labeled)
+
+    def test_invalid_noise_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            make_regression_dataset(10, 5, noise_std=-0.1)
+
+    def test_consistency_of_hard_criterion_on_regression(self):
+        """Theorem II.1's regression case: RMSE falls with n."""
+        from repro.core.hard import solve_hard_criterion
+        from repro.graph.similarity import full_kernel_graph
+        from repro.kernels.bandwidth import paper_bandwidth_rule
+
+        def mean_rmse(n, reps=10):
+            total = 0.0
+            for seed in range(reps):
+                data = make_regression_dataset(n, 15, seed=100 + seed)
+                bandwidth = paper_bandwidth_rule(n, 5)
+                graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+                fit = solve_hard_criterion(
+                    graph.weights, data.y_labeled, check_reachability=False
+                )
+                total += float(
+                    np.sqrt(np.mean((fit.unlabeled_scores - data.q_unlabeled) ** 2))
+                )
+            return total / reps
+
+        assert mean_rmse(400) < mean_rmse(50)
+
+
+class TestBootstrapCi:
+    def test_interval_contains_mean_for_stable_metric(self):
+        from repro.experiments.runner import run_replicates
+
+        summary = run_replicates(
+            lambda rng: {"v": float(rng.normal(10.0, 1.0))},
+            n_replicates=50,
+            seed=0,
+        )
+        low, high = summary.bootstrap_ci("v")
+        assert low < summary.mean("v") < high
+        assert high - low < 2.0  # roughly 4 * sem
+
+    def test_degenerate_distribution(self):
+        from repro.experiments.runner import run_replicates
+
+        summary = run_replicates(lambda rng: {"v": 3.0}, n_replicates=5, seed=0)
+        low, high = summary.bootstrap_ci("v")
+        assert low == high == 3.0
+
+    def test_validation(self):
+        from repro.exceptions import ConfigurationError
+        from repro.experiments.runner import run_replicates
+
+        summary = run_replicates(lambda rng: {"v": 1.0}, n_replicates=3, seed=0)
+        with pytest.raises(ConfigurationError):
+            summary.bootstrap_ci("v", level=1.5)
+        with pytest.raises(ConfigurationError):
+            summary.bootstrap_ci("v", n_resamples=0)

@@ -1,0 +1,154 @@
+"""Integration tests: the paper's mathematical identities end to end.
+
+Each test reproduces, at test-scale, a claim made in the paper's
+Sections II-IV: the Eq. 4/5 closed forms, Propositions II.1/II.2, the
+Section III toy example, the Nadaraya-Watson link, and the block-inverse
+derivation that produces Eq. (4) from Eq. (3).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hard import solve_hard_criterion
+from repro.core.nadaraya_watson import nadaraya_watson_from_weights
+from repro.core.soft import solve_soft_criterion
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.datasets.toy import constant_input_toy
+from repro.graph.similarity import full_kernel_graph
+from repro.kernels.bandwidth import paper_bandwidth_rule
+from repro.linalg.block import BlockMatrix, block_inverse
+
+
+@pytest.fixture(scope="module")
+def problem():
+    data = make_synthetic_dataset(120, 40, seed=2024)
+    bandwidth = paper_bandwidth_rule(120, 5)
+    weights = full_kernel_graph(data.x_all, bandwidth=bandwidth).dense_weights()
+    return data, weights
+
+
+class TestEquation4ViaBlockInverse:
+    def test_soft_solution_from_paper_block_formula(self, problem):
+        """Invert (V + lam L) with the paper's 2x2 block formula and check
+        the resulting unlabeled scores equal the solver's Eq. (4) output."""
+        data, weights = problem
+        n = data.n_labeled
+        lam = 0.25
+        total = weights.shape[0]
+        degrees = weights.sum(axis=1)
+        system = lam * (np.diag(degrees) - weights)
+        system[np.arange(n), np.arange(n)] += 1.0
+
+        inverse = block_inverse(BlockMatrix.partition(system, n)).assemble()
+        rhs = np.zeros(total)
+        rhs[:n] = data.y_labeled
+        expected = (inverse @ rhs)[n:]
+
+        fit = solve_soft_criterion(weights, data.y_labeled, lam, method="schur")
+        np.testing.assert_allclose(fit.unlabeled_scores, expected, atol=1e-8)
+
+
+class TestNadarayaWatsonLink:
+    def test_decomposition_of_hard_solution(self, problem):
+        """f = NW - g + remainder, with the proof's exact terms."""
+        data, weights = problem
+        n = data.n_labeled
+        degrees = weights.sum(axis=1)
+        d22 = degrees[n:]
+        w21 = weights[n:, :n]
+        w22 = weights[n:, n:]
+
+        hard = solve_hard_criterion(weights, data.y_labeled).unlabeled_scores
+        nw = nadaraya_watson_from_weights(weights, data.y_labeled)
+        # g = NW - first-order term.
+        first_order = (w21 @ data.y_labeled) / d22
+        g = nw - first_order
+        # Remainder = S D22^{-1} W21 y with S = (I - D22^{-1}W22)^{-1} - I.
+        iterated = w22 / d22[:, None]
+        s_matrix = np.linalg.inv(np.eye(len(d22)) - iterated) - np.eye(len(d22))
+        remainder = s_matrix @ first_order
+        np.testing.assert_allclose(hard, nw - g + remainder, atol=1e-8)
+
+    def test_hard_converges_to_nw_with_n(self):
+        """The gap max|f - NW| shrinks as n grows (the proof's conclusion)."""
+        gaps = []
+        for n in (50, 200, 800):
+            data = make_synthetic_dataset(n, 15, seed=99)
+            bandwidth = paper_bandwidth_rule(n, 5)
+            weights = full_kernel_graph(data.x_all, bandwidth=bandwidth).dense_weights()
+            hard = solve_hard_criterion(weights, data.y_labeled).unlabeled_scores
+            nw = nadaraya_watson_from_weights(weights, data.y_labeled)
+            gaps.append(np.max(np.abs(hard - nw)))
+        assert gaps[2] < gaps[0]
+
+
+class TestToyExampleSectionIII:
+    def test_full_closed_form(self):
+        toy = constant_input_toy(12, 5, seed=5)
+        weights = full_kernel_graph(toy.x_all, bandwidth=1.0).dense_weights()
+        # All weights are exactly 1 for identical inputs under the RBF.
+        np.testing.assert_allclose(weights, np.ones_like(weights))
+        fit = solve_hard_criterion(weights, toy.y_labeled)
+        np.testing.assert_allclose(
+            fit.unlabeled_scores,
+            np.full(5, toy.y_labeled.mean()),
+            atol=1e-10,
+        )
+        np.testing.assert_array_equal(fit.labeled_scores, toy.y_labeled)
+
+    def test_soft_criterion_also_sane_on_toy(self):
+        """On the toy geometry every unlabeled soft score is also the
+        labeled mean (by symmetry), for any lambda."""
+        toy = constant_input_toy(8, 4, seed=6)
+        weights = full_kernel_graph(toy.x_all, bandwidth=1.0).dense_weights()
+        for lam in (0.1, 1.0, 10.0):
+            fit = solve_soft_criterion(weights, toy.y_labeled, lam)
+            np.testing.assert_allclose(
+                fit.unlabeled_scores,
+                np.full(4, fit.labeled_scores.mean()),
+                atol=1e-8,
+            )
+
+
+class TestPropositionOrderings:
+    def test_rmse_ordering_hard_beats_soft(self, problem):
+        """On a fresh replicate set, mean RMSE is increasing in lambda —
+        Figures 1-4's headline ordering."""
+        from repro.metrics.regression import root_mean_squared_error
+
+        lambdas = (0.0, 0.1, 5.0)
+        totals = {lam: 0.0 for lam in lambdas}
+        for seed in range(20):
+            data = make_synthetic_dataset(100, 30, seed=seed)
+            bandwidth = paper_bandwidth_rule(100, 5)
+            weights = full_kernel_graph(data.x_all, bandwidth=bandwidth).dense_weights()
+            for lam in lambdas:
+                fit = solve_soft_criterion(
+                    weights, data.y_labeled, lam, check_reachability=False
+                )
+                totals[lam] += root_mean_squared_error(
+                    data.q_unlabeled, fit.unlabeled_scores
+                )
+        assert totals[0.0] < totals[0.1] < totals[5.0]
+
+    def test_rmse_grows_with_m(self):
+        """Figure 2's pattern: with n fixed, more unlabeled data hurts."""
+        from repro.metrics.regression import root_mean_squared_error
+
+        def mean_rmse(m):
+            total = 0.0
+            for seed in range(15):
+                data = make_synthetic_dataset(100, m, seed=1000 + seed)
+                bandwidth = paper_bandwidth_rule(100, 5)
+                weights = full_kernel_graph(
+                    data.x_all, bandwidth=bandwidth
+                ).dense_weights()
+                fit = solve_hard_criterion(
+                    weights, data.y_labeled, check_reachability=False
+                )
+                total += root_mean_squared_error(
+                    data.q_unlabeled, fit.unlabeled_scores
+                )
+            return total / 15
+
+        assert mean_rmse(30) < mean_rmse(500)

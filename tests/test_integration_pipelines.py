@@ -1,0 +1,129 @@
+"""Integration tests: full user-facing pipelines on realistic scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (
+    GraphSSLClassifier,
+    HardLabelPropagation,
+    NadarayaWatsonClassifier,
+    SoftLabelPropagation,
+)
+from repro.core.baselines import KNNClassifier, MeanPredictor
+from repro.datasets.coil import make_coil_like
+from repro.datasets.splits import paper_coil_protocol
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.datasets.toy import concentric_circles, two_moons
+from repro.metrics.classification import accuracy, auc
+from repro.metrics.regression import root_mean_squared_error
+
+
+class TestTwoMoonsScenario:
+    """The classic SSL showcase: few labels + manifold structure."""
+
+    def test_hard_criterion_nails_two_moons(self):
+        x, y = two_moons(300, noise=0.06, seed=0)
+        # Label only 5 points per moon.
+        labeled_idx = np.concatenate(
+            [np.flatnonzero(y == 0.0)[:5], np.flatnonzero(y == 1.0)[:5]]
+        )
+        unlabeled_idx = np.setdiff1d(np.arange(300), labeled_idx)
+        model = GraphSSLClassifier(bandwidth=0.25)
+        model.fit(x[labeled_idx], y[labeled_idx], x[unlabeled_idx])
+        assert accuracy(y[unlabeled_idx], model.predict()) > 0.9
+
+    def test_ssl_beats_knn_with_scarce_labels(self):
+        x, y = two_moons(400, noise=0.06, seed=1)
+        labeled_idx = np.concatenate(
+            [np.flatnonzero(y == 0.0)[:4], np.flatnonzero(y == 1.0)[:4]]
+        )
+        unlabeled_idx = np.setdiff1d(np.arange(400), labeled_idx)
+        ssl = GraphSSLClassifier(bandwidth=0.25)
+        ssl.fit(x[labeled_idx], y[labeled_idx], x[unlabeled_idx])
+        ssl_acc = accuracy(y[unlabeled_idx], ssl.predict())
+        knn = KNNClassifier(k=3).fit(x[labeled_idx], y[labeled_idx])
+        knn_acc = accuracy(y[unlabeled_idx], knn.predict(x[unlabeled_idx]))
+        assert ssl_acc >= knn_acc
+
+    def test_circles_scenario(self):
+        x, y = concentric_circles(300, radii=(1.0, 2.5), noise=0.08, seed=2)
+        labeled_idx = np.concatenate(
+            [np.flatnonzero(y == 0.0)[:5], np.flatnonzero(y == 1.0)[:5]]
+        )
+        unlabeled_idx = np.setdiff1d(np.arange(300), labeled_idx)
+        model = GraphSSLClassifier(bandwidth=0.4)
+        model.fit(x[labeled_idx], y[labeled_idx], x[unlabeled_idx])
+        assert accuracy(y[unlabeled_idx], model.predict()) > 0.9
+
+
+class TestSyntheticScenario:
+    def test_hard_beats_mean_baseline(self):
+        data = make_synthetic_dataset(200, 30, seed=3)
+        hard = HardLabelPropagation(bandwidth="paper")
+        scores = hard.fit_predict(data.x_labeled, data.y_labeled, data.x_unlabeled)
+        hard_rmse = root_mean_squared_error(data.q_unlabeled, scores)
+        baseline = MeanPredictor().fit(data.x_labeled, data.y_labeled)
+        mean_rmse = root_mean_squared_error(
+            data.q_unlabeled, baseline.predict(data.x_unlabeled)
+        )
+        assert hard_rmse < mean_rmse
+
+    def test_hard_beats_large_lambda_soft(self):
+        """The paper's punchline as a single pipeline comparison."""
+        totals = [0.0, 0.0]
+        for seed in range(10):
+            data = make_synthetic_dataset(150, 30, seed=100 + seed)
+            hard = HardLabelPropagation(bandwidth="paper")
+            soft = SoftLabelPropagation(5.0, bandwidth="paper")
+            for slot, model in enumerate((hard, soft)):
+                scores = model.fit_predict(
+                    data.x_labeled, data.y_labeled, data.x_unlabeled
+                )
+                totals[slot] += root_mean_squared_error(data.q_unlabeled, scores)
+        assert totals[0] < totals[1]
+
+    def test_nw_classifier_comparable_to_hard(self):
+        data = make_synthetic_dataset(300, 40, seed=5)
+        hard = GraphSSLClassifier(bandwidth="paper")
+        hard.fit(data.x_labeled, data.y_labeled, data.x_unlabeled)
+        hard_auc = auc(data.y_unlabeled, hard.decision_scores())
+        nw = NadarayaWatsonClassifier(bandwidth="paper")
+        nw.fit(data.x_labeled, data.y_labeled)
+        nw_auc = auc(data.y_unlabeled, nw.predict_proba(data.x_unlabeled))
+        assert abs(hard_auc - nw_auc) < 0.1
+
+
+class TestCoilScenario:
+    def test_coil_pipeline_end_to_end(self):
+        """Dataset -> protocol splits -> classifier -> AUC, all public API."""
+        dataset = make_coil_like(images_per_class=30, seed=7)
+        aucs = []
+        for labeled_idx, unlabeled_idx in paper_coil_protocol(
+            dataset.n_samples, "80/20", repeats=1, seed=0
+        ):
+            model = GraphSSLClassifier(bandwidth="median")
+            model.fit(
+                dataset.images[labeled_idx],
+                dataset.binary_labels[labeled_idx],
+                dataset.images[unlabeled_idx],
+            )
+            aucs.append(
+                auc(dataset.binary_labels[unlabeled_idx], model.decision_scores())
+            )
+        assert len(aucs) == 5
+        assert np.mean(aucs) > 0.55  # informative, mid-range like the paper
+
+    def test_sparse_graph_pipeline(self):
+        """The k-NN sparsifier works through the estimator interface."""
+        dataset = make_coil_like(images_per_class=25, seed=8)
+        n_lab = 120
+        model = GraphSSLClassifier(
+            bandwidth="median", graph="knn", graph_params={"k": 15}
+        )
+        model.fit(
+            dataset.images[:n_lab],
+            dataset.binary_labels[:n_lab],
+            dataset.images[n_lab:],
+        )
+        score = auc(dataset.binary_labels[n_lab:], model.decision_scores())
+        assert score > 0.5

@@ -1,0 +1,117 @@
+"""Unit tests for repro.kernels.bandwidth."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.kernels.bandwidth import (
+    knn_distance_rule,
+    median_heuristic,
+    paper_bandwidth_rule,
+    scott_rule,
+    silverman_rule,
+)
+
+
+class TestPaperRule:
+    def test_exact_formula(self):
+        assert paper_bandwidth_rule(100, 5) == pytest.approx(
+            (math.log(100) / 100) ** 0.2
+        )
+
+    def test_theorem_limits(self):
+        """h_n -> 0 while n h_n^d = log n -> inf."""
+        d = 5
+        ns = [10, 100, 1000, 100_000]
+        hs = [paper_bandwidth_rule(n, d) for n in ns]
+        assert all(h2 < h1 for h1, h2 in zip(hs, hs[1:]))
+        masses = [n * h**d for n, h in zip(ns, hs)]
+        assert all(m2 > m1 for m1, m2 in zip(masses, masses[1:]))
+        np.testing.assert_allclose(masses, [math.log(n) for n in ns], rtol=1e-12)
+
+    def test_requires_n_at_least_2(self):
+        with pytest.raises(DataValidationError):
+            paper_bandwidth_rule(1, 5)
+
+    def test_requires_positive_dim(self):
+        with pytest.raises(DataValidationError):
+            paper_bandwidth_rule(100, 0)
+
+
+class TestMedianHeuristic:
+    def test_sigma_squared_is_median_sq_distance(self, rng):
+        x = rng.normal(size=(30, 4))
+        h = median_heuristic(x)
+        from repro.kernels.base import pairwise_sq_distances
+
+        sq = pairwise_sq_distances(x)
+        med = np.median(sq[np.triu_indices(30, k=1)])
+        assert h**2 == pytest.approx(med)
+
+    def test_two_points(self):
+        x = np.array([[0.0, 0.0], [3.0, 4.0]])
+        assert median_heuristic(x) == pytest.approx(5.0)
+
+    def test_identical_inputs_raise(self):
+        x = np.zeros((5, 2))
+        with pytest.raises(DataValidationError, match="identical"):
+            median_heuristic(x)
+
+    def test_single_sample_raises(self):
+        with pytest.raises(DataValidationError):
+            median_heuristic(np.zeros((1, 2)))
+
+    def test_subsample_is_deterministic_given_seed(self, rng):
+        x = rng.normal(size=(100, 3))
+        a = median_heuristic(x, subsample=20, seed=0)
+        b = median_heuristic(x, subsample=20, seed=0)
+        assert a == b
+
+    def test_subsample_close_to_full(self, rng):
+        x = rng.normal(size=(300, 3))
+        full = median_heuristic(x)
+        sub = median_heuristic(x, subsample=200, seed=1)
+        assert abs(full - sub) / full < 0.2
+
+
+class TestClassicalRules:
+    @pytest.mark.parametrize("rule", [scott_rule, silverman_rule])
+    def test_positive_and_shrinking_in_n(self, rule, rng):
+        small = rng.normal(size=(50, 3))
+        large = rng.normal(size=(5000, 3))
+        h_small = rule(small)
+        h_large = rule(large)
+        assert h_small > 0 and h_large > 0
+        assert h_large < h_small
+
+    @pytest.mark.parametrize("rule", [scott_rule, silverman_rule])
+    def test_constant_data_raises(self, rule):
+        with pytest.raises(DataValidationError):
+            rule(np.ones((20, 2)))
+
+    def test_scott_scales_with_spread(self, rng):
+        x = rng.normal(size=(200, 2))
+        assert scott_rule(3.0 * x) == pytest.approx(3.0 * scott_rule(x), rel=1e-6)
+
+
+class TestKnnRule:
+    def test_positive(self, rng):
+        x = rng.normal(size=(40, 3))
+        assert knn_distance_rule(x, k=5) > 0
+
+    def test_monotone_in_k(self, rng):
+        x = rng.normal(size=(40, 3))
+        assert knn_distance_rule(x, k=10) > knn_distance_rule(x, k=2)
+
+    def test_invalid_k_raises(self, rng):
+        x = rng.normal(size=(10, 2))
+        with pytest.raises(DataValidationError):
+            knn_distance_rule(x, k=10)
+        with pytest.raises(DataValidationError):
+            knn_distance_rule(x, k=0)
+
+    def test_duplicate_inputs_raise(self):
+        with pytest.raises(DataValidationError):
+            knn_distance_rule(np.zeros((6, 2)), k=2)

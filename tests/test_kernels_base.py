@@ -1,0 +1,91 @@
+"""Unit tests for repro.kernels.base."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.kernels.base import pairwise_sq_distances
+from repro.kernels.library import GaussianKernel, BoxcarKernel
+
+
+class TestPairwiseSqDistances:
+    def test_matches_bruteforce(self, rng):
+        x = rng.normal(size=(7, 3))
+        y = rng.normal(size=(5, 3))
+        got = pairwise_sq_distances(x, y)
+        expected = np.array(
+            [[np.sum((a - b) ** 2) for b in y] for a in x]
+        )
+        np.testing.assert_allclose(got, expected, atol=1e-10)
+
+    def test_self_distances_zero_diagonal(self, rng):
+        x = rng.normal(size=(6, 4))
+        sq = pairwise_sq_distances(x)
+        np.testing.assert_array_equal(np.diag(sq), np.zeros(6))
+
+    def test_never_negative(self, rng):
+        # Near-duplicate rows trigger catastrophic cancellation.
+        x = np.repeat(rng.normal(size=(1, 5)), 50, axis=0)
+        x += 1e-9 * rng.normal(size=x.shape)
+        assert pairwise_sq_distances(x).min() >= 0.0
+
+    def test_symmetry(self, rng):
+        x = rng.normal(size=(8, 2))
+        sq = pairwise_sq_distances(x)
+        np.testing.assert_allclose(sq, sq.T, atol=1e-12)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(DataValidationError, match="columns"):
+            pairwise_sq_distances(np.ones((2, 3)), np.ones((2, 4)))
+
+
+class TestRadialKernelApi:
+    def test_call_on_difference_vectors(self):
+        kernel = GaussianKernel()
+        diffs = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]])
+        values = kernel(diffs)
+        np.testing.assert_allclose(
+            values, [1.0, np.exp(-1.0), np.exp(-4.0)], atol=1e-12
+        )
+
+    def test_evaluate_radii_rejects_negative(self):
+        with pytest.raises(DataValidationError, match="non-negative"):
+            GaussianKernel().evaluate_radii([-0.1])
+
+    def test_gram_matches_paper_formula(self, rng):
+        # w_ij = exp(-||xi-xj||^2 / h^2) with sigma = h.
+        x = rng.normal(size=(6, 3))
+        h = 0.7
+        gram = GaussianKernel().gram(x, bandwidth=h)
+        sq = pairwise_sq_distances(x)
+        np.testing.assert_allclose(gram, np.exp(-sq / h**2), atol=1e-12)
+
+    def test_gram_cross_shape(self, rng):
+        x = rng.normal(size=(4, 2))
+        y = rng.normal(size=(6, 2))
+        assert GaussianKernel().gram(x, y, bandwidth=1.0).shape == (4, 6)
+
+    def test_gram_unit_diagonal(self, rng):
+        x = rng.normal(size=(5, 2))
+        gram = GaussianKernel().gram(x, bandwidth=0.5)
+        np.testing.assert_allclose(np.diag(gram), np.ones(5), atol=1e-12)
+
+    def test_gram_requires_positive_bandwidth(self, rng):
+        x = rng.normal(size=(3, 2))
+        with pytest.raises(DataValidationError):
+            GaussianKernel().gram(x, bandwidth=0.0)
+
+    def test_condition_report_gaussian(self):
+        report = GaussianKernel().theorem_conditions()
+        assert report.bounded
+        assert not report.compact_support  # the RBF violates (ii)
+        assert report.lower_bounded_on_ball
+        assert not report.all_satisfied
+
+    def test_condition_report_boxcar(self):
+        report = BoxcarKernel().theorem_conditions()
+        assert report.all_satisfied
+
+    def test_condition_summary_mentions_failures(self):
+        text = GaussianKernel().theorem_conditions().summary()
+        assert "NO" in text and "compact" in text

@@ -1,0 +1,126 @@
+"""Unit tests for the concrete kernels in repro.kernels.library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.kernels.library import (
+    BoxcarKernel,
+    CauchyKernel,
+    CosineKernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    TriangularKernel,
+    TricubeKernel,
+    TruncatedGaussianKernel,
+    kernel_by_name,
+)
+
+ALL_KERNELS = [
+    GaussianKernel(),
+    TruncatedGaussianKernel(),
+    BoxcarKernel(),
+    EpanechnikovKernel(),
+    TriangularKernel(),
+    TricubeKernel(),
+    CosineKernel(),
+    CauchyKernel(),
+]
+
+COMPACT_KERNELS = [k for k in ALL_KERNELS if math.isfinite(k.support_radius)]
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+class TestKernelContracts:
+    """Contracts every kernel must satisfy."""
+
+    def test_profile_at_zero_is_positive(self, kernel):
+        assert kernel.profile(np.array([0.0]))[0] > 0
+
+    def test_profile_bounded_by_upper_bound(self, kernel):
+        radii = np.linspace(0.0, 10.0, 500)
+        values = kernel.profile(radii)
+        assert np.all(values <= kernel.upper_bound + 1e-12)
+
+    def test_profile_non_negative(self, kernel):
+        radii = np.linspace(0.0, 10.0, 500)
+        assert np.all(kernel.profile(radii) >= 0.0)
+
+    def test_profile_non_increasing(self, kernel):
+        radii = np.linspace(0.0, 5.0, 200)
+        values = kernel.profile(radii)
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_ball_lower_bound_is_valid(self, kernel):
+        beta, delta = kernel.ball_lower_bound
+        radii = np.linspace(0.0, delta, 100)
+        assert np.all(kernel.profile(radii) >= beta - 1e-12)
+
+    def test_vanishes_outside_support(self, kernel):
+        if not math.isfinite(kernel.support_radius):
+            pytest.skip("full-support kernel")
+        radii = np.array([kernel.support_radius + 0.01, kernel.support_radius + 5.0])
+        np.testing.assert_array_equal(kernel.profile(radii), np.zeros(2))
+
+    def test_positive_inside_support(self, kernel):
+        edge = min(kernel.support_radius, 10.0)
+        radii = np.linspace(0.0, edge * 0.99, 50)
+        assert np.all(kernel.profile(radii) > 0.0)
+
+
+class TestSpecificValues:
+    def test_gaussian_value(self):
+        assert GaussianKernel().profile(np.array([1.0]))[0] == pytest.approx(math.exp(-1))
+
+    def test_truncated_gaussian_cut(self):
+        k = TruncatedGaussianKernel(cutoff=2.0)
+        assert k.profile(np.array([1.9]))[0] == pytest.approx(math.exp(-1.9**2))
+        assert k.profile(np.array([2.1]))[0] == 0.0
+
+    def test_truncated_gaussian_rejects_bad_cutoff(self):
+        from repro.exceptions import DataValidationError
+
+        with pytest.raises(DataValidationError):
+            TruncatedGaussianKernel(cutoff=0.0)
+
+    def test_boxcar_is_indicator(self):
+        values = BoxcarKernel().profile(np.array([0.0, 0.5, 1.0, 1.0001]))
+        np.testing.assert_array_equal(values, [1.0, 1.0, 1.0, 0.0])
+
+    def test_epanechnikov_value(self):
+        assert EpanechnikovKernel().profile(np.array([0.5]))[0] == pytest.approx(0.75)
+
+    def test_triangular_value(self):
+        assert TriangularKernel().profile(np.array([0.25]))[0] == pytest.approx(0.75)
+
+    def test_tricube_value(self):
+        assert TricubeKernel().profile(np.array([0.5]))[0] == pytest.approx(
+            (1 - 0.125) ** 3
+        )
+
+    def test_cosine_value(self):
+        assert CosineKernel().profile(np.array([0.5]))[0] == pytest.approx(
+            math.cos(math.pi / 4)
+        )
+
+    def test_cauchy_value(self):
+        assert CauchyKernel().profile(np.array([1.0]))[0] == pytest.approx(0.5)
+
+    def test_cauchy_not_compact(self):
+        assert not CauchyKernel().theorem_conditions().compact_support
+
+
+class TestRegistry:
+    def test_every_kernel_reachable_by_name(self):
+        for kernel in ALL_KERNELS:
+            assert kernel_by_name(kernel.name).name == kernel.name
+
+    def test_kwargs_forwarded(self):
+        k = kernel_by_name("truncated_gaussian", cutoff=5.0)
+        assert k.support_radius == 5.0
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(ConfigurationError, match="gaussian"):
+            kernel_by_name("nope")

@@ -1,0 +1,107 @@
+"""Unit tests for repro.linalg.block (the paper's inversion formula)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError, SingularSystemError
+from repro.linalg.block import BlockMatrix, block_inverse, schur_complement
+
+
+def _random_invertible(rng, n):
+    """Random well-conditioned matrix: A + n*I with A ~ N(0,1)."""
+    return rng.normal(size=(n, n)) + n * np.eye(n)
+
+
+class TestPartition:
+    def test_roundtrip(self, rng):
+        m = rng.normal(size=(7, 7))
+        blocks = BlockMatrix.partition(m, 3)
+        np.testing.assert_array_equal(blocks.assemble(), m)
+        assert blocks.a11.shape == (3, 3)
+        assert blocks.a12.shape == (3, 4)
+        assert blocks.a21.shape == (4, 3)
+        assert blocks.a22.shape == (4, 4)
+
+    def test_edge_partitions(self, rng):
+        m = rng.normal(size=(4, 4))
+        zero = BlockMatrix.partition(m, 0)
+        assert zero.a11.shape == (0, 0)
+        np.testing.assert_array_equal(zero.assemble(), m)
+        full = BlockMatrix.partition(m, 4)
+        assert full.a22.shape == (0, 0)
+        np.testing.assert_array_equal(full.assemble(), m)
+
+    def test_invalid_split_raises(self, rng):
+        with pytest.raises(DataValidationError):
+            BlockMatrix.partition(rng.normal(size=(4, 4)), 5)
+
+    def test_non_square_raises(self, rng):
+        with pytest.raises(DataValidationError):
+            BlockMatrix.partition(rng.normal(size=(3, 4)), 2)
+
+
+class TestSchurComplement:
+    def test_both_complements(self, rng):
+        m = _random_invertible(rng, 6)
+        blocks = BlockMatrix.partition(m, 2)
+        s22 = schur_complement(blocks, "a22")
+        expected = blocks.a11 - blocks.a12 @ np.linalg.solve(blocks.a22, blocks.a21)
+        np.testing.assert_allclose(s22, expected, atol=1e-10)
+        s11 = schur_complement(blocks, "a11")
+        expected = blocks.a22 - blocks.a21 @ np.linalg.solve(blocks.a11, blocks.a12)
+        np.testing.assert_allclose(s11, expected, atol=1e-10)
+
+    def test_determinant_factorization(self, rng):
+        """det(A) = det(A22) det(A11 - A12 A22^{-1} A21)."""
+        m = _random_invertible(rng, 5)
+        blocks = BlockMatrix.partition(m, 2)
+        lhs = np.linalg.det(m)
+        rhs = np.linalg.det(blocks.a22) * np.linalg.det(schur_complement(blocks, "a22"))
+        assert lhs == pytest.approx(rhs, rel=1e-8)
+
+    def test_empty_block_passthrough(self, rng):
+        m = _random_invertible(rng, 4)
+        blocks = BlockMatrix.partition(m, 4)
+        np.testing.assert_array_equal(schur_complement(blocks, "a22"), blocks.a11)
+
+    def test_singular_block_raises(self):
+        m = np.array(
+            [
+                [1.0, 0.0, 1.0],
+                [0.0, 1.0, 0.0],
+                [1.0, 0.0, 0.0],
+            ]
+        )
+        blocks = BlockMatrix.partition(m, 2)
+        # a22 = [[0]] is singular.
+        with pytest.raises(SingularSystemError):
+            schur_complement(blocks, "a22")
+
+    def test_invalid_eliminate_raises(self, rng):
+        blocks = BlockMatrix.partition(_random_invertible(rng, 4), 2)
+        with pytest.raises(DataValidationError):
+            schur_complement(blocks, "a12")
+
+
+class TestBlockInverse:
+    @pytest.mark.parametrize("n,split", [(4, 2), (6, 1), (6, 5), (9, 4)])
+    def test_matches_numpy_inverse(self, rng, n, split):
+        m = _random_invertible(rng, n)
+        blocks = BlockMatrix.partition(m, split)
+        inverse = block_inverse(blocks).assemble()
+        np.testing.assert_allclose(inverse, np.linalg.inv(m), atol=1e-8)
+
+    def test_symmetric_input_symmetric_inverse(self, rng):
+        a = rng.normal(size=(5, 5))
+        m = a @ a.T + 5 * np.eye(5)
+        inverse = block_inverse(BlockMatrix.partition(m, 2)).assemble()
+        np.testing.assert_allclose(inverse, inverse.T, atol=1e-9)
+
+    def test_identity_blocks(self):
+        blocks = BlockMatrix.partition(np.eye(5), 2)
+        np.testing.assert_allclose(block_inverse(blocks).assemble(), np.eye(5), atol=1e-12)
+
+    def test_singular_raises_library_error(self):
+        m = np.ones((4, 4))  # rank 1
+        with pytest.raises(SingularSystemError):
+            block_inverse(BlockMatrix.partition(m, 2))

@@ -1,0 +1,119 @@
+"""Unit tests for the from-scratch iterative solvers."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import ConvergenceError, DataValidationError
+from repro.linalg.iterative import conjugate_gradient, gauss_seidel, jacobi
+
+SOLVERS = [jacobi, gauss_seidel, conjugate_gradient]
+
+
+def _spd_diag_dominant(rng, n):
+    """SPD and strictly diagonally dominant (converges for all 3 methods)."""
+    a = rng.uniform(0, 1, size=(n, n))
+    a = 0.5 * (a + a.T)
+    np.fill_diagonal(a, a.sum(axis=1) + 1.0)
+    return a
+
+
+@pytest.mark.parametrize("solver", SOLVERS, ids=lambda s: s.__name__)
+class TestCommonBehaviour:
+    def test_solves_spd_system(self, solver, rng):
+        a = _spd_diag_dominant(rng, 10)
+        x_true = rng.normal(size=10)
+        result = solver(a, a @ x_true, tol=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, atol=1e-8)
+
+    def test_residual_history_decreases_overall(self, solver, rng):
+        a = _spd_diag_dominant(rng, 8)
+        result = solver(a, rng.normal(size=8), tol=1e-12)
+        assert result.residual_norms[-1] < result.residual_norms[0]
+
+    def test_x0_starting_point_accepted(self, solver, rng):
+        a = _spd_diag_dominant(rng, 6)
+        x_true = rng.normal(size=6)
+        result = solver(a, a @ x_true, x0=x_true, tol=1e-12)
+        assert result.iterations == 0
+
+    def test_dimension_mismatch_raises(self, solver, rng):
+        a = _spd_diag_dominant(rng, 4)
+        with pytest.raises(DataValidationError):
+            solver(a, np.ones(5))
+
+    def test_bad_x0_raises(self, solver, rng):
+        a = _spd_diag_dominant(rng, 4)
+        with pytest.raises(DataValidationError):
+            solver(a, np.ones(4), x0=np.ones(3))
+
+    def test_non_square_raises(self, solver, rng):
+        with pytest.raises(DataValidationError):
+            solver(rng.normal(size=(3, 4)), np.ones(3))
+
+    def test_zero_rhs_gives_zero(self, solver, rng):
+        a = _spd_diag_dominant(rng, 5)
+        result = solver(a, np.zeros(5))
+        np.testing.assert_allclose(result.x, np.zeros(5), atol=1e-12)
+
+
+class TestJacobi:
+    def test_sparse_input(self, rng):
+        a = _spd_diag_dominant(rng, 12)
+        x_true = rng.normal(size=12)
+        result = jacobi(sparse.csr_matrix(a), a @ x_true, tol=1e-12)
+        np.testing.assert_allclose(result.x, x_true, atol=1e-8)
+
+    def test_zero_diagonal_raises(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(DataValidationError, match="diagonal"):
+            jacobi(a, np.ones(2))
+
+    def test_divergence_raises_convergence_error(self):
+        # Not diagonally dominant; Jacobi diverges.
+        a = np.array([[1.0, 3.0], [3.0, 1.0]])
+        with pytest.raises(ConvergenceError) as excinfo:
+            jacobi(a, np.ones(2), max_iter=100)
+        assert excinfo.value.iterations == 100
+
+
+class TestGaussSeidel:
+    def test_converges_faster_than_jacobi(self, rng):
+        a = _spd_diag_dominant(rng, 10)
+        b = rng.normal(size=10)
+        gs = gauss_seidel(a, b, tol=1e-10)
+        ja = jacobi(a, b, tol=1e-10)
+        assert gs.iterations <= ja.iterations
+
+    def test_spd_but_not_dominant_converges(self, rng):
+        q, _ = np.linalg.qr(rng.normal(size=(6, 6)))
+        a = q @ np.diag(rng.uniform(0.5, 5.0, 6)) @ q.T
+        x_true = rng.normal(size=6)
+        result = gauss_seidel(a, a @ x_true, tol=1e-11, max_iter=50_000)
+        np.testing.assert_allclose(result.x, x_true, atol=1e-6)
+
+
+class TestConjugateGradient:
+    def test_exact_termination_bound(self, rng):
+        """CG converges within ~n iterations on well-conditioned systems."""
+        a = _spd_diag_dominant(rng, 20)
+        result = conjugate_gradient(a, rng.normal(size=20), tol=1e-10)
+        assert result.iterations <= 25
+
+    def test_indefinite_matrix_raises(self, rng):
+        a = np.diag([1.0, -1.0, 2.0])
+        with pytest.raises(ConvergenceError, match="positive definite"):
+            conjugate_gradient(a, np.array([1.0, 1.0, 1.0]))
+
+    def test_sparse_matches_dense(self, rng):
+        a = _spd_diag_dominant(rng, 15)
+        b = rng.normal(size=15)
+        dense = conjugate_gradient(a, b, tol=1e-12).x
+        sp = conjugate_gradient(sparse.csr_matrix(a), b, tol=1e-12).x
+        np.testing.assert_allclose(dense, sp, atol=1e-9)
+
+    def test_max_iter_exhaustion_raises(self, rng):
+        a = _spd_diag_dominant(rng, 30)
+        with pytest.raises(ConvergenceError):
+            conjugate_gradient(a, rng.normal(size=30), tol=1e-14, max_iter=2)

@@ -1,0 +1,85 @@
+"""Unit tests for repro.linalg.neumann."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, DataValidationError
+from repro.linalg.neumann import neumann_inverse, neumann_partial_sums
+
+
+def _contraction(rng, n, radius=0.5):
+    """Random matrix rescaled to the given spectral radius."""
+    m = rng.normal(size=(n, n))
+    return m * (radius / np.max(np.abs(np.linalg.eigvals(m))))
+
+
+class TestPartialSums:
+    def test_geometric_scalar_case(self):
+        m = np.array([[0.5]])
+        total, diag = neumann_partial_sums(m, n_terms=10)
+        expected = sum(0.5**k for k in range(1, 11))
+        assert total[0, 0] == pytest.approx(expected)
+        assert diag.terms == 10
+        assert len(diag.max_norms) == 10
+
+    def test_max_norms_track_partial_sums(self, rng):
+        m = _contraction(rng, 4)
+        _, diag = neumann_partial_sums(m, n_terms=5)
+        power = m.copy()
+        total = m.copy()
+        for k in range(1, 5):
+            power = power @ m
+            total = total + power
+            assert diag.max_norms[k] == pytest.approx(np.max(np.abs(total)))
+
+    def test_spectral_radius_reported(self, rng):
+        m = _contraction(rng, 5, radius=0.7)
+        _, diag = neumann_partial_sums(m, n_terms=3)
+        assert diag.spectral_radius == pytest.approx(0.7, rel=1e-8)
+        assert diag.converged
+
+    def test_divergent_flagged(self, rng):
+        m = _contraction(rng, 4, radius=1.5)
+        _, diag = neumann_partial_sums(m, n_terms=3)
+        assert not diag.converged
+
+    def test_requires_positive_terms(self, rng):
+        with pytest.raises(DataValidationError):
+            neumann_partial_sums(_contraction(rng, 3), n_terms=0)
+
+
+class TestNeumannInverse:
+    def test_matches_direct_inverse(self, rng):
+        m = _contraction(rng, 6, radius=0.6)
+        inverse, diag = neumann_inverse(m, tol=1e-14)
+        np.testing.assert_allclose(inverse, np.linalg.inv(np.eye(6) - m), atol=1e-9)
+        assert diag.converged
+
+    def test_zero_matrix_gives_identity(self):
+        inverse, _ = neumann_inverse(np.zeros((3, 3)))
+        np.testing.assert_allclose(inverse, np.eye(3))
+
+    def test_empty_matrix(self):
+        inverse, diag = neumann_inverse(np.zeros((0, 0)))
+        assert inverse.shape == (0, 0)
+        assert diag.converged
+
+    def test_divergent_raises_with_radius_in_message(self, rng):
+        m = _contraction(rng, 4, radius=1.2)
+        with pytest.raises(ConvergenceError, match="spectral radius"):
+            neumann_inverse(m, max_terms=50)
+
+    def test_proof_regime_tiny_elements(self, small_problem):
+        """On the paper's graph, D22^{-1} W22 has a convergent series and
+        the remainder S has tiny entries, as the proof asserts."""
+        data, weights, _ = small_problem
+        n = data.n_labeled
+        degrees = weights.sum(axis=1)
+        iterated = weights[n:, n:] / degrees[n:, None]
+        inverse, diag = neumann_inverse(iterated)
+        assert diag.converged
+        assert diag.spectral_radius < 1.0
+        s_matrix = inverse - np.eye(iterated.shape[0])
+        direct = np.linalg.inv(np.eye(iterated.shape[0]) - iterated)
+        np.testing.assert_allclose(inverse, direct, atol=1e-8)
+        assert np.max(np.abs(s_matrix)) < 1.5  # finite "tiny elements"

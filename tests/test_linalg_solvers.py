@@ -1,0 +1,73 @@
+"""Unit tests for the unified solver dispatch."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import ConfigurationError, SingularSystemError
+from repro.linalg.solvers import solve_spd, solve_square
+
+METHODS = ["direct", "sparse", "cg", "jacobi", "gauss_seidel"]
+
+
+def _spd(rng, n):
+    a = rng.uniform(0, 1, size=(n, n))
+    a = 0.5 * (a + a.T)
+    np.fill_diagonal(a, a.sum(axis=1) + 1.0)
+    return a
+
+
+class TestSolveSquare:
+    def test_dense(self, rng):
+        a = rng.normal(size=(5, 5)) + 5 * np.eye(5)
+        x = rng.normal(size=5)
+        np.testing.assert_allclose(solve_square(a, a @ x), x, atol=1e-9)
+
+    def test_sparse(self, rng):
+        a = _spd(rng, 8)
+        x = rng.normal(size=8)
+        got = solve_square(sparse.csc_matrix(a), a @ x)
+        np.testing.assert_allclose(got, x, atol=1e-9)
+
+    def test_singular_dense_raises(self):
+        with pytest.raises(SingularSystemError):
+            solve_square(np.ones((3, 3)), np.ones(3))
+
+    def test_singular_sparse_raises(self):
+        a = sparse.csc_matrix(np.ones((3, 3)))
+        with pytest.raises(SingularSystemError):
+            solve_square(a, np.ones(3))
+
+
+class TestSolveSpd:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_all_methods_agree(self, rng, method):
+        a = _spd(rng, 12)
+        x = rng.normal(size=12)
+        got = solve_spd(a, a @ x, method=method, tol=1e-12)
+        np.testing.assert_allclose(got, x, atol=1e-7)
+
+    def test_direct_on_sparse_input(self, rng):
+        a = _spd(rng, 6)
+        x = rng.normal(size=6)
+        got = solve_spd(sparse.csr_matrix(a), a @ x, method="direct")
+        np.testing.assert_allclose(got, x, atol=1e-9)
+
+    def test_direct_falls_back_for_semidefinite(self, rng):
+        """Indefinite-but-invertible input must still solve (LU fallback)."""
+        a = np.diag([1.0, -2.0, 3.0])
+        x = np.array([1.0, 2.0, 3.0])
+        got = solve_spd(a, a @ x, method="direct")
+        np.testing.assert_allclose(got, x, atol=1e-10)
+
+    def test_unknown_method_raises(self, rng):
+        a = _spd(rng, 3)
+        with pytest.raises(ConfigurationError, match="unknown solver"):
+            solve_spd(a, np.ones(3), method="quantum")
+
+    def test_max_iter_forwarded(self, rng):
+        from repro.exceptions import ConvergenceError
+
+        a = _spd(rng, 20)
+        with pytest.raises(ConvergenceError):
+            solve_spd(a, rng.normal(size=20), method="cg", tol=1e-15, max_iter=1)

@@ -1,0 +1,150 @@
+"""Unit tests for the from-scratch classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.metrics.classification import (
+    accuracy,
+    auc,
+    confusion_counts,
+    matthews_corrcoef,
+    roc_curve,
+    sensitivity_specificity,
+)
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        # Curve passes through (0,0) ... (0,1) ... (1,1).
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert np.any((fpr == 0.0) & (tpr == 1.0))
+        assert thresholds[0] == np.inf
+
+    def test_monotone_axes(self, rng):
+        y = rng.integers(0, 2, 50).astype(float)
+        y[0], y[1] = 0.0, 1.0  # both classes present
+        scores = rng.normal(size=50)
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_single_class_raises(self):
+        with pytest.raises(DataValidationError, match="positive and one negative"):
+            roc_curve(np.ones(5), np.arange(5.0))
+
+    def test_non_binary_raises(self):
+        with pytest.raises(DataValidationError):
+            roc_curve(np.array([0.0, 2.0]), np.array([0.1, 0.2]))
+
+
+class TestAuc:
+    def test_perfect_is_one(self):
+        assert auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == pytest.approx(1.0)
+
+    def test_inverted_is_zero(self):
+        assert auc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == pytest.approx(0.0)
+
+    def test_constant_scores_half(self):
+        assert auc([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_matches_mann_whitney(self, rng):
+        """AUC == P(score_pos > score_neg) + 0.5 P(tie), brute force."""
+        y = rng.integers(0, 2, 60).astype(float)
+        y[:2] = [0.0, 1.0]
+        scores = np.round(rng.normal(size=60), 1)  # rounding induces ties
+        pos = scores[y == 1.0]
+        neg = scores[y == 0.0]
+        wins = sum((p > q) + 0.5 * (p == q) for p in pos for q in neg)
+        expected = wins / (len(pos) * len(neg))
+        assert auc(y, scores) == pytest.approx(expected, abs=1e-10)
+
+    def test_invariant_under_monotone_transform(self, rng):
+        y = rng.integers(0, 2, 40).astype(float)
+        y[:2] = [0.0, 1.0]
+        scores = rng.normal(size=40)
+        assert auc(y, scores) == pytest.approx(auc(y, np.exp(scores)), abs=1e-12)
+
+    def test_complement_symmetry(self, rng):
+        y = rng.integers(0, 2, 40).astype(float)
+        y[:2] = [0.0, 1.0]
+        scores = rng.normal(size=40)
+        assert auc(y, scores) + auc(1.0 - y, scores) == pytest.approx(1.0)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy([1, 0, 1, 0], [1, 0, 0, 0]) == pytest.approx(0.75)
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataValidationError):
+            accuracy([1.0], [1.0, 0.0])
+
+
+class TestConfusion:
+    def test_hand_computed(self):
+        y_true = np.array([1, 1, 0, 0, 1, 0], dtype=float)
+        y_pred = np.array([1, 0, 0, 1, 1, 0], dtype=float)
+        tp, fp, tn, fn = confusion_counts(y_true, y_pred)
+        assert (tp, fp, tn, fn) == (2, 1, 2, 1)
+
+    def test_counts_sum_to_n(self, rng):
+        y_true = rng.integers(0, 2, 30).astype(float)
+        y_pred = rng.integers(0, 2, 30).astype(float)
+        assert sum(confusion_counts(y_true, y_pred)) == 30
+
+    def test_non_binary_pred_raises(self):
+        with pytest.raises(DataValidationError):
+            confusion_counts(np.array([0.0, 1.0]), np.array([0.0, 0.7]))
+
+
+class TestMcc:
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 0, 1], dtype=float)
+        assert matthews_corrcoef(y, y) == pytest.approx(1.0)
+
+    def test_perfect_anti_prediction(self):
+        y = np.array([0, 1, 0, 1], dtype=float)
+        assert matthews_corrcoef(y, 1 - y) == pytest.approx(-1.0)
+
+    def test_degenerate_returns_zero(self):
+        assert matthews_corrcoef([0.0, 1.0], [1.0, 1.0]) == 0.0
+
+    def test_matches_pearson_correlation(self, rng):
+        """MCC equals the Pearson correlation of the two binary vectors."""
+        y_true = rng.integers(0, 2, 100).astype(float)
+        y_pred = (y_true + (rng.random(100) < 0.3)) % 2
+        y_true[:2] = [0.0, 1.0]
+        y_pred[:2] = [0.0, 1.0]
+        expected = np.corrcoef(y_true, y_pred)[0, 1]
+        assert matthews_corrcoef(y_true, y_pred) == pytest.approx(expected, abs=1e-10)
+
+
+class TestSensitivitySpecificity:
+    def test_hand_computed(self):
+        y_true = np.array([1, 1, 1, 0, 0], dtype=float)
+        y_pred = np.array([1, 1, 0, 0, 1], dtype=float)
+        sens, spec = sensitivity_specificity(y_true, y_pred)
+        assert sens == pytest.approx(2 / 3)
+        assert spec == pytest.approx(1 / 2)
+
+    def test_one_class_raises(self):
+        with pytest.raises(DataValidationError):
+            sensitivity_specificity(np.ones(4), np.ones(4))
+
+    def test_roc_point_consistency(self, rng):
+        """(1-spec, sens) at a threshold lies on the ROC curve."""
+        y = rng.integers(0, 2, 50).astype(float)
+        y[:2] = [0.0, 1.0]
+        scores = rng.normal(size=50)
+        threshold = 0.2
+        preds = (scores >= threshold).astype(float)
+        sens, spec = sensitivity_specificity(y, preds)
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        idx = np.argmin(np.abs(thresholds[1:] - scores[scores >= threshold].min())) + 1
+        assert tpr[idx] == pytest.approx(sens)
+        assert fpr[idx] == pytest.approx(1 - spec)

@@ -1,0 +1,151 @@
+"""Tests for isotonic calibration and threshold selection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError, NotFittedError
+from repro.metrics.classification import auc
+from repro.metrics.isotonic import IsotonicCalibrator, pav_isotonic
+from repro.metrics.thresholds import best_f1_threshold, youden_threshold
+
+
+class TestPav:
+    def test_already_monotone_unchanged(self):
+        values = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(pav_isotonic(values), values)
+
+    def test_single_violation_pools(self):
+        got = pav_isotonic([1.0, 3.0, 2.0])
+        np.testing.assert_allclose(got, [1.0, 2.5, 2.5])
+
+    def test_fully_decreasing_pools_to_mean(self):
+        values = np.array([5.0, 4.0, 3.0, 2.0])
+        np.testing.assert_allclose(pav_isotonic(values), np.full(4, 3.5))
+
+    def test_output_is_monotone(self, rng):
+        values = rng.normal(size=50)
+        fitted = pav_isotonic(values)
+        assert np.all(np.diff(fitted) >= -1e-12)
+
+    def test_weighted_mean_respected(self):
+        got = pav_isotonic([2.0, 0.0], weights=[3.0, 1.0])
+        np.testing.assert_allclose(got, [1.5, 1.5])
+
+    def test_is_least_squares_optimal(self, rng):
+        """PAV beats random monotone candidates in squared error."""
+        values = rng.normal(size=12)
+        fitted = pav_isotonic(values)
+        pav_error = np.sum((fitted - values) ** 2)
+        for _ in range(50):
+            candidate = np.sort(rng.normal(size=12))
+            assert np.sum((candidate - values) ** 2) >= pav_error - 1e-9
+
+    def test_mean_preserved(self, rng):
+        """Pooling preserves the (weighted) mean."""
+        values = rng.normal(size=30)
+        assert pav_isotonic(values).mean() == pytest.approx(values.mean())
+
+    def test_validation(self):
+        with pytest.raises(DataValidationError):
+            pav_isotonic([1.0, 2.0], weights=[1.0, -1.0])
+
+
+class TestIsotonicCalibrator:
+    def test_transform_is_monotone_and_keeps_auc_close(self, rng):
+        scores = rng.normal(size=200)
+        y = (rng.random(200) < 1 / (1 + np.exp(-3 * scores))).astype(float)
+        y[:2] = [0.0, 1.0]
+        calibrator = IsotonicCalibrator().fit(scores, y)
+        calibrated = calibrator.transform(scores)
+        # Monotone: ordering never reverses (ties allowed).
+        order = np.argsort(scores)
+        assert np.all(np.diff(calibrated[order]) >= -1e-12)
+        # AUC moves only through tie credit in pooled blocks — never far.
+        assert auc(y, calibrated) >= auc(y, scores) - 0.02
+
+    def test_improves_calibration_of_shrunk_scores(self, rng):
+        """Shrunk (soft-criterion-like) scores are recalibrated."""
+        from repro.metrics.regression import calibration_error
+
+        q = rng.uniform(0.05, 0.95, size=3000)
+        y = (rng.random(3000) < q).astype(float)
+        shrunk = 0.5 + 0.1 * (q - 0.5)  # badly under-dispersed
+        before = calibration_error(y, np.clip(shrunk, 0, 1))
+        calibrated = IsotonicCalibrator().fit_transform(shrunk, y)
+        after = calibration_error(y, np.clip(calibrated, 0, 1))
+        assert after < before
+
+    def test_out_of_range_clamped(self, rng):
+        calibrator = IsotonicCalibrator().fit([0.0, 1.0, 2.0], [0.0, 0.0, 1.0])
+        low, high = calibrator.transform([-100.0, 100.0])
+        assert low == pytest.approx(calibrator.transform([0.0])[0])
+        assert high == pytest.approx(calibrator.transform([2.0])[0])
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            IsotonicCalibrator().transform([0.5])
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataValidationError):
+            IsotonicCalibrator().fit([0.1, 0.2], [1.0])
+
+    def test_repairs_soft_criterion_accuracy(self):
+        """End to end: isotonic calibration on the labeled scores restores
+        the soft criterion's threshold accuracy at large lambda."""
+        from repro.core.soft import solve_soft_criterion
+        from repro.datasets.synthetic import make_synthetic_dataset
+        from repro.graph.similarity import full_kernel_graph
+        from repro.kernels.bandwidth import paper_bandwidth_rule
+        from repro.metrics.classification import accuracy
+
+        raw_total, fixed_total = 0.0, 0.0
+        for seed in range(5):
+            data = make_synthetic_dataset(200, 100, seed=seed)
+            bandwidth = paper_bandwidth_rule(200, 5)
+            graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+            fit = solve_soft_criterion(
+                graph.weights, data.y_labeled, 5.0, check_reachability=False
+            )
+            raw = (fit.unlabeled_scores >= 0.5).astype(float)
+            calibrator = IsotonicCalibrator().fit(
+                fit.labeled_scores, data.y_labeled
+            )
+            fixed = (
+                calibrator.transform(fit.unlabeled_scores) >= 0.5
+            ).astype(float)
+            raw_total += accuracy(data.y_unlabeled, raw)
+            fixed_total += accuracy(data.y_unlabeled, fixed)
+        assert fixed_total > raw_total + 0.2  # a large, real repair
+
+
+class TestThresholds:
+    def test_youden_separable(self):
+        y = np.array([0, 0, 0, 1, 1, 1], dtype=float)
+        scores = np.array([0.1, 0.2, 0.3, 0.7, 0.8, 0.9])
+        threshold = youden_threshold(y, scores)
+        predictions = (scores >= threshold).astype(float)
+        np.testing.assert_array_equal(predictions, y)
+
+    def test_youden_on_shrunk_scores(self):
+        """Scores centered far from 0.5 still get a usable threshold."""
+        y = np.array([0, 0, 1, 1], dtype=float)
+        scores = np.array([0.40, 0.41, 0.44, 0.45])
+        threshold = youden_threshold(y, scores)
+        predictions = (scores >= threshold).astype(float)
+        np.testing.assert_array_equal(predictions, y)
+
+    def test_best_f1_separable(self):
+        y = np.array([0, 1, 1], dtype=float)
+        scores = np.array([0.2, 0.6, 0.9])
+        threshold = best_f1_threshold(y, scores)
+        predictions = (scores >= threshold).astype(float)
+        np.testing.assert_array_equal(predictions, y)
+
+    def test_best_f1_constant_scores(self):
+        assert best_f1_threshold([0.0, 1.0], [0.5, 0.5]) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(DataValidationError):
+            best_f1_threshold([0.0, 2.0], [0.1, 0.9])
+        with pytest.raises(DataValidationError):
+            best_f1_threshold([0.0], [0.1, 0.9])

@@ -1,0 +1,123 @@
+"""Unit tests for the probabilistic/threshold metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.metrics.probabilistic import (
+    brier_score,
+    log_loss,
+    macro_ovr_auc,
+    precision_recall_f1,
+)
+
+
+class TestBrier:
+    def test_perfect_is_zero(self):
+        y = np.array([0.0, 1.0, 1.0])
+        assert brier_score(y, y) == 0.0
+
+    def test_hand_computed(self):
+        assert brier_score([1.0, 0.0], [0.8, 0.3]) == pytest.approx(
+            (0.04 + 0.09) / 2
+        )
+
+    def test_constant_half_is_quarter(self):
+        y = np.array([0.0, 1.0, 0.0, 1.0])
+        assert brier_score(y, np.full(4, 0.5)) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(DataValidationError):
+            brier_score([0.5], [0.5])
+        with pytest.raises(DataValidationError):
+            brier_score([1.0], [1.5])
+
+
+class TestLogLoss:
+    def test_perfect_is_near_zero(self):
+        y = np.array([0.0, 1.0])
+        assert log_loss(y, y) < 1e-10
+
+    def test_hand_computed(self):
+        got = log_loss([1.0], [0.5])
+        assert got == pytest.approx(np.log(2.0))
+
+    def test_confident_wrong_is_large_but_finite(self):
+        value = log_loss([1.0], [0.0])
+        assert np.isfinite(value)
+        assert value > 20
+
+    def test_proper_scoring(self, rng):
+        """Truthful probabilities score better than distorted ones."""
+        q = rng.uniform(0.1, 0.9, size=20_000)
+        y = (rng.random(20_000) < q).astype(float)
+        honest = log_loss(y, q)
+        distorted = log_loss(y, np.clip(q + 0.2, 0, 1))
+        assert honest < distorted
+
+
+class TestPrecisionRecallF1:
+    def test_hand_computed(self):
+        y_true = np.array([1, 1, 0, 0, 1], dtype=float)
+        y_pred = np.array([1, 0, 0, 1, 1], dtype=float)
+        precision, recall, f1 = precision_recall_f1(y_true, y_pred)
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(2 / 3)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_no_positive_predictions(self):
+        precision, recall, f1 = precision_recall_f1(
+            [1.0, 0.0], [0.0, 0.0]
+        )
+        assert precision == 0.0
+        assert recall == 0.0
+        assert f1 == 0.0
+
+    def test_perfect(self):
+        y = np.array([1, 0, 1], dtype=float)
+        assert precision_recall_f1(y, y) == (1.0, 1.0, 1.0)
+
+
+class TestMacroAuc:
+    def test_perfect_scores(self):
+        scores = np.eye(3)[np.array([0, 1, 2, 0])]
+        y = np.array([0.0, 1.0, 2.0, 0.0])
+        assert macro_ovr_auc(y, scores) == pytest.approx(1.0)
+
+    def test_random_scores_near_half(self, rng):
+        y = rng.integers(0, 3, 600).astype(float)
+        scores = rng.random((600, 3))
+        assert macro_ovr_auc(y, scores) == pytest.approx(0.5, abs=0.08)
+
+    def test_skips_absent_classes(self):
+        scores = np.array([[0.9, 0.1, 0.0], [0.2, 0.8, 0.0], [0.7, 0.3, 0.0]])
+        y = np.array([0.0, 1.0, 0.0])
+        # Class 2 absent: macro over classes 0 and 1 only.
+        value = macro_ovr_auc(y, scores, classes=[0.0, 1.0, 2.0])
+        assert value == pytest.approx(1.0)
+
+    def test_matches_multiclass_fit(self, rng):
+        """End to end with the multiclass propagation output."""
+        from repro.core.multiclass import solve_multiclass_hard
+        from repro.datasets.toy import gaussian_blobs
+        from repro.graph.similarity import full_kernel_graph
+
+        centers = np.array([[0.0, 0.0], [6.0, 0.0], [3.0, 5.0]])
+        x, y = gaussian_blobs(60, centers=centers, std=0.5, seed=0)
+        labeled_idx = np.concatenate(
+            [np.flatnonzero(y == c)[:4] for c in (0.0, 1.0, 2.0)]
+        )
+        unlabeled_idx = np.setdiff1d(np.arange(60), labeled_idx)
+        order = np.concatenate([labeled_idx, unlabeled_idx])
+        graph = full_kernel_graph(x[order], bandwidth=1.0)
+        fit = solve_multiclass_hard(graph.weights, y[labeled_idx])
+        value = macro_ovr_auc(y[unlabeled_idx], fit.scores, classes=fit.classes)
+        assert value > 0.95
+
+    def test_validation(self):
+        with pytest.raises(DataValidationError):
+            macro_ovr_auc([0.0, 1.0], np.ones((3, 2)))
+        with pytest.raises(DataValidationError):
+            macro_ovr_auc([0.0, 1.0], np.ones((2, 3)), classes=[0.0, 1.0])
+        with pytest.raises(DataValidationError, match="undefined"):
+            macro_ovr_auc([0.0, 0.0], np.ones((2, 1)), classes=[0.0])

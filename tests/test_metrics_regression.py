@@ -1,0 +1,75 @@
+"""Unit tests for the regression metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.metrics.regression import (
+    calibration_error,
+    mean_absolute_error,
+    mean_squared_error,
+    root_mean_squared_error,
+)
+
+
+class TestErrors:
+    def test_zero_for_exact(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert mean_squared_error(y, y) == 0.0
+        assert root_mean_squared_error(y, y) == 0.0
+        assert mean_absolute_error(y, y) == 0.0
+
+    def test_hand_computed(self):
+        y_true = np.array([0.0, 0.0])
+        y_pred = np.array([3.0, 4.0])
+        assert mean_squared_error(y_true, y_pred) == pytest.approx(12.5)
+        assert root_mean_squared_error(y_true, y_pred) == pytest.approx(np.sqrt(12.5))
+        assert mean_absolute_error(y_true, y_pred) == pytest.approx(3.5)
+
+    def test_rmse_is_sqrt_mse(self, rng):
+        a, b = rng.normal(size=20), rng.normal(size=20)
+        assert root_mean_squared_error(a, b) == pytest.approx(
+            np.sqrt(mean_squared_error(a, b))
+        )
+
+    def test_symmetry(self, rng):
+        a, b = rng.normal(size=15), rng.normal(size=15)
+        assert mean_squared_error(a, b) == pytest.approx(mean_squared_error(b, a))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(DataValidationError, match="equal length"):
+            mean_squared_error([1.0], [1.0, 2.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(DataValidationError):
+            root_mean_squared_error([np.nan], [1.0])
+
+    def test_translation_invariance(self, rng):
+        a, b = rng.normal(size=10), rng.normal(size=10)
+        assert mean_squared_error(a + 5, b + 5) == pytest.approx(
+            mean_squared_error(a, b)
+        )
+
+
+class TestCalibration:
+    def test_perfectly_calibrated_low_error(self, rng):
+        probs = rng.uniform(0, 1, size=100_000)
+        outcomes = (rng.random(100_000) < probs).astype(float)
+        assert calibration_error(outcomes, probs) < 0.02
+
+    def test_overconfident_penalized(self):
+        probs = np.full(1000, 0.99)
+        outcomes = np.concatenate([np.ones(500), np.zeros(500)])
+        assert calibration_error(outcomes, probs) == pytest.approx(0.49, abs=0.01)
+
+    def test_requires_binary_outcomes(self):
+        with pytest.raises(DataValidationError, match="binary"):
+            calibration_error([0.5, 1.0], [0.5, 0.5])
+
+    def test_requires_unit_interval_probs(self):
+        with pytest.raises(DataValidationError):
+            calibration_error([0.0, 1.0], [0.5, 1.5])
+
+    def test_invalid_bins(self):
+        with pytest.raises(DataValidationError):
+            calibration_error([0.0, 1.0], [0.5, 0.5], n_bins=0)

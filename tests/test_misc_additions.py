@@ -1,0 +1,99 @@
+"""Tests for the lambda curve, graph persistence, and markdown tables."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.experiments.lambda_curve import run_lambda_curve
+from repro.experiments.report import markdown_table
+from repro.graph.similarity import SimilarityGraph, full_kernel_graph, knn_graph
+
+
+class TestLambdaCurve:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return run_lambda_curve(
+            n_labeled=60, n_unlabeled=15,
+            lambdas=(0.0, 0.01, 0.1, 1.0, 100.0),
+            n_replicates=10, seed=0,
+        )
+
+    def test_anchors(self, curve):
+        assert curve.rmse[0] == curve.hard_rmse
+        assert curve.interpolates_anchors
+
+    def test_monotone_overall(self, curve):
+        assert curve.rmse[-1] > curve.rmse[0]
+
+    def test_rows(self, curve):
+        rows = curve.to_rows()
+        assert len(rows) == 5
+        assert len(rows[0]) == len(curve.headers())
+
+    def test_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_lambda_curve(lambdas=(0.01, 0.1), n_replicates=1)
+        with pytest.raises(ConfigurationError):
+            run_lambda_curve(lambdas=(0.0, 1.0, 0.5), n_replicates=1)
+
+
+class TestGraphPersistence:
+    def test_dense_roundtrip(self, rng, tmp_path):
+        x = rng.normal(size=(12, 3))
+        graph = full_kernel_graph(x, bandwidth=0.7)
+        path = graph.save_npz(tmp_path / "g" / "graph.npz")
+        loaded = SimilarityGraph.load_npz(path)
+        np.testing.assert_allclose(loaded.dense_weights(), graph.dense_weights())
+        assert loaded.kernel_name == "gaussian"
+        assert loaded.bandwidth == 0.7
+        assert loaded.construction == "full"
+        assert not loaded.is_sparse
+
+    def test_sparse_roundtrip(self, rng, tmp_path):
+        x = rng.normal(size=(25, 2))
+        graph = knn_graph(x, k=4, bandwidth=1.0)
+        path = graph.save_npz(tmp_path / "knn.npz")
+        loaded = SimilarityGraph.load_npz(path)
+        assert loaded.is_sparse
+        np.testing.assert_allclose(
+            loaded.dense_weights(), graph.dense_weights()
+        )
+        assert loaded.params == {"k": 4, "mode": "union"}
+
+    def test_loaded_graph_solves_identically(self, rng, tmp_path):
+        from repro.core.hard import solve_hard_criterion
+
+        x = rng.normal(size=(15, 2))
+        y = rng.normal(size=8)
+        graph = full_kernel_graph(x, bandwidth=1.0)
+        original = solve_hard_criterion(graph.weights, y)
+        loaded = SimilarityGraph.load_npz(graph.save_npz(tmp_path / "g.npz"))
+        restored = solve_hard_criterion(loaded.weights, y)
+        np.testing.assert_allclose(restored.scores, original.scores)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataValidationError, match="no such file"):
+            SimilarityGraph.load_npz(tmp_path / "missing.npz")
+
+    def test_wrong_archive_rejected(self, tmp_path, rng):
+        path = tmp_path / "other.npz"
+        np.savez(path, whatever=rng.normal(size=3))
+        with pytest.raises(DataValidationError, match="not a SimilarityGraph"):
+            SimilarityGraph.load_npz(path)
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        table = markdown_table(["a", "b"], [[1, 2.5]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.5000 |"
+
+    def test_row_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            markdown_table(["a"], [[1, 2]])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ConfigurationError):
+            markdown_table([], [])

@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategy note: weight matrices are generated as kernel matrices of random
+point clouds (always symmetric, positive, well-conditioned) rather than
+raw random matrices, so every generated instance is a *valid* similarity
+graph and the properties under test are the mathematical ones, not input
+validation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.hard import solve_hard_criterion
+from repro.core.nadaraya_watson import nadaraya_watson_from_weights
+from repro.core.soft import solve_soft_criterion
+from repro.graph.laplacian import laplacian
+from repro.graph.similarity import full_kernel_graph
+from repro.metrics.classification import auc
+from repro.metrics.regression import root_mean_squared_error
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+def graph_problems(min_labeled=2, max_labeled=8, min_unlabeled=1, max_unlabeled=6):
+    """A (weights, y_labeled) pair from a random point cloud."""
+
+    @st.composite
+    def _build(draw):
+        n = draw(st.integers(min_labeled, max_labeled))
+        m = draw(st.integers(min_unlabeled, max_unlabeled))
+        seed = draw(st.integers(0, 2**31 - 1))
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-1.0, 1.0, size=(n + m, 3))
+        weights = full_kernel_graph(x, bandwidth=1.5).dense_weights()
+        y = rng.uniform(-5.0, 5.0, size=n)
+        return weights, y
+
+    return _build()
+
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+# ----------------------------------------------------------------------
+# Hard criterion invariants
+# ----------------------------------------------------------------------
+
+class TestHardCriterionProperties:
+    @given(problem=graph_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_maximum_principle(self, problem):
+        """Harmonic scores never leave the labeled range."""
+        weights, y = problem
+        fit = solve_hard_criterion(weights, y)
+        assert fit.unlabeled_scores.min() >= y.min() - 1e-8
+        assert fit.unlabeled_scores.max() <= y.max() + 1e-8
+
+    @given(problem=graph_problems(), shift=finite_floats, scale=st.floats(0.1, 10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_affine_equivariance(self, problem, shift, scale):
+        """Solving with a*y + b gives a*f + b (the solution is linear in y)."""
+        weights, y = problem
+        base = solve_hard_criterion(weights, y).unlabeled_scores
+        transformed = solve_hard_criterion(weights, scale * y + shift).unlabeled_scores
+        np.testing.assert_allclose(
+            transformed, scale * base + shift, atol=1e-6 * (1 + abs(shift) + abs(scale) * np.abs(base).max())
+        )
+
+    @given(problem=graph_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_constant_labels_propagate_exactly(self, problem):
+        weights, y = problem
+        constant = np.full(y.shape, 2.5)
+        fit = solve_hard_criterion(weights, constant)
+        np.testing.assert_allclose(
+            fit.unlabeled_scores, np.full(fit.n_unlabeled, 2.5), atol=1e-8
+        )
+
+    @given(problem=graph_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_weight_scaling_invariance(self, problem):
+        """Rescaling all weights by c > 0 leaves the solution unchanged."""
+        weights, y = problem
+        base = solve_hard_criterion(weights, y).unlabeled_scores
+        scaled = solve_hard_criterion(3.7 * weights, y).unlabeled_scores
+        np.testing.assert_allclose(scaled, base, atol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# Soft criterion invariants
+# ----------------------------------------------------------------------
+
+class TestSoftCriterionProperties:
+    @given(problem=graph_problems(), lam=st.floats(1e-4, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_schur_equals_full(self, problem, lam):
+        weights, y = problem
+        full = solve_soft_criterion(weights, y, lam, method="full")
+        schur = solve_soft_criterion(weights, y, lam, method="schur")
+        scale = 1 + np.abs(full.scores).max()
+        np.testing.assert_allclose(schur.scores, full.scores, atol=1e-7 * scale)
+
+    @given(problem=graph_problems(), lam=st.floats(1e-3, 10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_objective_no_worse_than_competitors(self, problem, lam):
+        """The solver's objective value beats hard clamping and the mean."""
+        from repro.core.soft import soft_criterion_objective
+
+        weights, y = problem
+        fit = solve_soft_criterion(weights, y, lam)
+        value = soft_criterion_objective(weights, y, fit.scores, lam)
+        hard_scores = solve_hard_criterion(weights, y).scores
+        mean_scores = np.full(weights.shape[0], y.mean())
+        assert value <= soft_criterion_objective(weights, y, hard_scores, lam) + 1e-8
+        assert value <= soft_criterion_objective(weights, y, mean_scores, lam) + 1e-8
+
+    @given(problem=graph_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_soft_interpolates_hard_and_mean(self, problem):
+        """Unlabeled soft scores move from the hard solution (lam small)
+        toward the labeled mean (lam large)."""
+        weights, y = problem
+        hard = solve_hard_criterion(weights, y).unlabeled_scores
+        small = solve_soft_criterion(weights, y, 1e-8).unlabeled_scores
+        large = solve_soft_criterion(weights, y, 1e8).unlabeled_scores
+        scale = 1 + np.abs(y).max()
+        np.testing.assert_allclose(small, hard, atol=1e-4 * scale)
+        np.testing.assert_allclose(
+            large, np.full_like(large, y.mean()), atol=1e-4 * scale
+        )
+
+
+# ----------------------------------------------------------------------
+# Graph invariants
+# ----------------------------------------------------------------------
+
+class TestGraphProperties:
+    @given(problem=graph_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_laplacian_psd_and_zero_rowsum(self, problem):
+        weights, _ = problem
+        lap = laplacian(weights)
+        np.testing.assert_allclose(
+            lap.sum(axis=1), np.zeros(lap.shape[0]), atol=1e-9
+        )
+        assert np.linalg.eigvalsh(lap).min() >= -1e-8
+
+    @given(problem=graph_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_nw_is_convex_combination(self, problem):
+        weights, y = problem
+        nw = nadaraya_watson_from_weights(weights, y)
+        assert nw.min() >= y.min() - 1e-9
+        assert nw.max() <= y.max() + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Metric invariants
+# ----------------------------------------------------------------------
+
+class TestMetricProperties:
+    @given(
+        scores=hnp.arrays(
+            np.float64,
+            st.integers(4, 30),
+            elements=st.floats(-10, 10, allow_nan=False),
+        ),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_auc_monotone_transform_invariance(self, scores, seed):
+        # Quantize so affine transforms cannot absorb sub-epsilon score
+        # differences into ties (a floating-point artifact, not an AUC
+        # property violation).
+        scores = np.round(scores, 3)
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, scores.shape[0]).astype(float)
+        y[0], y[1] = 0.0, 1.0
+        base = auc(y, scores)
+        assert auc(y, 2.0 * scores + 3.0) == pytest.approx(base, abs=1e-12)
+        assert auc(y, np.tanh(scores / 10)) == pytest.approx(base, abs=1e-12)
+
+    @given(
+        y_pair=st.integers(0, 2**31 - 1),
+        length=st.integers(2, 50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rmse_nonnegative_zero_iff_equal(self, y_pair, length):
+        rng = np.random.default_rng(y_pair)
+        a = rng.normal(size=length)
+        b = rng.normal(size=length)
+        assert root_mean_squared_error(a, b) >= 0
+        assert root_mean_squared_error(a, a) == 0.0
+        if not np.array_equal(a, b):
+            assert root_mean_squared_error(a, b) > 0
+
+    @given(seed=st.integers(0, 2**31 - 1), length=st.integers(4, 40))
+    @settings(max_examples=50, deadline=None)
+    def test_auc_label_flip_complement(self, seed, length):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, length).astype(float)
+        y[0], y[1] = 0.0, 1.0
+        scores = rng.normal(size=length)
+        assert auc(y, scores) + auc(1 - y, scores) == pytest.approx(1.0, abs=1e-12)

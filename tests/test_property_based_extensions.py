@@ -1,0 +1,132 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.incremental import IncrementalHarmonicLabeler
+from repro.core.hard import solve_hard_criterion
+from repro.core.multiclass import class_mass_normalize, solve_multiclass_hard
+from repro.core.uncertainty import gaussian_field_posterior
+from repro.graph.random_walk import absorption_probabilities, expected_hitting_times
+from repro.graph.similarity import full_kernel_graph
+
+
+@st.composite
+def labeled_graphs(draw, min_labeled=2, max_labeled=7, min_unlabeled=2, max_unlabeled=6):
+    """A (weights, y_binary) pair from a random point cloud."""
+    n = draw(st.integers(min_labeled, max_labeled))
+    m = draw(st.integers(min_unlabeled, max_unlabeled))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1.0, 1.0, size=(n + m, 3))
+    weights = full_kernel_graph(x, bandwidth=1.5).dense_weights()
+    y = rng.integers(0, 2, n).astype(float)
+    return weights, y
+
+
+class TestRandomWalkProperties:
+    @given(problem=labeled_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_absorption_equals_harmonic(self, problem):
+        weights, y = problem
+        absorb = absorption_probabilities(weights, y)
+        hard = solve_hard_criterion(weights, y).unlabeled_scores
+        np.testing.assert_allclose(absorb, hard, atol=1e-8)
+
+    @given(problem=labeled_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_absorption_in_unit_interval(self, problem):
+        weights, y = problem
+        absorb = absorption_probabilities(weights, y)
+        assert absorb.min() >= -1e-9
+        assert absorb.max() <= 1.0 + 1e-9
+
+    @given(problem=labeled_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_hitting_times_at_least_one(self, problem):
+        weights, y = problem
+        times = expected_hitting_times(weights, y.shape[0])
+        assert np.all(times >= 1.0 - 1e-9)
+
+
+class TestUncertaintyProperties:
+    @given(problem=labeled_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_posterior_variance_positive(self, problem):
+        weights, y = problem
+        posterior = gaussian_field_posterior(weights, y)
+        assert np.all(posterior.variance > 0)
+
+    @given(problem=labeled_graphs(), value=st.floats(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_conditioning_never_raises_variance(self, problem, value):
+        """Observing any vertex can only shrink remaining variances."""
+        weights, y = problem
+        labeler = IncrementalHarmonicLabeler(weights, y)
+        before = labeler.variances
+        vertex = labeler.unlabeled_vertices[0]
+        labeler.observe(vertex, value)
+        after = labeler.variances
+        assert np.all(after <= before[1:] + 1e-10)
+
+    @given(problem=labeled_graphs(), value=st.floats(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_equals_resolve(self, problem, value):
+        weights, y = problem
+        n = y.shape[0]
+        total = weights.shape[0]
+        labeler = IncrementalHarmonicLabeler(weights, y)
+        vertex = labeler.unlabeled_vertices[-1]
+        labeler.observe(vertex, value)
+        order = list(range(n)) + [vertex] + [
+            i for i in range(n, total) if i != vertex
+        ]
+        w_perm = weights[np.ix_(order, order)]
+        resolved = solve_hard_criterion(
+            w_perm, np.concatenate([y, [value]])
+        ).unlabeled_scores
+        scale = 1.0 + abs(value) + float(np.abs(y).max())
+        np.testing.assert_allclose(labeler.scores, resolved, atol=1e-7 * scale)
+
+
+class TestMulticlassProperties:
+    @st.composite
+    @staticmethod
+    def multiclass_problems(draw):
+        k = draw(st.integers(2, 4))
+        per_class = draw(st.integers(2, 3))
+        m = draw(st.integers(2, 5))
+        seed = draw(st.integers(0, 2**31 - 1))
+        rng = np.random.default_rng(seed)
+        n = k * per_class
+        x = rng.uniform(-1.0, 1.0, size=(n + m, 2))
+        weights = full_kernel_graph(x, bandwidth=1.5).dense_weights()
+        y = np.repeat(np.arange(k, dtype=float), per_class)
+        return weights, y
+
+    @given(problem=multiclass_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_rows_sum_to_one(self, problem):
+        weights, y = problem
+        fit = solve_multiclass_hard(weights, y)
+        np.testing.assert_allclose(fit.scores.sum(axis=1), 1.0, atol=1e-8)
+
+    @given(problem=multiclass_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_scores_nonnegative(self, problem):
+        weights, y = problem
+        fit = solve_multiclass_hard(weights, y)
+        assert fit.scores.min() >= -1e-9
+
+    @given(problem=multiclass_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_cmn_preserves_column_rankings(self, problem):
+        weights, y = problem
+        fit = solve_multiclass_hard(weights, y)
+        normalized = class_mass_normalize(fit.scores, fit.priors)
+        for k in range(fit.scores.shape[1]):
+            np.testing.assert_array_equal(
+                np.argsort(fit.scores[:, k], kind="stable"),
+                np.argsort(normalized[:, k], kind="stable"),
+            )

@@ -1,0 +1,110 @@
+"""Property-based tests for graph constructions and the anchored solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.anchors import solve_anchored
+from repro.core.hard import solve_hard_criterion
+from repro.graph.similarity import (
+    epsilon_graph,
+    full_kernel_graph,
+    knn_graph,
+    local_scaling_graph,
+)
+
+
+@st.composite
+def point_clouds(draw, min_points=8, max_points=20, dim=2):
+    n = draw(st.integers(min_points, max_points))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-2.0, 2.0, size=(n, dim))
+
+
+class TestConstructionProperties:
+    @given(x=point_clouds())
+    @settings(max_examples=40, deadline=None)
+    def test_all_constructions_symmetric_nonnegative(self, x):
+        n = x.shape[0]
+        graphs = [
+            full_kernel_graph(x, bandwidth=1.0),
+            knn_graph(x, k=min(3, n - 1), bandwidth=1.0),
+            epsilon_graph(x, radius=1.0, bandwidth=1.0),
+            local_scaling_graph(x, k=min(3, n - 1)),
+        ]
+        for graph in graphs:
+            w = graph.dense_weights()
+            np.testing.assert_allclose(w, w.T, atol=1e-10)
+            assert w.min() >= 0.0
+
+    @given(x=point_clouds(), scale=st.floats(0.1, 10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_local_scaling_is_scale_invariant(self, x, scale):
+        """Rescaling all inputs by c leaves local-scaling weights fixed
+        (both d^2 and sigma_i sigma_j pick up c^2)."""
+        k = min(3, x.shape[0] - 1)
+        base = local_scaling_graph(x, k=k).dense_weights()
+        scaled = local_scaling_graph(scale * x, k=k).dense_weights()
+        np.testing.assert_allclose(scaled, base, atol=1e-9)
+
+    @given(x=point_clouds())
+    @settings(max_examples=40, deadline=None)
+    def test_knn_weights_subset_of_full(self, x):
+        """k-NN weights equal the full graph's wherever an edge survives."""
+        k = min(3, x.shape[0] - 1)
+        full = full_kernel_graph(x, bandwidth=1.0).dense_weights()
+        sparse_w = knn_graph(x, k=k, bandwidth=1.0).dense_weights()
+        mask = sparse_w > 0
+        np.testing.assert_allclose(sparse_w[mask], full[mask], atol=1e-12)
+
+    @given(x=point_clouds(), radius=st.floats(0.2, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_epsilon_monotone_in_radius(self, x, radius):
+        """A larger radius never removes edges."""
+        small = epsilon_graph(x, radius=radius, bandwidth=1.0).dense_weights()
+        large = epsilon_graph(x, radius=2 * radius, bandwidth=1.0).dense_weights()
+        assert np.all((small > 0) <= (large > 0))
+
+
+class TestAnchoredProperties:
+    @st.composite
+    @staticmethod
+    def anchored_problems(draw):
+        n = draw(st.integers(4, 8))
+        m = draw(st.integers(3, 8))
+        seed = draw(st.integers(0, 2**31 - 1))
+        rng = np.random.default_rng(seed)
+        x_labeled = rng.uniform(-1, 1, size=(n, 2))
+        x_unlabeled = rng.uniform(-1, 1, size=(m, 2))
+        y = rng.uniform(0, 1, size=n)
+        return x_labeled, y, x_unlabeled
+
+    @given(problem=anchored_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_full_budget_exactness(self, problem):
+        x_labeled, y, x_unlabeled = problem
+        fit = solve_anchored(
+            x_labeled, y, x_unlabeled,
+            n_anchors=x_unlabeled.shape[0], bandwidth=1.5, seed=0,
+        )
+        x_all = np.vstack([x_labeled, x_unlabeled])
+        exact = solve_hard_criterion(
+            full_kernel_graph(x_all, bandwidth=1.5).weights, y
+        )
+        np.testing.assert_allclose(
+            fit.unlabeled_scores, exact.unlabeled_scores, atol=1e-8
+        )
+
+    @given(problem=anchored_problems(), budget=st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_reduced_budget_respects_label_range(self, problem, budget):
+        """Anchored scores stay inside [min y, max y]: the reduced solve
+        obeys the maximum principle and induction is a convex average."""
+        x_labeled, y, x_unlabeled = problem
+        fit = solve_anchored(
+            x_labeled, y, x_unlabeled,
+            n_anchors=budget, bandwidth=1.5, seed=0,
+        )
+        assert fit.unlabeled_scores.min() >= y.min() - 1e-8
+        assert fit.unlabeled_scores.max() <= y.max() + 1e-8

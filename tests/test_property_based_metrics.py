@@ -1,0 +1,124 @@
+"""Property-based tests for calibration and threshold selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics.classification import auc, roc_curve
+from repro.metrics.isotonic import IsotonicCalibrator, pav_isotonic
+from repro.metrics.thresholds import best_f1_threshold, youden_threshold
+
+finite_arrays = hnp.arrays(
+    np.float64,
+    st.integers(3, 40),
+    elements=st.floats(-100, 100, allow_nan=False),
+)
+
+
+def _binary_labels(rng, length):
+    y = rng.integers(0, 2, length).astype(float)
+    y[0], y[1] = 0.0, 1.0
+    return y
+
+
+class TestPavProperties:
+    @given(values=finite_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, values):
+        once = pav_isotonic(values)
+        twice = pav_isotonic(once)
+        np.testing.assert_allclose(twice, once, atol=1e-10)
+
+    @given(values=finite_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_output(self, values):
+        fitted = pav_isotonic(values)
+        assert np.all(np.diff(fitted) >= -1e-10)
+
+    @given(values=finite_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_mean_preserving(self, values):
+        fitted = pav_isotonic(values)
+        assert fitted.mean() == pytest.approx(values.mean(), abs=1e-8)
+
+    @given(values=finite_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_range_bounded_by_input(self, values):
+        fitted = pav_isotonic(values)
+        assert fitted.min() >= values.min() - 1e-10
+        assert fitted.max() <= values.max() + 1e-10
+
+    @given(values=finite_arrays, shift=st.floats(-50, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_translation_equivariance(self, values, shift):
+        np.testing.assert_allclose(
+            pav_isotonic(values + shift), pav_isotonic(values) + shift, atol=1e-8
+        )
+
+
+class TestCalibratorProperties:
+    @given(seed=st.integers(0, 2**31 - 1), length=st.integers(6, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_transform_always_monotone(self, seed, length):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=length)
+        y = _binary_labels(rng, length)
+        calibrator = IsotonicCalibrator().fit(scores, y)
+        grid = np.linspace(scores.min() - 1, scores.max() + 1, 50)
+        out = calibrator.transform(grid)
+        assert np.all(np.diff(out) >= -1e-12)
+
+    @given(seed=st.integers(0, 2**31 - 1), length=st.integers(6, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_outputs_in_outcome_range(self, seed, length):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=length)
+        y = _binary_labels(rng, length)
+        calibrator = IsotonicCalibrator().fit(scores, y)
+        out = calibrator.transform(rng.normal(size=30))
+        assert out.min() >= 0.0 - 1e-12
+        assert out.max() <= 1.0 + 1e-12
+
+
+class TestThresholdProperties:
+    @given(seed=st.integers(0, 2**31 - 1), length=st.integers(4, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_youden_threshold_is_achievable(self, seed, length):
+        """The returned threshold appears on the ROC threshold set."""
+        rng = np.random.default_rng(seed)
+        scores = np.round(rng.normal(size=length), 2)
+        y = _binary_labels(rng, length)
+        threshold = youden_threshold(y, scores)
+        _, _, thresholds = roc_curve(y, scores)
+        assert threshold in thresholds
+
+    @given(seed=st.integers(0, 2**31 - 1), length=st.integers(4, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_youden_never_worse_than_half_threshold(self, seed, length):
+        """Youden's J at the tuned threshold >= J at a fixed 0.5."""
+        rng = np.random.default_rng(seed)
+        scores = rng.random(length)
+        y = _binary_labels(rng, length)
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        j_values = tpr - fpr
+        tuned = youden_threshold(y, scores)
+        tuned_j = float(j_values[np.flatnonzero(thresholds == tuned)[0]])
+        half_predictions = (scores >= 0.5).astype(float)
+        from repro.metrics.classification import sensitivity_specificity
+
+        sens, spec = sensitivity_specificity(y, half_predictions)
+        assert tuned_j >= (sens + spec - 1.0) - 1e-9
+
+    @given(seed=st.integers(0, 2**31 - 1), length=st.integers(4, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_best_f1_never_worse_than_half_threshold(self, seed, length):
+        from repro.metrics.probabilistic import precision_recall_f1
+
+        rng = np.random.default_rng(seed)
+        scores = rng.random(length)
+        y = _binary_labels(rng, length)
+        tuned = best_f1_threshold(y, scores)
+        _, _, tuned_f1 = precision_recall_f1(y, (scores >= tuned).astype(float))
+        _, _, half_f1 = precision_recall_f1(y, (scores >= 0.5).astype(float))
+        assert tuned_f1 >= half_f1 - 1e-9

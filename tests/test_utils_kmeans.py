@@ -1,0 +1,75 @@
+"""Unit tests for the from-scratch k-means."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.utils.kmeans import kmeans
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self, rng):
+        a = rng.normal(size=(40, 2))
+        b = rng.normal(size=(40, 2)) + 10.0
+        x = np.vstack([a, b])
+        result = kmeans(x, 2, seed=0)
+        # Centers near the true means, in some order.
+        centers = result.centers[np.argsort(result.centers[:, 0])]
+        np.testing.assert_allclose(centers[0], a.mean(axis=0), atol=0.5)
+        np.testing.assert_allclose(centers[1], b.mean(axis=0), atol=0.5)
+
+    def test_labels_partition_consistently(self, rng):
+        x = rng.normal(size=(50, 3))
+        result = kmeans(x, 4, seed=1)
+        assert result.labels.shape == (50,)
+        assert set(np.unique(result.labels)) <= set(range(4))
+        # Every point is assigned to its nearest center.
+        from repro.kernels.base import pairwise_sq_distances
+
+        sq = pairwise_sq_distances(x, result.centers)
+        np.testing.assert_array_equal(result.labels, np.argmin(sq, axis=1))
+
+    def test_inertia_is_within_cluster_ss(self, rng):
+        x = rng.normal(size=(30, 2))
+        result = kmeans(x, 3, seed=2)
+        expected = sum(
+            float(np.sum((x[result.labels == j] - result.centers[j]) ** 2))
+            for j in range(3)
+        )
+        assert result.inertia == pytest.approx(expected, rel=1e-9)
+
+    def test_k_equals_n_zero_inertia(self, rng):
+        x = rng.normal(size=(6, 2))
+        result = kmeans(x, 6, seed=3)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_k1_center_is_mean(self, rng):
+        x = rng.normal(size=(25, 3))
+        result = kmeans(x, 1, seed=4)
+        np.testing.assert_allclose(result.centers[0], x.mean(axis=0), atol=1e-10)
+
+    def test_more_inits_never_hurt(self, rng):
+        x = rng.normal(size=(60, 2))
+        single = kmeans(x, 5, n_init=1, seed=5)
+        multi = kmeans(x, 5, n_init=5, seed=5)
+        assert multi.inertia <= single.inertia + 1e-9
+
+    def test_reproducible(self, rng):
+        x = rng.normal(size=(30, 2))
+        a = kmeans(x, 3, seed=6)
+        b = kmeans(x, 3, seed=6)
+        np.testing.assert_array_equal(a.centers, b.centers)
+
+    def test_duplicate_points_handled(self):
+        x = np.zeros((10, 2))
+        result = kmeans(x, 3, seed=7)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_validation(self, rng):
+        x = rng.normal(size=(5, 2))
+        with pytest.raises(ConfigurationError):
+            kmeans(x, 0)
+        with pytest.raises(DataValidationError):
+            kmeans(x, 6)
+        with pytest.raises(ConfigurationError):
+            kmeans(x, 2, n_init=0)

@@ -1,0 +1,60 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rngs, spawn_seeds
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = as_rng(42).random(5)
+        b = as_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_rng(1).random(5), as_rng(2).random(5))
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        a = as_rng(seq).random(3)
+        b = as_rng(np.random.SeedSequence(7)).random(3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, 7)) == 7
+        assert len(spawn_seeds(0, 3)) == 3
+
+    def test_spawn_zero_is_empty(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(123, 3)
+        draws = [c.random(4) for c in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_children_reproducible_from_master_seed(self):
+        first = [c.random(4) for c in spawn_rngs(9, 2)]
+        second = [c.random(4) for c in spawn_rngs(9, 2)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_spawn_from_generator_advances(self):
+        gen = np.random.default_rng(5)
+        first = spawn_rngs(gen, 1)[0].random(3)
+        second = spawn_rngs(gen, 1)[0].random(3)
+        assert not np.array_equal(first, second)

@@ -1,0 +1,63 @@
+"""Unit tests for repro.utils.timing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.timing import Stopwatch, fit_power_law
+
+
+class TestStopwatch:
+    def test_measure_records_sample(self):
+        watch = Stopwatch()
+        with watch.measure("work"):
+            pass
+        assert watch.count("work") == 1
+        assert watch.total("work") >= 0.0
+
+    def test_multiple_labels_kept_separate(self):
+        watch = Stopwatch()
+        watch.add("a", 1.0)
+        watch.add("b", 2.0)
+        watch.add("a", 3.0)
+        assert watch.total("a") == 4.0
+        assert watch.total("b") == 2.0
+        assert watch.count("a") == 2
+
+    def test_mean(self):
+        watch = Stopwatch()
+        watch.add("x", 1.0)
+        watch.add("x", 3.0)
+        assert watch.mean("x") == 2.0
+
+    def test_mean_of_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            Stopwatch().mean("missing")
+
+    def test_total_of_unknown_label_is_zero(self):
+        assert Stopwatch().total("missing") == 0.0
+
+
+class TestFitPowerLaw:
+    def test_recovers_exact_cubic(self):
+        sizes = np.array([10.0, 20.0, 40.0, 80.0])
+        times = 2.0 * sizes**3
+        a, b = fit_power_law(sizes, times)
+        assert b == pytest.approx(3.0, abs=1e-9)
+        assert a == pytest.approx(2.0, rel=1e-9)
+
+    def test_recovers_linear(self):
+        sizes = np.array([1.0, 2.0, 4.0])
+        _, b = fit_power_law(sizes, 5.0 * sizes)
+        assert b == pytest.approx(1.0, abs=1e-9)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [1.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [0.0, 1.0])

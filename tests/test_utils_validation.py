@@ -1,0 +1,147 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import DataValidationError, GraphStructureError
+from repro.utils.validation import (
+    check_finite_array,
+    check_labels,
+    check_matrix_2d,
+    check_positive_scalar,
+    check_square_matrix,
+    check_symmetric,
+    check_vector,
+    check_weight_matrix,
+)
+
+
+class TestFiniteArray:
+    def test_converts_to_float64(self):
+        out = check_finite_array([1, 2, 3])
+        assert out.dtype == np.float64
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataValidationError, match="non-finite"):
+            check_finite_array([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(DataValidationError, match="non-finite"):
+            check_finite_array([np.inf])
+
+    def test_rejects_strings(self):
+        with pytest.raises(DataValidationError):
+            check_finite_array(["a", "b"])
+
+    def test_error_names_argument(self):
+        with pytest.raises(DataValidationError, match="weights"):
+            check_finite_array([np.nan], name="weights")
+
+
+class TestVector:
+    def test_accepts_1d(self):
+        out = check_vector([1.0, 2.0])
+        assert out.shape == (2,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(DataValidationError, match="1-d"):
+            check_vector([[1.0], [2.0]])
+
+    def test_min_length(self):
+        with pytest.raises(DataValidationError, match="length"):
+            check_vector([1.0], min_length=2)
+
+
+class TestMatrices:
+    def test_square_ok(self):
+        out = check_square_matrix(np.eye(3))
+        assert out.shape == (3, 3)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(DataValidationError, match="square"):
+            check_square_matrix(np.ones((2, 3)))
+
+    def test_rejects_1d_as_matrix(self):
+        with pytest.raises(DataValidationError, match="2-d"):
+            check_matrix_2d([1.0, 2.0])
+
+    def test_symmetric_passes(self):
+        m = np.array([[1.0, 2.0], [2.0, 1.0]])
+        check_symmetric(m)
+
+    def test_asymmetric_raises(self):
+        m = np.array([[1.0, 2.0], [2.1, 1.0]])
+        with pytest.raises(GraphStructureError, match="symmetric"):
+            check_symmetric(m)
+
+
+class TestWeightMatrix:
+    def test_valid_dense(self):
+        w = np.array([[0.0, 0.5], [0.5, 0.0]])
+        out = check_weight_matrix(w)
+        np.testing.assert_array_equal(out, w)
+
+    def test_negative_weight_raises(self):
+        w = np.array([[0.0, -0.1], [-0.1, 0.0]])
+        with pytest.raises(GraphStructureError, match="negative"):
+            check_weight_matrix(w)
+
+    def test_asymmetric_raises(self):
+        w = np.array([[0.0, 0.5], [0.4, 0.0]])
+        with pytest.raises(GraphStructureError, match="symmetric"):
+            check_weight_matrix(w)
+
+    def test_sparse_accepted(self):
+        w = sparse.csr_matrix(np.array([[0.0, 0.5], [0.5, 0.0]]))
+        out = check_weight_matrix(w)
+        assert sparse.issparse(out)
+
+    def test_sparse_negative_raises(self):
+        w = sparse.csr_matrix(np.array([[0.0, -0.5], [-0.5, 0.0]]))
+        with pytest.raises(GraphStructureError, match="negative"):
+            check_weight_matrix(w)
+
+    def test_sparse_rejected_when_dense_required(self):
+        w = sparse.csr_matrix(np.eye(2))
+        with pytest.raises(DataValidationError, match="dense"):
+            check_weight_matrix(w, allow_sparse=False)
+
+    def test_sparse_asymmetric_raises(self):
+        w = sparse.csr_matrix(np.array([[0.0, 0.5], [0.3, 0.0]]))
+        with pytest.raises(GraphStructureError, match="symmetric"):
+            check_weight_matrix(w)
+
+
+class TestLabels:
+    def test_exact_length_enforced(self):
+        with pytest.raises(DataValidationError, match="length 3"):
+            check_labels([1.0, 2.0], n_labeled=3)
+
+    def test_length_match_ok(self):
+        out = check_labels([1.0, 0.0], n_labeled=2)
+        assert out.shape == (2,)
+
+
+class TestPositiveScalar:
+    def test_positive_ok(self):
+        assert check_positive_scalar(2.5) == 2.5
+
+    def test_zero_rejected_by_default(self):
+        with pytest.raises(DataValidationError, match="> 0"):
+            check_positive_scalar(0.0)
+
+    def test_zero_allowed_when_requested(self):
+        assert check_positive_scalar(0.0, allow_zero=True) == 0.0
+
+    def test_negative_always_rejected(self):
+        with pytest.raises(DataValidationError):
+            check_positive_scalar(-1.0, allow_zero=True)
+
+    def test_nan_rejected(self):
+        with pytest.raises(DataValidationError, match="finite"):
+            check_positive_scalar(float("nan"))
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(DataValidationError):
+            check_positive_scalar("abc")

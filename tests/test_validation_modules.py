@@ -1,0 +1,127 @@
+"""Tests for the proof-construct and consistency validation modules."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.validation.consistency import run_consistency_curve
+from repro.validation.proof_constructs import (
+    proof_construct_snapshot,
+    run_proof_construct_sweep,
+)
+
+
+class TestProofConstructSnapshot:
+    def test_snapshot_quantities_valid(self):
+        snap = proof_construct_snapshot(n_labeled=80, n_unlabeled=15, seed=0)
+        assert snap.n == 80 and snap.m == 15
+        assert 0 < snap.tiny_elements_max < 1
+        assert snap.spectral_radius < 1.0
+        assert np.isfinite(snap.neumann_max)
+        assert snap.g_max <= snap.g_envelope + 1e-12
+        assert snap.hard_nw_gap >= 0
+
+    def test_g_bounded_by_unlabeled_mass(self):
+        """|g_(n+a)| <= sum_{k>n} w_{k,n+a} / d_{n+a}: the proof's bound."""
+        snap = proof_construct_snapshot(n_labeled=60, n_unlabeled=30, seed=1)
+        assert snap.g_max <= snap.g_envelope
+
+    def test_explicit_bandwidth_respected(self):
+        snap = proof_construct_snapshot(
+            n_labeled=50, n_unlabeled=10, bandwidth=0.9, seed=0
+        )
+        assert snap.bandwidth == 0.9
+
+
+class TestProofConstructSweep:
+    def test_constructs_shrink_with_n(self):
+        """The proof's 'with probability approaching 1' made numerical:
+        every tracked quantity decreases from the smallest to largest n."""
+        snaps = run_proof_construct_sweep(
+            n_values=(50, 200, 800), n_unlabeled=15, seed=0
+        )
+        tiny = [s.tiny_elements_max for s in snaps]
+        gaps = [s.hard_nw_gap for s in snaps]
+        gs = [s.g_max for s in snaps]
+        assert tiny[-1] < tiny[0]
+        assert gaps[-1] < gaps[0]
+        assert gs[-1] < gs[0]
+
+    def test_requires_two_points(self):
+        with pytest.raises(ConfigurationError):
+            run_proof_construct_sweep(n_values=(50,))
+
+
+class TestPhiConcentration:
+    def test_bound_holds_and_concentrates(self):
+        from repro.validation.proof_constructs import run_phi_concentration
+
+        result = run_phi_concentration(
+            n_values=(100, 400, 1600),
+            dim=2,
+            delta_h=0.15,
+            epsilon=0.3,
+            n_replicates=150,
+            seed=0,
+        )
+        assert result.bound_holds
+        assert result.concentrates
+        # At the largest n the ratio has essentially concentrated.
+        assert result.exceedance[-1] < 0.05
+
+    def test_chebyshev_bound_formula(self):
+        from repro.core.theory import volume_unit_ball
+        from repro.validation.proof_constructs import run_phi_concentration
+
+        result = run_phi_concentration(
+            n_values=(200,), dim=2, delta_h=0.1, epsilon=0.5,
+            n_replicates=10, seed=1,
+        )
+        mass = volume_unit_ball(2) * 0.1**2
+        expected = min(1.0, 1.0 / (0.25 * 200 * mass))
+        assert result.chebyshev_bound[0] == pytest.approx(expected)
+
+    def test_validation(self):
+        from repro.validation.proof_constructs import run_phi_concentration
+
+        with pytest.raises(ConfigurationError):
+            run_phi_concentration(delta_h=0.6, n_replicates=1)
+        with pytest.raises(ConfigurationError):
+            run_phi_concentration(epsilon=0.0, n_replicates=1)
+
+
+class TestConsistencyCurve:
+    def test_rmse_decreases_and_nw_shadowed(self):
+        curve = run_consistency_curve(
+            n_values=(25, 100, 400),
+            n_unlabeled=10,
+            n_replicates=20,
+            seed=0,
+        )
+        assert curve.rmse_decreases
+        # Hard tracks NW: their RMSEs agree within 20% at the largest n.
+        assert curve.hard_rmse[-1] == pytest.approx(curve.nw_rmse[-1], rel=0.2)
+
+    def test_exceedance_probability_decreases(self):
+        curve = run_consistency_curve(
+            n_values=(25, 400),
+            n_unlabeled=10,
+            epsilon=0.4,
+            n_replicates=30,
+            seed=1,
+        )
+        assert curve.exceedance[-1] <= curve.exceedance[0]
+
+    def test_rows_align(self):
+        curve = run_consistency_curve(
+            n_values=(25, 50), n_unlabeled=5, n_replicates=2, seed=0
+        )
+        rows = curve.to_rows()
+        assert len(rows) == 2
+        assert len(rows[0]) == len(curve.headers())
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            run_consistency_curve(n_values=(50,), n_replicates=1)
+        with pytest.raises(ConfigurationError):
+            run_consistency_curve(n_values=(50, 100), epsilon=0.0, n_replicates=1)
