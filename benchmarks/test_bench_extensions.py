@@ -8,7 +8,6 @@
   the untuned hard criterion?  (The paper's practical message: no.)
 """
 
-import numpy as np
 from conftest import publish, replicates
 
 from repro.experiments.extensions import (

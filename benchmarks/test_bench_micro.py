@@ -5,7 +5,6 @@ rounds) so solver/graph-construction regressions are visible in the
 benchmark table, complementing the figure benches above.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.hard import solve_hard_criterion

@@ -16,6 +16,13 @@ Usage::
 
 Each command prints the regenerated series as an aligned table and,
 with ``--csv PATH``, also writes it as CSV.
+
+Every experiment command also accepts ``--trace PATH.jsonl``, which
+runs it under a recording tracer (see :mod:`repro.obs`) and writes the
+span trace — per-replicate spans, graph statistics, solver health — as
+JSONL.  Render a written trace with::
+
+    python -m repro trace-report PATH.jsonl
 """
 
 from __future__ import annotations
@@ -232,6 +239,26 @@ def _cmd_diagnose(args) -> int:
     return 0 if report.healthy else 1
 
 
+def _cmd_trace_report(args) -> int:
+    import json
+
+    from repro.obs.export import load_jsonl, render_trace_report, render_tree
+
+    try:
+        records = load_jsonl(args.path)
+    except FileNotFoundError:
+        print(f"error: no such trace file: {args.path}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.path} is not a JSONL trace: {exc}", file=sys.stderr)
+        return 2
+    print(render_trace_report(records))
+    if args.tree:
+        print()
+        print(render_tree(records, max_spans=args.max_spans))
+    return 0
+
+
 def _cmd_tuned_lambda(args) -> int:
     from repro.experiments.extensions import run_tuned_lambda_study
 
@@ -264,6 +291,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--replicates", type=int, default=replicates_default,
             help="replicates per grid point",
+        )
+        p.add_argument(
+            "--trace", type=str, default=None, metavar="PATH.jsonl",
+            help="record a span trace (solver health, graph stats) as JSONL",
         )
 
     for name in ("figure1", "figure2", "figure3", "figure4"):
@@ -327,6 +358,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=_cmd_ablation)
 
     p = sub.add_parser(
+        "trace-report", help="render a JSONL span trace as aligned tables"
+    )
+    p.add_argument("path", help="trace file written by --trace PATH.jsonl")
+    p.add_argument(
+        "--tree", action="store_true",
+        help="also print the span tree (one indented line per span)",
+    )
+    p.add_argument(
+        "--max-spans", type=int, default=200,
+        help="span-tree line cap (with --tree)",
+    )
+    p.set_defaults(handler=_cmd_trace_report)
+
+    p = sub.add_parser(
         "diagnose", help="graph health report for a user NPZ problem"
     )
     common(p)
@@ -341,9 +386,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    When the command carries ``--trace PATH.jsonl``, the handler runs
+    under a recording tracer and the collected spans are written to the
+    given path afterwards (even if the handler fails part-way, so a
+    crashing experiment still leaves its trace behind).
+    """
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return args.handler(args)
+
+    from repro import obs
+    from repro.obs.export import write_jsonl
+
+    tracer = obs.RecordingTracer()
+    try:
+        with obs.use_tracer(tracer):
+            code = args.handler(args)
+    finally:
+        path = write_jsonl(tracer, trace_path)
+        print(f"\nwrote trace: {path} ({len(tracer)} spans)")
+    return code
 
 
 if __name__ == "__main__":

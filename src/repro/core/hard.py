@@ -27,11 +27,13 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+from repro import obs
 from repro.core.result import FitResult
 from repro.exceptions import DataValidationError
 from repro.graph.components import require_labeled_reachability
 from repro.graph.similarity import SimilarityGraph
 from repro.linalg.solvers import solve_spd
+from repro.obs import probes
 from repro.utils.validation import check_labels, check_weight_matrix
 
 __all__ = ["solve_hard_criterion", "hard_criterion_objective"]
@@ -97,31 +99,43 @@ def solve_hard_criterion(
     if check_reachability:
         require_labeled_reachability(weights, n)
 
-    if sparse.issparse(weights):
-        w21 = weights[n:, :n]
-        w22 = weights[n:, n:]
-        degrees = np.asarray(weights.sum(axis=1)).ravel()[n:]
-        system = sparse.diags(degrees, format="csr") - w22
-        rhs = np.asarray(w21 @ y_labeled).ravel()
-        if method == "direct":
-            method = "sparse"
-    else:
-        w21 = weights[n:, :n]
-        w22 = weights[n:, n:]
-        degrees = weights.sum(axis=1)[n:]
-        system = np.diag(degrees) - w22
-        rhs = w21 @ y_labeled
+    with obs.span("repro.solve_hard", n=n, m=m, method=method) as span:
+        if sparse.issparse(weights):
+            w21 = weights[n:, :n]
+            w22 = weights[n:, n:]
+            degrees = np.asarray(weights.sum(axis=1)).ravel()[n:]
+            system = sparse.diags(degrees, format="csr") - w22
+            rhs = np.asarray(w21 @ y_labeled).ravel()
+            if method == "direct":
+                method = "sparse"
+        else:
+            w21 = weights[n:, :n]
+            w22 = weights[n:, n:]
+            degrees = weights.sum(axis=1)[n:]
+            system = np.diag(degrees) - w22
+            rhs = w21 @ y_labeled
 
-    f_unlabeled = solve_spd(system, rhs, method=method, tol=tol, max_iter=max_iter)
-    scores = np.concatenate([y_labeled, f_unlabeled])
-    return FitResult(
-        scores=scores,
-        n_labeled=n,
-        lam=0.0,
-        method=method,
-        criterion="hard",
-        details={"m": m, "system_size": m},
-    )
+        if span.recording:
+            probes.record_graph_stats(span, weights, n)
+            probes.record_spd_system(span, system)
+
+        f_unlabeled, info = solve_spd(
+            system, rhs, method=method, tol=tol, max_iter=max_iter, return_info=True
+        )
+        probes.record_solve_info(span, info)
+        registry = obs.get_registry()
+        registry.counter("solves.hard").inc()
+        registry.histogram("solves.hard.system_size").observe(m)
+        scores = np.concatenate([y_labeled, f_unlabeled])
+        return FitResult(
+            scores=scores,
+            n_labeled=n,
+            lam=0.0,
+            method=method,
+            criterion="hard",
+            details={"m": m, "system_size": m},
+            solve_info=info,
+        )
 
 
 def hard_criterion_objective(weights, scores) -> float:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+from repro import obs
 from repro.core.hard import _coerce_weights
 from repro.core.result import FitResult, PropagationResult
 from repro.exceptions import ConfigurationError, ConvergenceError, DataValidationError
@@ -94,29 +95,36 @@ def propagate_labels(
             "positive degree"
         )
 
-    source = np.asarray(w21 @ y_labeled).ravel() / degrees
-    f_unlabeled = source.copy()  # start from the one-step NW-like guess
-    deltas: list[float] = []
-    for iteration in range(1, max_iter + 1):
-        updated = np.asarray(w22 @ f_unlabeled).ravel() / degrees + source
-        delta = float(np.max(np.abs(updated - f_unlabeled)))
-        deltas.append(delta)
-        f_unlabeled = updated
-        if delta <= tol:
-            fit = FitResult(
-                scores=np.concatenate([y_labeled, f_unlabeled]),
-                n_labeled=n, lam=0.0, method="propagation",
-                criterion="hard", details={"iterations": iteration},
-            )
-            return PropagationResult(
-                fit=fit, iterations=iteration, delta_norms=tuple(deltas), converged=True
-            )
-    raise ConvergenceError(
-        f"label propagation did not converge in {max_iter} iterations "
-        f"(last update {deltas[-1]:.3e} > tol {tol:.1e})",
-        iterations=max_iter,
-        residual=deltas[-1],
-    )
+    with obs.span("repro.propagate_labels", n=n, m=m) as span:
+        source = np.asarray(w21 @ y_labeled).ravel() / degrees
+        f_unlabeled = source.copy()  # start from the one-step NW-like guess
+        deltas: list[float] = []
+        for iteration in range(1, max_iter + 1):
+            updated = np.asarray(w22 @ f_unlabeled).ravel() / degrees + source
+            delta = float(np.max(np.abs(updated - f_unlabeled)))
+            deltas.append(delta)
+            f_unlabeled = updated
+            if delta <= tol:
+                if span.recording:
+                    span.set_attribute("iterations", iteration)
+                    span.set_attribute("final_delta", delta)
+                registry = obs.get_registry()
+                registry.counter("propagation.hard.runs").inc()
+                registry.histogram("propagation.hard.iterations").observe(iteration)
+                fit = FitResult(
+                    scores=np.concatenate([y_labeled, f_unlabeled]),
+                    n_labeled=n, lam=0.0, method="propagation",
+                    criterion="hard", details={"iterations": iteration},
+                )
+                return PropagationResult(
+                    fit=fit, iterations=iteration, delta_norms=tuple(deltas), converged=True
+                )
+        raise ConvergenceError(
+            f"label propagation did not converge in {max_iter} iterations "
+            f"(last update {deltas[-1]:.3e} > tol {tol:.1e})",
+            iterations=max_iter,
+            residual=deltas[-1],
+        )
 
 
 def propagate_soft(
@@ -183,29 +191,36 @@ def propagate_soft(
     rhs = np.zeros(total)
     rhs[:n] = y_labeled
 
-    scores = rhs / denominator  # one-sweep warm start
-    deltas: list[float] = []
-    for iteration in range(1, max_iter + 1):
-        updated = (rhs + lam * matvec(scores)) / denominator
-        delta = float(np.max(np.abs(updated - scores)))
-        deltas.append(delta)
-        scores = updated
-        if delta <= tol:
-            fit = FitResult(
-                scores=scores, n_labeled=n, lam=lam,
-                method="propagation", criterion="soft",
-                details={"iterations": iteration},
-            )
-            return PropagationResult(
-                fit=fit, iterations=iteration, delta_norms=tuple(deltas),
-                converged=True,
-            )
-    raise ConvergenceError(
-        f"soft propagation did not converge in {max_iter} iterations "
-        f"(last update {deltas[-1]:.3e} > tol {tol:.1e})",
-        iterations=max_iter,
-        residual=deltas[-1],
-    )
+    with obs.span("repro.propagate_soft", n=n, m=total - n, lam=lam) as span:
+        scores = rhs / denominator  # one-sweep warm start
+        deltas: list[float] = []
+        for iteration in range(1, max_iter + 1):
+            updated = (rhs + lam * matvec(scores)) / denominator
+            delta = float(np.max(np.abs(updated - scores)))
+            deltas.append(delta)
+            scores = updated
+            if delta <= tol:
+                if span.recording:
+                    span.set_attribute("iterations", iteration)
+                    span.set_attribute("final_delta", delta)
+                registry = obs.get_registry()
+                registry.counter("propagation.soft.runs").inc()
+                registry.histogram("propagation.soft.iterations").observe(iteration)
+                fit = FitResult(
+                    scores=scores, n_labeled=n, lam=lam,
+                    method="propagation", criterion="soft",
+                    details={"iterations": iteration},
+                )
+                return PropagationResult(
+                    fit=fit, iterations=iteration, delta_norms=tuple(deltas),
+                    converged=True,
+                )
+        raise ConvergenceError(
+            f"soft propagation did not converge in {max_iter} iterations "
+            f"(last update {deltas[-1]:.3e} > tol {tol:.1e})",
+            iterations=max_iter,
+            residual=deltas[-1],
+        )
 
 
 def local_global_consistency(

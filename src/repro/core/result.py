@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.linalg.solvers import SolveInfo
 
 __all__ = ["FitResult", "PropagationResult"]
 
@@ -30,6 +34,12 @@ class FitResult:
         ``"hard"`` or ``"soft"``.
     details:
         Free-form solver metadata (iteration counts, residuals, ...).
+    solve_info:
+        Convergence evidence from the main linear solve — a
+        :class:`~repro.linalg.solvers.SolveInfo` with the backend that
+        ran, iterations, final residual, and converged flag.  ``None``
+        only for results that never touch a linear system (e.g. the
+        zero-unlabeled degenerate case).
     """
 
     scores: np.ndarray
@@ -38,6 +48,7 @@ class FitResult:
     method: str
     criterion: str
     details: dict = field(default_factory=dict)
+    solve_info: "SolveInfo | None" = None
 
     @property
     def labeled_scores(self) -> np.ndarray:

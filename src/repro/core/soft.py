@@ -31,11 +31,15 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+import math
+
+from repro import obs
 from repro.core.hard import _coerce_weights, solve_hard_criterion
 from repro.core.result import FitResult
 from repro.exceptions import ConfigurationError, DataValidationError
 from repro.graph.components import require_labeled_reachability
-from repro.linalg.solvers import solve_spd, solve_square
+from repro.linalg.solvers import SolveInfo, solve_spd, solve_square
+from repro.obs import probes
 from repro.utils.validation import check_labels, check_positive_scalar, check_weight_matrix
 
 __all__ = ["solve_soft_criterion", "soft_lambda_infinity_limit", "soft_criterion_objective"]
@@ -95,6 +99,7 @@ def solve_soft_criterion(
             method=f"{method}->hard",
             criterion="soft",
             details=dict(hard.details),
+            solve_info=hard.solve_info,
         )
 
     if check_reachability:
@@ -115,63 +120,90 @@ def solve_soft_criterion(
 def _solve_full(weights: np.ndarray, y: np.ndarray, lam: float, n: int, m: int, solver: str) -> FitResult:
     """Solve ``(V + lam L) f = (y; 0)`` over all n+m vertices."""
     total = n + m
-    degrees = weights.sum(axis=1)
-    laplacian = np.diag(degrees) - weights
-    system = lam * laplacian
-    system[np.arange(n), np.arange(n)] += 1.0
-    rhs = np.zeros(total)
-    rhs[:n] = y
-    scores = solve_spd(system, rhs, method=solver)
-    return FitResult(
-        scores=scores,
-        n_labeled=n,
-        lam=lam,
-        method="full",
-        criterion="soft",
-        details={"system_size": total},
-    )
+    with obs.span("repro.solve_soft", n=n, m=m, lam=lam, method="full") as span:
+        degrees = weights.sum(axis=1)
+        laplacian = np.diag(degrees) - weights
+        system = lam * laplacian
+        system[np.arange(n), np.arange(n)] += 1.0
+        rhs = np.zeros(total)
+        rhs[:n] = y
+        if span.recording:
+            probes.record_graph_stats(span, weights, n)
+            probes.record_spd_system(span, system)
+        scores, info = solve_spd(system, rhs, method=solver, return_info=True)
+        probes.record_solve_info(span, info)
+        registry = obs.get_registry()
+        registry.counter("solves.soft").inc()
+        registry.histogram("solves.soft.system_size").observe(total)
+        return FitResult(
+            scores=scores,
+            n_labeled=n,
+            lam=lam,
+            method="full",
+            criterion="soft",
+            details={"system_size": total},
+            solve_info=info,
+        )
 
 
 def _solve_schur(weights: np.ndarray, y: np.ndarray, lam: float, n: int, m: int) -> FitResult:
     """The paper's Eq. (4): Schur-complement form on the unlabeled block."""
-    w11 = weights[:n, :n]
-    w12 = weights[:n, n:]
-    w21 = weights[n:, :n]
-    w22 = weights[n:, n:]
-    degrees = weights.sum(axis=1)
-    d11 = degrees[:n]
-    d22 = degrees[n:]
+    with obs.span("repro.solve_soft", n=n, m=m, lam=lam, method="schur") as span:
+        probes.record_schur_blocks(span, n, m)
+        w11 = weights[:n, :n]
+        w12 = weights[:n, n:]
+        w21 = weights[n:, :n]
+        w22 = weights[n:, n:]
+        degrees = weights.sum(axis=1)
+        d11 = degrees[:n]
+        d22 = degrees[n:]
 
-    # inner = I_n + lam*D11 - lam*W11 (n x n, SPD for lam >= 0).
-    inner = -lam * w11
-    inner[np.arange(n), np.arange(n)] += 1.0 + lam * d11
-    inner_inv_y = solve_square(inner, y)  # (I + lam D11 - lam W11)^{-1} Y_n
+        # inner = I_n + lam*D11 - lam*W11 (n x n, SPD for lam >= 0).
+        inner = -lam * w11
+        inner[np.arange(n), np.arange(n)] += 1.0 + lam * d11
+        inner_inv_y = solve_square(inner, y)  # (I + lam D11 - lam W11)^{-1} Y_n
 
-    if m == 0:
-        # No unlabeled block: Eq. (3) reduces to the labeled stationarity
-        # system (I + lam L11) f_l = y with L11 = D11 - W11.
-        return FitResult(
-            scores=inner_inv_y, n_labeled=n, lam=lam, method="schur",
-            criterion="soft", details={"system_size": n},
+        if m == 0:
+            # No unlabeled block: Eq. (3) reduces to the labeled stationarity
+            # system (I + lam L11) f_l = y with L11 = D11 - W11.
+            return FitResult(
+                scores=inner_inv_y, n_labeled=n, lam=lam, method="schur",
+                criterion="soft", details={"system_size": n},
+                solve_info=SolveInfo(method="lu", size=n),
+            )
+
+        inner_inv_w12 = np.linalg.solve(inner, w12)  # n x m
+        grounded = np.diag(d22) - w22  # D22 - W22, m x m
+        system = grounded - lam * (w21 @ inner_inv_w12)
+        schur_rhs = w21 @ inner_inv_y
+        if span.recording:
+            probes.record_graph_stats(span, weights, n)
+            probes.record_spd_system(span, system)
+        f_unlabeled = solve_square(system, schur_rhs)
+        residual = (
+            float(np.linalg.norm(schur_rhs - system @ f_unlabeled))
+            if span.recording
+            else math.nan
         )
+        info = SolveInfo(method="lu", size=m, final_residual=residual)
+        probes.record_solve_info(span, info)
+        registry = obs.get_registry()
+        registry.counter("solves.soft").inc()
+        registry.histogram("solves.soft.system_size").observe(m)
 
-    inner_inv_w12 = np.linalg.solve(inner, w12)  # n x m
-    grounded = np.diag(d22) - w22  # D22 - W22, m x m
-    system = grounded - lam * (w21 @ inner_inv_w12)
-    f_unlabeled = solve_square(system, w21 @ inner_inv_y)
-
-    # Recover the labeled block from the first stationarity row:
-    # (I + lam D11 - lam W11) f_l = y + lam W12 f_u.
-    f_labeled = solve_square(inner, y + lam * (w12 @ f_unlabeled))
-    scores = np.concatenate([f_labeled, f_unlabeled])
-    return FitResult(
-        scores=scores,
-        n_labeled=n,
-        lam=lam,
-        method="schur",
-        criterion="soft",
-        details={"system_size": m},
-    )
+        # Recover the labeled block from the first stationarity row:
+        # (I + lam D11 - lam W11) f_l = y + lam W12 f_u.
+        f_labeled = solve_square(inner, y + lam * (w12 @ f_unlabeled))
+        scores = np.concatenate([f_labeled, f_unlabeled])
+        return FitResult(
+            scores=scores,
+            n_labeled=n,
+            lam=lam,
+            method="schur",
+            criterion="soft",
+            details={"system_size": m},
+            solve_info=info,
+        )
 
 
 def soft_lambda_infinity_limit(y_labeled, n_total: int) -> np.ndarray:

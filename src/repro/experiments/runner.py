@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import ConfigurationError
 from repro.utils.rng import spawn_rngs
 
@@ -97,17 +98,22 @@ def run_replicates(
         raise ConfigurationError(f"n_replicates must be >= 1, got {n_replicates}")
     values: dict[str, list[float]] = {}
     expected_keys: set[str] | None = None
-    for rng in spawn_rngs(seed, n_replicates):
-        metrics = dict(replicate(rng))
-        if expected_keys is None:
-            expected_keys = set(metrics)
-        elif set(metrics) != expected_keys:
-            raise ConfigurationError(
-                f"replicates returned inconsistent metric keys: "
-                f"{sorted(expected_keys)} vs {sorted(metrics)}"
-            )
-        for key, value in metrics.items():
-            values.setdefault(key, []).append(float(value))
+    registry = obs.get_registry()
+    for index, rng in enumerate(spawn_rngs(seed, n_replicates)):
+        with obs.span("repro.replicate", index=index) as span:
+            metrics = dict(replicate(rng))
+            if expected_keys is None:
+                expected_keys = set(metrics)
+            elif set(metrics) != expected_keys:
+                raise ConfigurationError(
+                    f"replicates returned inconsistent metric keys: "
+                    f"{sorted(expected_keys)} vs {sorted(metrics)}"
+                )
+            for key, value in metrics.items():
+                values.setdefault(key, []).append(float(value))
+                if span.recording:
+                    span.set_attribute(f"metric.{key}", float(value))
+        registry.counter("replicates.completed").inc()
 
     means = {key: float(np.mean(v)) for key, v in values.items()}
     if n_replicates > 1:

@@ -17,9 +17,11 @@ from typing import Literal
 import numpy as np
 from scipy import sparse
 
+from repro import obs
 from repro.exceptions import ConfigurationError, DataValidationError
 from repro.kernels.base import RadialKernel, pairwise_sq_distances
 from repro.kernels.library import GaussianKernel
+from repro.obs import probes
 from repro.utils.validation import check_matrix_2d, check_positive_scalar, check_weight_matrix
 
 __all__ = [
@@ -197,16 +199,23 @@ def full_kernel_graph(
         matrix ``D`` and hence Eq. 4/5); the default matches the paper.
     """
     kernel = kernel or GaussianKernel()
-    weights = kernel.gram(x, bandwidth=bandwidth)
-    if zero_diagonal:
-        np.fill_diagonal(weights, 0.0)
-    return SimilarityGraph(
-        weights=weights,
-        kernel_name=kernel.name,
+    with obs.span(
+        "repro.graph.full_kernel",
+        n_vertices=int(np.asarray(x).shape[0]),
+        kernel=kernel.name,
         bandwidth=float(bandwidth),
-        construction="full",
-        params={"zero_diagonal": zero_diagonal},
-    )
+    ) as span:
+        weights = kernel.gram(x, bandwidth=bandwidth)
+        if zero_diagonal:
+            np.fill_diagonal(weights, 0.0)
+        probes.record_graph_stats(span, weights)
+        return SimilarityGraph(
+            weights=weights,
+            kernel_name=kernel.name,
+            bandwidth=float(bandwidth),
+            construction="full",
+            params={"zero_diagonal": zero_diagonal},
+        )
 
 
 def knn_graph(
@@ -232,31 +241,35 @@ def knn_graph(
     kernel = kernel or GaussianKernel()
     bandwidth = check_positive_scalar(bandwidth, "bandwidth")
 
-    sq = pairwise_sq_distances(x)
-    weights = kernel.profile(np.sqrt(sq) / bandwidth)
+    with obs.span(
+        "repro.graph.knn", n_vertices=n, k=k, mode=mode, bandwidth=float(bandwidth)
+    ) as span:
+        sq = pairwise_sq_distances(x)
+        weights = kernel.profile(np.sqrt(sq) / bandwidth)
 
-    with_self_inf = sq.copy()
-    np.fill_diagonal(with_self_inf, np.inf)
-    neighbour_idx = np.argpartition(with_self_inf, kth=k - 1, axis=1)[:, :k]
-    selected = np.zeros((n, n), dtype=bool)
-    rows = np.repeat(np.arange(n), k)
-    selected[rows, neighbour_idx.ravel()] = True
-    if mode == "union":
-        keep = selected | selected.T
-    elif mode == "mutual":
-        keep = selected & selected.T
-    else:
-        raise ConfigurationError(f"mode must be 'union' or 'mutual', got {mode!r}")
-    np.fill_diagonal(keep, True)
+        with_self_inf = sq.copy()
+        np.fill_diagonal(with_self_inf, np.inf)
+        neighbour_idx = np.argpartition(with_self_inf, kth=k - 1, axis=1)[:, :k]
+        selected = np.zeros((n, n), dtype=bool)
+        rows = np.repeat(np.arange(n), k)
+        selected[rows, neighbour_idx.ravel()] = True
+        if mode == "union":
+            keep = selected | selected.T
+        elif mode == "mutual":
+            keep = selected & selected.T
+        else:
+            raise ConfigurationError(f"mode must be 'union' or 'mutual', got {mode!r}")
+        np.fill_diagonal(keep, True)
 
-    sparse_weights = sparse.csr_matrix(np.where(keep, weights, 0.0))
-    return SimilarityGraph(
-        weights=sparse_weights,
-        kernel_name=kernel.name,
-        bandwidth=float(bandwidth),
-        construction="knn",
-        params={"k": k, "mode": mode},
-    )
+        sparse_weights = sparse.csr_matrix(np.where(keep, weights, 0.0))
+        probes.record_graph_stats(span, sparse_weights)
+        return SimilarityGraph(
+            weights=sparse_weights,
+            kernel_name=kernel.name,
+            bandwidth=float(bandwidth),
+            construction="knn",
+            params={"k": k, "mode": mode},
+        )
 
 
 def epsilon_graph(
@@ -277,17 +290,24 @@ def epsilon_graph(
     kernel = kernel or GaussianKernel()
     bandwidth = check_positive_scalar(bandwidth, "bandwidth")
 
-    sq = pairwise_sq_distances(x)
-    weights = kernel.profile(np.sqrt(sq) / bandwidth)
-    keep = sq <= radius * radius
-    sparse_weights = sparse.csr_matrix(np.where(keep, weights, 0.0))
-    return SimilarityGraph(
-        weights=sparse_weights,
-        kernel_name=kernel.name,
+    with obs.span(
+        "repro.graph.epsilon",
+        n_vertices=int(x.shape[0]),
+        radius=float(radius),
         bandwidth=float(bandwidth),
-        construction="epsilon",
-        params={"radius": radius},
-    )
+    ) as span:
+        sq = pairwise_sq_distances(x)
+        weights = kernel.profile(np.sqrt(sq) / bandwidth)
+        keep = sq <= radius * radius
+        sparse_weights = sparse.csr_matrix(np.where(keep, weights, 0.0))
+        probes.record_graph_stats(span, sparse_weights)
+        return SimilarityGraph(
+            weights=sparse_weights,
+            kernel_name=kernel.name,
+            bandwidth=float(bandwidth),
+            construction="epsilon",
+            params={"radius": radius},
+        )
 
 
 def local_scaling_graph(

@@ -23,6 +23,8 @@ import numpy as np
 from scipy import sparse
 
 from repro.exceptions import ConvergenceError, DataValidationError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.utils.validation import check_vector
 
 __all__ = ["IterativeResult", "jacobi", "gauss_seidel", "conjugate_gradient"]
@@ -86,6 +88,19 @@ def _tolerance_scale(rhs: np.ndarray) -> float:
     return norm if norm > 0 else 1.0
 
 
+def _observe_iterative(solver: str, span, result: IterativeResult) -> IterativeResult:
+    """Record one iterative solve into the active span and metrics."""
+    if span.recording:
+        span.set_attribute("size", int(result.x.shape[0]))
+        span.set_attribute("iterations", int(result.iterations))
+        span.set_attribute("final_residual", result.final_residual)
+        span.set_attribute("converged", result.converged)
+    registry = obs_metrics.get_registry()
+    registry.counter(f"linalg.{solver}.solves").inc()
+    registry.histogram(f"linalg.{solver}.iterations").observe(result.iterations)
+    return result
+
+
 def jacobi(matrix, rhs, *, x0=None, tol: float = 1e-10, max_iter: int = 10_000) -> IterativeResult:
     """Jacobi iteration ``x <- D^{-1} (b - (A - D) x)``.
 
@@ -94,6 +109,13 @@ def jacobi(matrix, rhs, *, x0=None, tol: float = 1e-10, max_iter: int = 10_000) 
     criterion's ``D22 - W22`` on graphs where every unlabeled vertex has
     positive weight to the labeled set.
     """
+    with obs_trace.span("repro.linalg.jacobi") as span:
+        return _observe_iterative(
+            "jacobi", span, _jacobi_impl(matrix, rhs, x0=x0, tol=tol, max_iter=max_iter)
+        )
+
+
+def _jacobi_impl(matrix, rhs, *, x0, tol: float, max_iter: int) -> IterativeResult:
     matvec, diag, n, rhs, x = _prepare(matrix, rhs, x0)
     if n and np.any(diag == 0):
         raise DataValidationError("jacobi requires a zero-free diagonal")
@@ -125,6 +147,15 @@ def gauss_seidel(matrix, rhs, *, x0=None, tol: float = 1e-10, max_iter: int = 10
     Uses the latest components within each sweep; converges for symmetric
     positive-definite and for strictly diagonally dominant systems.
     """
+    with obs_trace.span("repro.linalg.gauss_seidel") as span:
+        return _observe_iterative(
+            "gauss_seidel",
+            span,
+            _gauss_seidel_impl(matrix, rhs, x0=x0, tol=tol, max_iter=max_iter),
+        )
+
+
+def _gauss_seidel_impl(matrix, rhs, *, x0, tol: float, max_iter: int) -> IterativeResult:
     if sparse.issparse(matrix):
         dense = np.asarray(matrix.todense())
     else:
@@ -176,6 +207,13 @@ def conjugate_gradient(matrix, rhs, *, x0=None, tol: float = 1e-10, max_iter: in
     ``max_iter`` defaults to ``10 n`` (CG terminates in at most ``n``
     exact-arithmetic steps; the slack absorbs floating-point drift).
     """
+    with obs_trace.span("repro.linalg.cg") as span:
+        return _observe_iterative(
+            "cg", span, _cg_impl(matrix, rhs, x0=x0, tol=tol, max_iter=max_iter)
+        )
+
+
+def _cg_impl(matrix, rhs, *, x0, tol: float, max_iter: int | None) -> IterativeResult:
     matvec, _, n, rhs, x = _prepare(matrix, rhs, x0)
     if max_iter is None:
         max_iter = max(10 * n, 50)

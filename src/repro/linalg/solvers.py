@@ -9,26 +9,76 @@ reachability holds) systems.  :func:`solve_spd` picks a backend by name:
 * ``"jacobi"`` / ``"gauss_seidel"`` — classical splittings (Jacobi on the
   hard system is exactly label propagation);
 * ``"sparse"`` — scipy's sparse factorization (``splu``).
+
+With ``return_info=True`` every backend also reports a :class:`SolveInfo`
+(iterations, final residual, convergence flag) so callers — and the
+telemetry layer in :mod:`repro.obs` — can observe solver health instead
+of discarding it.  Direct backends only compute the (matvec-costing)
+residual when tracing is enabled, keeping the default path at seed speed.
 """
 
 from __future__ import annotations
+
+import math
+from typing import NamedTuple
 
 import numpy as np
 from scipy import linalg as dense_linalg
 from scipy import sparse
 from scipy.sparse.linalg import splu
 
+from repro import obs
 from repro.exceptions import ConfigurationError, SingularSystemError
 from repro.linalg.iterative import conjugate_gradient, gauss_seidel, jacobi
 from repro.utils.validation import check_vector
 
-__all__ = ["solve_spd", "solve_square"]
+__all__ = ["SolveInfo", "solve_spd", "solve_square"]
 
 _ITERATIVE = {
     "cg": conjugate_gradient,
     "jacobi": jacobi,
     "gauss_seidel": gauss_seidel,
 }
+
+
+class SolveInfo(NamedTuple):
+    """Health report for one linear solve.
+
+    A NamedTuple rather than a dataclass: it is constructed on every
+    solve, including the telemetry-disabled path, and tuple construction
+    keeps that near-free.
+
+    Attributes
+    ----------
+    method:
+        Backend that actually ran (``"cholesky"``, ``"lu"``,
+        ``"sparse_lu"``, ``"cg"``, ``"jacobi"``, ``"gauss_seidel"``) —
+        may differ from the requested method when a fallback fires.
+    size:
+        System dimension.
+    iterations:
+        Iterations performed (0 for direct factorizations).
+    final_residual:
+        2-norm of ``b - A x`` after the solve.  ``nan`` for direct
+        backends unless tracing is enabled (computing it costs a matvec).
+    converged:
+        False only when an iterative backend stopped above tolerance
+        (currently unreachable through :func:`solve_spd`, which raises;
+        kept for callers constructing SolveInfo from raw iterative runs).
+    """
+
+    method: str
+    size: int
+    iterations: int = 0
+    final_residual: float = math.nan
+    converged: bool = True
+
+
+def _residual_norm(matrix, x, rhs) -> float:
+    product = matrix @ x
+    if sparse.issparse(matrix):
+        product = np.asarray(product).ravel()
+    return float(np.linalg.norm(rhs - product))
 
 
 def solve_square(matrix, rhs) -> np.ndarray:
@@ -47,7 +97,15 @@ def solve_square(matrix, rhs) -> np.ndarray:
         raise SingularSystemError(f"linear system is singular: {exc}") from exc
 
 
-def solve_spd(matrix, rhs, *, method: str = "direct", tol: float = 1e-10, max_iter: int | None = None) -> np.ndarray:
+def solve_spd(
+    matrix,
+    rhs,
+    *,
+    method: str = "direct",
+    tol: float = 1e-10,
+    max_iter: int | None = None,
+    return_info: bool = False,
+):
     """Solve a symmetric positive-definite system with a chosen backend.
 
     Parameters
@@ -61,24 +119,47 @@ def solve_spd(matrix, rhs, *, method: str = "direct", tol: float = 1e-10, max_it
         ``"gauss_seidel"``.
     tol, max_iter:
         Forwarded to the iterative backends.
+    return_info:
+        When true, return ``(x, SolveInfo)`` instead of just ``x``.
     """
     rhs = check_vector(rhs, "rhs", min_length=0)
+    size = rhs.shape[0]
     if method == "direct":
         dense = np.asarray(matrix.todense()) if sparse.issparse(matrix) else np.asarray(matrix, dtype=np.float64)
         try:
             factor = dense_linalg.cho_factor(dense, check_finite=False)
-            return dense_linalg.cho_solve(factor, rhs, check_finite=False)
+            x = dense_linalg.cho_solve(factor, rhs, check_finite=False)
+            backend = "cholesky"
         except dense_linalg.LinAlgError:
             # Marginally semidefinite systems (e.g. lambda = 0 soft systems)
             # fall back to LU, raising a library error if truly singular.
-            return solve_square(dense, rhs)
+            x = solve_square(dense, rhs)
+            backend = "lu"
+        if not return_info:
+            return x
+        residual = _residual_norm(dense, x, rhs) if obs.tracing_enabled() else math.nan
+        return x, SolveInfo(method=backend, size=size, final_residual=residual)
     if method == "sparse":
         mat = matrix if sparse.issparse(matrix) else sparse.csc_matrix(matrix)
-        return solve_square(mat, rhs)
+        x = solve_square(mat, rhs)
+        if not return_info:
+            return x
+        residual = _residual_norm(mat, x, rhs) if obs.tracing_enabled() else math.nan
+        return x, SolveInfo(method="sparse_lu", size=size, final_residual=residual)
     if method in _ITERATIVE:
         kwargs = {"tol": tol}
         if max_iter is not None:
             kwargs["max_iter"] = max_iter
-        return _ITERATIVE[method](matrix, rhs, **kwargs).x
+        result = _ITERATIVE[method](matrix, rhs, **kwargs)
+        if not return_info:
+            return result.x
+        info = SolveInfo(
+            method=method,
+            size=size,
+            iterations=result.iterations,
+            final_residual=result.final_residual,
+            converged=result.converged,
+        )
+        return result.x, info
     known = "direct, sparse, " + ", ".join(sorted(_ITERATIVE))
     raise ConfigurationError(f"unknown solver method {method!r}; known: {known}")

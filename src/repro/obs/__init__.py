@@ -1,0 +1,67 @@
+"""Observability stack: span tracing, metrics, health probes, exporters.
+
+Layered so each piece is independently usable:
+
+* :mod:`repro.obs.trace` — nestable context-manager spans collected into
+  an in-memory trace tree; a no-op tracer is the default, so leaving
+  instrumentation in hot paths is near-free.
+* :mod:`repro.obs.metrics` — counters / gauges / histograms with a global
+  default registry plus injectable instances for tests.
+* :mod:`repro.obs.probes` — cheap numeric health probes (condition
+  estimates, graph degree/component statistics, CG iteration counts,
+  Schur block sizes) that attach to recording spans.
+* :mod:`repro.obs.export` — JSONL files, aligned-table reports, and an
+  in-memory exporter for assertions.
+
+Typical use::
+
+    from repro import obs
+
+    tracer = obs.RecordingTracer()
+    with obs.use_tracer(tracer):
+        solve_hard_criterion(weights, y, method="cg")
+    print(obs.export.render_trace_report(tracer))
+"""
+
+from repro.obs import export, probes
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.trace import (
+    NoopSpan,
+    NoopTracer,
+    RecordingTracer,
+    Span,
+    get_tracer,
+    set_tracer,
+    span,
+    tracing_enabled,
+    use_tracer,
+)
+
+__all__ = [
+    "export",
+    "probes",
+    "Span",
+    "NoopSpan",
+    "NoopTracer",
+    "RecordingTracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "span",
+    "tracing_enabled",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]

@@ -1,0 +1,177 @@
+"""Trace exporters: JSONL files, human-readable tables, in-memory lists.
+
+The JSONL format is one flat span record per line (pre-order), each with
+``span_id`` / ``parent_id`` / ``depth`` so the tree is reconstructable::
+
+    {"span_id": 1, "parent_id": null, "depth": 0, "name": "repro.replicate",
+     "start_wall": 1733..., "duration_s": 0.012, "attributes": {...}}
+
+:func:`render_trace_report` aggregates records by span name into an
+aligned table (count / total / mean / max durations) plus per-name
+numeric-attribute summaries — this backs ``python -m repro trace-report``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+__all__ = [
+    "to_records",
+    "write_jsonl",
+    "load_jsonl",
+    "InMemoryExporter",
+    "render_tree",
+    "render_trace_report",
+]
+
+
+def _json_default(value):
+    """Coerce numpy scalars (and other oddballs) to plain JSON types."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+def to_records(trace) -> list[dict]:
+    """Normalize a tracer, span iterable, or record list to record dicts."""
+    if hasattr(trace, "to_records"):
+        return trace.to_records()
+    records = []
+    for entry in trace:
+        records.append(entry if isinstance(entry, dict) else entry.to_record())
+    return records
+
+
+def write_jsonl(trace, path) -> Path:
+    """Write one span record per line; returns the resolved path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for record in to_records(trace):
+            handle.write(json.dumps(record, default=_json_default))
+            handle.write("\n")
+    return path
+
+
+def load_jsonl(path) -> list[dict]:
+    """Read span records written by :func:`write_jsonl`."""
+    path = Path(path)
+    records = []
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class InMemoryExporter:
+    """Collects span records in a list — for assertions in tests."""
+
+    def __init__(self):
+        self.records: list[dict] = []
+
+    def export(self, trace) -> list[dict]:
+        batch = to_records(trace)
+        self.records.extend(batch)
+        return batch
+
+    def names(self) -> list[str]:
+        return [record["name"] for record in self.records]
+
+    def find(self, name: str) -> list[dict]:
+        return [record for record in self.records if record["name"] == name]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+def _fmt_seconds(value) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return f"{value:.6f}"
+
+
+def render_tree(trace, *, max_spans: int = 200) -> str:
+    """Indented per-span listing (one line per span, pre-order)."""
+    records = to_records(trace)
+    lines = []
+    for record in records[:max_spans]:
+        indent = "  " * record.get("depth", 0)
+        attrs = record.get("attributes") or {}
+        attr_text = ", ".join(f"{k}={_compact(v)}" for k, v in attrs.items())
+        suffix = f"  [{attr_text}]" if attr_text else ""
+        lines.append(
+            f"{indent}{record['name']}  {_fmt_seconds(record.get('duration_s'))}s{suffix}"
+        )
+    if len(records) > max_spans:
+        lines.append(f"... {len(records) - max_spans} more spans")
+    return "\n".join(lines)
+
+
+def _compact(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_trace_report(trace) -> str:
+    """Aggregate a trace into aligned summary tables.
+
+    One table of span durations grouped by name, and one of numeric
+    attribute statistics grouped by ``span name / attribute`` — the
+    latter is where solver health (iterations, condition estimates,
+    degree statistics) surfaces.
+    """
+    from repro.experiments.report import ascii_table
+
+    records = to_records(trace)
+    if not records:
+        return "empty trace (0 spans)"
+
+    by_name: dict[str, list[float]] = {}
+    attr_values: dict[tuple[str, str], list[float]] = {}
+    for record in records:
+        duration = record.get("duration_s")
+        by_name.setdefault(record["name"], []).append(
+            float(duration) if duration is not None else math.nan
+        )
+        for key, value in (record.get("attributes") or {}).items():
+            if isinstance(value, bool):
+                value = float(value)
+            if isinstance(value, (int, float)) and math.isfinite(value):
+                attr_values.setdefault((record["name"], key), []).append(float(value))
+
+    span_rows = []
+    for name in sorted(by_name):
+        durations = [d for d in by_name[name] if not math.isnan(d)]
+        count = len(by_name[name])
+        total = sum(durations)
+        mean = total / len(durations) if durations else math.nan
+        peak = max(durations) if durations else math.nan
+        span_rows.append([name, count, f"{total:.6f}", f"{mean:.6f}", f"{peak:.6f}"])
+
+    lines = [
+        f"trace report: {len(records)} spans, {len(by_name)} distinct names",
+        "",
+        ascii_table(["span", "count", "total_s", "mean_s", "max_s"], span_rows),
+    ]
+
+    if attr_values:
+        attr_rows = []
+        for (name, key) in sorted(attr_values):
+            values = attr_values[(name, key)]
+            attr_rows.append(
+                [
+                    f"{name} / {key}",
+                    len(values),
+                    f"{min(values):.4g}",
+                    f"{sum(values) / len(values):.4g}",
+                    f"{max(values):.4g}",
+                ]
+            )
+        lines.extend(["", ascii_table(["attribute", "n", "min", "mean", "max"], attr_rows)])
+    return "\n".join(lines)

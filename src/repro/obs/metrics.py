@@ -1,0 +1,221 @@
+"""Counters, gauges, and histograms with an injectable registry.
+
+The default registry is process-global (:func:`get_registry`) so library
+code can record without plumbing a registry argument through every call;
+tests inject a fresh :class:`MetricsRegistry` via :func:`use_registry` to
+stay isolated from each other.  Recording is cheap — a dict lookup plus a
+float update — so instrumented paths record unconditionally.
+
+    from repro import obs
+
+    registry = obs.get_registry()
+    registry.counter("solves.hard").inc()
+    registry.histogram("solver.cg.iterations").observe(42)
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+
+class Counter:
+    """Monotonically increasing count (events, dropped samples, ...)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-written value (current problem size, active lambda, ...)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = math.nan
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Streaming distribution summary plus retained samples.
+
+    Tracks count/sum/min/max in O(1) per observation and retains up to
+    ``max_samples`` raw values (older samples are overwritten ring-buffer
+    style beyond that, keeping memory bounded in long-running processes)
+    so :meth:`quantile` can answer p50/p90-style questions.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "samples", "max_samples")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, *, max_samples: int = 8192):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.max_samples = max_samples
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if len(self.samples) < self.max_samples:
+            self.samples.append(value)
+        else:
+            self.samples[self.count % self.max_samples] = value
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.samples:
+            return math.nan
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else math.nan,
+            "max": self.max if self.count else math.nan,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for named metrics.
+
+    A name is bound to one metric kind for the registry's lifetime;
+    asking for the same name as a different kind is a bug and raises.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """``{name: {"kind": ..., **metric summary}}`` for every metric."""
+        return {
+            name: {"kind": metric.kind, **metric.snapshot()}
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def as_rows(self) -> list[list]:
+        """``[name, kind, summary]`` rows for table rendering."""
+        rows = []
+        for name, data in self.snapshot().items():
+            kind = data.pop("kind")
+            summary = ", ".join(f"{k}={_fmt(v)}" for k, v in data.items())
+            rows.append([name, kind, summary])
+        return rows
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return str(int(value)) if isinstance(value, float) and math.isfinite(value) else str(value)
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry."""
+    return _DEFAULT
+
+
+def set_registry(registry: MetricsRegistry) -> None:
+    """Install ``registry`` as the process-global default."""
+    global _DEFAULT
+    _DEFAULT = registry
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | None = None):
+    """Temporarily install a registry (a fresh one by default).
+
+    The previous registry is restored on exit, so tests never leak
+    metrics into each other through the global default.
+    """
+    if registry is None:
+        registry = MetricsRegistry()
+    previous = _DEFAULT
+    set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -1,0 +1,252 @@
+"""Nestable span tracing with near-zero disabled-path cost.
+
+A *span* is a named, timed region of work carrying structured attributes
+(problem sizes, solver iterations, condition estimates, ...).  Spans nest:
+entering a span inside another records it as a child, so one experiment
+run produces a trace *tree* — per-replicate spans containing graph
+construction spans containing solver spans.
+
+The module-level default tracer is a :class:`NoopTracer`: every
+``obs.span(...)`` call then returns a shared do-nothing context manager,
+so instrumentation left in hot paths costs roughly one function call and
+one dict construction per span — the consistency benchmarks stay honest.
+Activate collection by installing a :class:`RecordingTracer`, usually
+through the :func:`use_tracer` context manager::
+
+    from repro import obs
+
+    tracer = obs.RecordingTracer()
+    with obs.use_tracer(tracer):
+        run_experiment()
+    obs.export.write_jsonl(tracer, "trace.jsonl")
+
+Instrumented code checks ``span.recording`` before computing anything
+expensive (condition estimates, component counts) so probes are free when
+tracing is off.
+
+The tracer is process-global and not thread-safe; the library's solvers
+are single-threaded (BLAS parallelism happens below this layer).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "Span",
+    "NoopSpan",
+    "NoopTracer",
+    "RecordingTracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "span",
+    "tracing_enabled",
+]
+
+
+class Span:
+    """One timed, attributed region of a recording trace.
+
+    Use as a context manager; entering pushes it onto the active tracer's
+    stack (establishing parentage), exiting records the duration.
+    ``set_attribute`` may be called any time before exit.
+    """
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "span_id",
+        "parent_id",
+        "depth",
+        "start_wall",
+        "duration",
+        "children",
+        "_tracer",
+        "_start_perf",
+    )
+
+    recording = True
+
+    def __init__(self, tracer: "RecordingTracer", name: str, attributes: dict):
+        self.name = name
+        self.attributes = attributes
+        self._tracer = tracer
+        self.span_id: int | None = None
+        self.parent_id: int | None = None
+        self.depth = 0
+        self.start_wall = 0.0
+        self.duration: float | None = None
+        self.children: list[Span] = []
+        self._start_perf = 0.0
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    def set_attributes(self, mapping: dict) -> None:
+        self.attributes.update(mapping)
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start_wall = time.time()
+        self._start_perf = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self._start_perf
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+
+    def to_record(self) -> dict:
+        """Flat dict form of this span (one JSONL line)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "name": self.name,
+            "start_wall": self.start_wall,
+            "duration_s": self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dur = "open" if self.duration is None else f"{self.duration:.6f}s"
+        return f"Span({self.name!r}, {dur}, attrs={self.attributes!r})"
+
+
+class NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    recording = False
+    name = ""
+    attributes: dict = {}
+    duration = None
+    children: tuple = ()
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+    def set_attributes(self, mapping: dict) -> None:
+        pass
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP_SPAN = NoopSpan()
+
+
+class NoopTracer:
+    """Default tracer: collects nothing, costs (almost) nothing."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes):
+        return _NOOP_SPAN
+
+    @property
+    def roots(self) -> tuple:
+        return ()
+
+    def iter_spans(self):
+        return iter(())
+
+    def to_records(self) -> list[dict]:
+        return []
+
+
+class RecordingTracer:
+    """Collects spans into an in-memory trace forest.
+
+    Attributes
+    ----------
+    roots:
+        Top-level spans (no enclosing span when entered), in entry order.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._counter = 0
+
+    def span(self, name: str, **attributes) -> Span:
+        return Span(self, name, attributes)
+
+    def _push(self, span: Span) -> None:
+        self._counter += 1
+        span.span_id = self._counter
+        if self._stack:
+            parent = self._stack[-1]
+            span.parent_id = parent.span_id
+            span.depth = parent.depth + 1
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate exits out of order (generators abandoned mid-span):
+        # unwind to the matching span rather than corrupting the stack.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    def iter_spans(self):
+        """Pre-order walk over all finished and open spans."""
+        stack = list(reversed(self.roots))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def to_records(self) -> list[dict]:
+        """Flat pre-order list of span record dicts."""
+        return [s.to_record() for s in self.iter_spans()]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_spans())
+
+
+_ACTIVE: NoopTracer | RecordingTracer = NoopTracer()
+
+
+def get_tracer() -> NoopTracer | RecordingTracer:
+    """The process-global active tracer (a no-op tracer by default)."""
+    return _ACTIVE
+
+
+def set_tracer(tracer) -> None:
+    """Install ``tracer`` as the process-global active tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer
+
+
+@contextmanager
+def use_tracer(tracer):
+    """Temporarily install ``tracer``, restoring the previous one on exit."""
+    previous = _ACTIVE
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def span(name: str, **attributes):
+    """Open a span on the active tracer (no-op unless tracing is enabled)."""
+    return _ACTIVE.span(name, **attributes)
+
+
+def tracing_enabled() -> bool:
+    """True when the active tracer records spans."""
+    return _ACTIVE.enabled

@@ -6,14 +6,25 @@ The paper claims (Section II) that solving the hard criterion costs
 :func:`fit_power_law` fits the growth exponent ``b`` in ``t ≈ a·x^b`` by
 least squares on log-log data, which is how ``bench_complexity``
 verifies the claim.
+
+``Stopwatch`` is retained for its aggregation API (``total`` / ``mean``
+/ ``count`` by label) but is now a thin veneer over the span tracer in
+:mod:`repro.obs`: every measurement also opens a ``stopwatch.<label>``
+span on the active tracer, so stopwatch timings appear in traces for
+free.  New code should instrument with :func:`repro.obs.span` directly
+— the stopwatch exists for the established ``bench_complexity`` /
+``fit_power_law`` callers.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro import obs
 
 __all__ = ["Stopwatch", "fit_power_law"]
 
@@ -57,14 +68,20 @@ class _Measurement:
     def __init__(self, watch: Stopwatch, label: str):
         self._watch = watch
         self._label = label
+        self._span = None
         self._start = 0.0
 
     def __enter__(self) -> "_Measurement":
+        self._span = obs.span(f"stopwatch.{self._label}")
+        self._span.__enter__()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self._watch.add(self._label, time.perf_counter() - self._start)
+        elapsed = time.perf_counter() - self._start
+        self._watch.add(self._label, elapsed)
+        self._span.__exit__(*exc_info)
+        self._span = None
 
 
 def fit_power_law(sizes, times) -> tuple[float, float]:
@@ -72,12 +89,33 @@ def fit_power_law(sizes, times) -> tuple[float, float]:
 
     Returns ``(a, b)``.  Used to estimate the empirical complexity
     exponent of the hard/soft solvers.
+
+    Sub-resolution timings (``t == 0`` from ``perf_counter`` on very fast
+    solves) are dropped with a warning rather than crashing the
+    experiment; at least two strictly positive samples must survive.
     """
     sizes = np.asarray(sizes, dtype=np.float64)
     times = np.asarray(times, dtype=np.float64)
     if sizes.shape != times.shape or sizes.ndim != 1 or sizes.size < 2:
         raise ValueError("sizes and times must be equal-length 1-d arrays of length >= 2")
-    if np.any(sizes <= 0) or np.any(times <= 0):
-        raise ValueError("power-law fit requires strictly positive sizes and times")
+    if np.any(sizes <= 0):
+        raise ValueError("power-law fit requires strictly positive sizes")
+    positive = times > 0
+    if not np.all(positive):
+        dropped = int(np.sum(~positive))
+        warnings.warn(
+            f"fit_power_law: dropping {dropped} non-positive timing sample(s) "
+            f"(likely below timer resolution); fitting the remaining "
+            f"{int(np.sum(positive))}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        obs.get_registry().counter("timing.zero_samples_dropped").inc(dropped)
+        sizes = sizes[positive]
+        times = times[positive]
+    if sizes.size < 2:
+        raise ValueError(
+            "power-law fit requires at least two strictly positive timing samples"
+        )
     slope, intercept = np.polyfit(np.log(sizes), np.log(times), deg=1)
     return float(np.exp(intercept)), float(slope)

@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -127,8 +126,6 @@ class TestCommands:
         assert "direct" in out
 
     def test_diagnose_command(self, capsys, tmp_path, rng):
-        import numpy as np
-
         from repro.datasets.io import TransductiveProblem, save_transductive_npz
 
         problem = TransductiveProblem(
@@ -143,8 +140,6 @@ class TestCommands:
         assert code in (0, 1)  # healthy or warned, but never crashed
 
     def test_diagnose_flags_disconnected(self, capsys, tmp_path, rng):
-        import numpy as np
-
         from repro.datasets.io import TransductiveProblem, save_transductive_npz
 
         problem = TransductiveProblem(

@@ -27,6 +27,7 @@ EXPECTED_PHRASES = {
     "multiclass_coil.py": "overall accuracy",
     "bring_your_own_data.py": "scored",
     "calibration_and_thresholds.py": "calibration artifact",
+    "tracing_a_solve.py": "trace report",
 }
 
 

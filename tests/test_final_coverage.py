@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.datasets.synthetic import make_synthetic_dataset
-from repro.exceptions import ConfigurationError
 from repro.experiments.runner import run_replicates
 
 

@@ -1,7 +1,6 @@
 """Integration tests: full user-facing pipelines on realistic scenarios."""
 
 import numpy as np
-import pytest
 
 from repro.core.estimators import (
     GraphSSLClassifier,

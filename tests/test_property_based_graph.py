@@ -1,7 +1,6 @@
 """Property-based tests for graph constructions and the anchored solver."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.anchors import solve_anchored

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.metrics.classification import auc, roc_curve
+from repro.metrics.classification import roc_curve
 from repro.metrics.isotonic import IsotonicCalibrator, pav_isotonic
 from repro.metrics.thresholds import best_f1_threshold, youden_threshold
 
