@@ -1,0 +1,126 @@
+"""Bench: the sparse-native fast path against the dense route.
+
+Two axes at N in {500, 2000, 8000}:
+
+* graph construction — dense O(N^2) route vs kd-tree neighbor route,
+  with the memory proxy nnz * 8 bytes vs N^2 * 8 bytes;
+* the hard-criterion solve — dense Cholesky on the densified graph vs
+  the sparse factorization on the CSR graph.
+
+The dense legs are skipped above ``DENSE_CAP`` at quick scale (an 8000^2
+float64 matrix alone is ~512 MB); set ``REPRO_BENCH_SCALE=paper`` to run
+them everywhere.  At N=8000 the neighbor construction additionally runs
+under ``tracemalloc`` and must stay far below the dense graph's
+footprint — the acceptance guard that no ``(N, N)`` array is allocated.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import numpy as np
+
+from conftest import SCALE, publish
+
+from repro.core.hard import solve_hard_criterion
+from repro.experiments.report import ascii_table
+from repro.graph.similarity import knn_graph
+
+SIZES = (500, 2000, 8000)
+K = 10
+DENSE_CAP = 2000 if SCALE == "quick" else 8000
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def test_bench_sparse_scaling(results_dir):
+    rng = np.random.default_rng(0)
+    rows = []
+    guard_peak = None
+    for n in SIZES:
+        x = rng.normal(size=(n, 2))
+        n_labeled = max(20, n // 20)
+        y = np.sin(x[:n_labeled, 0])
+
+        if n <= DENSE_CAP:
+            graph_dense, t_dense_build = _timed(
+                lambda: knn_graph(x, k=K, bandwidth=0.5, construction="dense")
+            )
+        else:
+            graph_dense, t_dense_build = None, float("nan")
+
+        if n == max(SIZES):
+            tracemalloc.start()
+            graph_neigh, t_neigh_build = _timed(
+                lambda: knn_graph(x, k=K, bandwidth=0.5, construction="neighbors")
+            )
+            _, guard_peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        else:
+            graph_neigh, t_neigh_build = _timed(
+                lambda: knn_graph(x, k=K, bandwidth=0.5, construction="neighbors")
+            )
+
+        nnz = graph_neigh.weights.nnz
+        dense_mb = n * n * 8 / 1e6
+        sparse_mb = nnz * 8 / 1e6
+
+        if n <= DENSE_CAP:
+            _, t_dense_solve = _timed(
+                lambda: solve_hard_criterion(graph_dense.dense_weights(), y)
+            )
+        else:
+            t_dense_solve = float("nan")
+        _, t_sparse_solve = _timed(
+            lambda: solve_hard_criterion(graph_neigh.weights, y)
+        )
+
+        rows.append(
+            [
+                n,
+                f"{t_dense_build * 1e3:.1f}" if t_dense_build == t_dense_build else "skipped",
+                f"{t_neigh_build * 1e3:.1f}",
+                f"{t_dense_solve * 1e3:.1f}" if t_dense_solve == t_dense_solve else "skipped",
+                f"{t_sparse_solve * 1e3:.1f}",
+                nnz,
+                f"{sparse_mb:.2f}",
+                f"{dense_mb:.1f}",
+            ]
+        )
+
+    table = ascii_table(
+        [
+            "N",
+            "build dense (ms)",
+            "build neighbors (ms)",
+            "solve dense (ms)",
+            "solve sparse (ms)",
+            "nnz",
+            "sparse MB",
+            "dense MB",
+        ],
+        rows,
+    )
+    summary = (
+        "sparse-native fast path: construction + hard solve scaling\n"
+        f"{table}\n"
+        f"neighbor-route peak at N={max(SIZES)}: "
+        f"{(guard_peak or 0) / 1e6:.1f} MB traced "
+        f"(dense graph would be {max(SIZES) ** 2 * 8 / 1e6:.0f} MB)"
+    )
+    publish(results_dir, "sparse_scaling", summary)
+
+    # Acceptance guard: the neighbor route's traced allocations stay far
+    # below one (N, N) float64 matrix.
+    n_max = max(SIZES)
+    assert guard_peak is not None
+    assert guard_peak < n_max * n_max * 8 / 4
+
+    # The sparse graph is a vanishing fraction of the dense footprint.
+    last_nnz = rows[-1][5]
+    assert last_nnz * 8 < 0.05 * n_max * n_max * 8

@@ -225,7 +225,7 @@ def _cmd_ablation(args) -> int:
 def _cmd_diagnose(args) -> int:
     from repro.datasets.io import load_transductive_npz
     from repro.graph.diagnostics import diagnose_graph
-    from repro.graph.similarity import full_kernel_graph
+    from repro.graph.similarity import build_similarity_graph
     from repro.kernels.bandwidth import median_heuristic
 
     problem = load_transductive_npz(args.path)
@@ -233,7 +233,30 @@ def _cmd_diagnose(args) -> int:
     if bandwidth is None:
         bandwidth = median_heuristic(problem.x_all, subsample=500, seed=0)
         print(f"bandwidth: median heuristic -> {bandwidth:.4g}")
-    graph = full_kernel_graph(problem.x_all, bandwidth=bandwidth)
+    params = {}
+    if args.graph == "knn":
+        params["k"] = args.k
+        params["mode"] = args.mode
+    elif args.graph == "epsilon":
+        if args.radius is None:
+            print("error: --radius is required with --graph epsilon", file=sys.stderr)
+            return 2
+        params["radius"] = args.radius
+    if args.graph in ("knn", "epsilon"):
+        params["construction_method"] = args.construction
+    graph = build_similarity_graph(
+        problem.x_all, construction=args.graph, bandwidth=bandwidth, **params
+    )
+    if graph.is_sparse:
+        n = graph.n_vertices
+        dense_bytes = n * n * 8
+        sparse_bytes = graph.weights.nnz * 8
+        print(
+            f"sparse {graph.construction} graph "
+            f"({graph.params.get('construction', 'auto')} route): "
+            f"nnz={graph.weights.nnz} "
+            f"(~{sparse_bytes / 1e6:.1f} MB vs {dense_bytes / 1e6:.1f} MB dense)"
+        )
     report = diagnose_graph(graph.weights, problem.n_labeled)
     print(report.summary())
     return 0 if report.healthy else 1
@@ -379,6 +402,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--bandwidth", type=float, default=None,
         help="kernel bandwidth (default: median heuristic)",
+    )
+    p.add_argument(
+        "--graph", choices=("full", "knn", "epsilon"), default="full",
+        help="graph family to diagnose (default: the paper's full graph)",
+    )
+    p.add_argument("--k", type=int, default=10, help="neighbours for --graph knn")
+    p.add_argument(
+        "--mode", choices=("union", "intersection"), default="union",
+        help="knn symmetrization (see docs/SCALING.md)",
+    )
+    p.add_argument(
+        "--radius", type=float, default=None, help="radius for --graph epsilon"
+    )
+    p.add_argument(
+        "--construction", choices=("auto", "dense", "neighbors"), default="auto",
+        help="sparsifier route: dense O(N^2) or kd-tree neighbor queries",
     )
     p.set_defaults(handler=_cmd_diagnose)
 

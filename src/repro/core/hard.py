@@ -17,9 +17,13 @@ systems fail with an actionable :class:`DisconnectedGraphError` instead of
 a numerics error.
 
 Solver backends: ``"direct"`` (dense Cholesky), ``"cg"``, ``"jacobi"``,
-``"gauss_seidel"``, ``"sparse"`` (sparse LU), all verified to agree in the
-test suite.  The cost is ``O(m^3)`` for the direct backend — the paper's
-Section II complexity claim, benchmarked in ``bench_complexity``.
+``"gauss_seidel"``, ``"sparse"`` (symmetric-mode sparse LU), all verified
+to agree in the test suite.  Sparse weight matrices are never densified:
+the grounded system is assembled in CSR and ``method="direct"`` is
+rerouted to the sparse factorization, whose input nnz and factor fill-in
+are reported through :class:`~repro.linalg.solvers.SolveInfo`.  The cost
+is ``O(m^3)`` for the dense direct backend — the paper's Section II
+complexity claim, benchmarked in ``bench_complexity``.
 """
 
 from __future__ import annotations

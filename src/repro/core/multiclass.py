@@ -23,6 +23,7 @@ from repro.graph.components import require_labeled_reachability
 from repro.graph.similarity import build_similarity_graph
 from repro.kernels.base import RadialKernel
 from repro.kernels.library import GaussianKernel
+from repro.linalg.solvers import factorize_spd
 from repro.utils.validation import check_matrix_2d, check_weight_matrix
 
 __all__ = ["MulticlassFit", "solve_multiclass_hard", "MulticlassLabelPropagation"]
@@ -132,11 +133,19 @@ def solve_multiclass_hard(weights, y_labeled, *, check_reachability: bool = True
     if check_reachability:
         require_labeled_reachability(weights, n)
     if sparse.issparse(weights):
-        weights = np.asarray(weights.todense())
-    degrees = weights.sum(axis=1)
-    grounded = np.diag(degrees[n:]) - weights[n:, n:]
-    rhs = weights[n:, :n] @ onehot  # (m, K): one right-hand side per class
-    scores = np.linalg.solve(grounded, rhs)
+        # Sparse graphs stay sparse: ground the Laplacian in CSR and
+        # factor it once; the K one-vs-rest columns share the single
+        # factorization through a (m, K) block back-substitution.
+        csr = weights.tocsr()
+        degrees = np.asarray(csr.sum(axis=1)).ravel()
+        grounded = sparse.diags(degrees[n:], format="csr") - csr[n:, n:]
+        rhs = np.asarray(csr[n:, :n] @ onehot)
+        scores = factorize_spd(grounded).solve(rhs)
+    else:
+        degrees = weights.sum(axis=1)
+        grounded = np.diag(degrees[n:]) - weights[n:, n:]
+        rhs = weights[n:, :n] @ onehot  # (m, K): one rhs per class
+        scores = np.linalg.solve(grounded, rhs)
     priors = onehot.mean(axis=0)
     return MulticlassFit(scores=scores, classes=classes, priors=priors)
 

@@ -68,17 +68,22 @@ def nadaraya_watson_from_weights(weights, y_labeled) -> np.ndarray:
             f"and {n} labels"
         )
     if sparse.issparse(weights):
-        w21 = np.asarray(weights[n:, :n].todense())
+        # The labeled-cross block stays sparse: both the row sums and the
+        # weighted label average are sparse matvecs.
+        w21 = weights.tocsr()[n:, :n]
+        denominators = np.asarray(w21.sum(axis=1)).ravel()
+        numerators = np.asarray(w21 @ y_labeled).ravel()
     else:
         w21 = weights[n:, :n]
-    denominators = w21.sum(axis=1)
+        denominators = w21.sum(axis=1)
+        numerators = w21 @ y_labeled
     zero = np.flatnonzero(denominators <= 0)
     if zero.size:
         raise DataValidationError(
             f"Nadaraya-Watson is undefined for unlabeled vertices "
             f"{(zero[:10] + n).tolist()}: zero total weight to the labeled set"
         )
-    return (w21 @ y_labeled) / denominators
+    return numerators / denominators
 
 
 def nadaraya_watson(

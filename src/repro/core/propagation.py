@@ -251,20 +251,25 @@ def local_global_consistency(
         )
 
     if sparse.issparse(weights):
-        dense = np.asarray(weights.todense())
+        degrees = np.asarray(weights.sum(axis=1)).ravel()
     else:
-        dense = weights
-    degrees = dense.sum(axis=1)
+        degrees = weights.sum(axis=1)
     if np.any(degrees <= 0):
         raise DataValidationError(
             "local-global consistency requires strictly positive degrees"
         )
     inv_sqrt = 1.0 / np.sqrt(degrees)
-    sym = (inv_sqrt[:, None] * dense) * inv_sqrt[None, :]
-
     y0 = np.zeros(total)
     y0[:n] = y_labeled
-    system = np.eye(total) - alpha * sym
+    if sparse.issparse(weights):
+        # S = D^{-1/2} W D^{-1/2} built by diagonal scaling keeps the
+        # graph's sparsity pattern; I - alpha S is solved sparsely.
+        scale = sparse.diags(inv_sqrt, format="csr")
+        sym = scale @ weights.tocsr() @ scale
+        system = (sparse.identity(total, format="csr") - alpha * sym).tocsr()
+    else:
+        sym = (inv_sqrt[:, None] * weights) * inv_sqrt[None, :]
+        system = np.eye(total) - alpha * sym
     scores = (1.0 - alpha) * solve_square(system, y0)
     return FitResult(
         scores=scores,

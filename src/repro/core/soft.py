@@ -21,6 +21,15 @@ and ``L = D - W`` the unnormalized Laplacian.  Two backends:
   Eq. (5) — Proposition II.1.  The labeled block is then recovered from
   the first block row.
 
+Sparse weight matrices stay sparse end to end: the stationarity system
+``V + lambda L`` is assembled in CSR and handed to the sparse
+factorization in :func:`repro.linalg.solvers.solve_spd` — the weights
+are never densified.  Because the Schur route's intermediate
+``(I + lam D11 - lam W11)^{-1} W12`` block is inherently dense, sparse
+inputs requesting ``method="schur"`` are answered through the (equal, by
+the 2x2 block-inverse identity) sparse full system instead; the
+``FitResult.method`` records that rerouting as ``"schur->sparse_full"``.
+
 Proposition II.2's ``lambda -> inf`` limit (the constant labeled-mean
 prediction that makes the soft criterion inconsistent) is exposed as
 :func:`soft_lambda_infinity_limit`.
@@ -105,16 +114,14 @@ def solve_soft_criterion(
     if check_reachability:
         require_labeled_reachability(weights, n)
 
-    if sparse.issparse(weights):
-        dense = np.asarray(weights.todense())
-    else:
-        dense = weights
+    if method not in ("full", "schur"):
+        raise ConfigurationError(f"method must be 'full' or 'schur', got {method!r}")
 
+    if sparse.issparse(weights):
+        return _solve_full_sparse(weights, y_labeled, lam, n, m, solver, method)
     if method == "full":
-        return _solve_full(dense, y_labeled, lam, n, m, solver)
-    if method == "schur":
-        return _solve_schur(dense, y_labeled, lam, n, m)
-    raise ConfigurationError(f"method must be 'full' or 'schur', got {method!r}")
+        return _solve_full(weights, y_labeled, lam, n, m, solver)
+    return _solve_schur(weights, y_labeled, lam, n, m)
 
 
 def _solve_full(weights: np.ndarray, y: np.ndarray, lam: float, n: int, m: int, solver: str) -> FitResult:
@@ -142,6 +149,49 @@ def _solve_full(weights: np.ndarray, y: np.ndarray, lam: float, n: int, m: int, 
             method="full",
             criterion="soft",
             details={"system_size": total},
+            solve_info=info,
+        )
+
+
+def _solve_full_sparse(
+    weights, y: np.ndarray, lam: float, n: int, m: int, solver: str, requested: str
+) -> FitResult:
+    """Solve ``(V + lam L) f = (y; 0)`` without densifying the weights.
+
+    The system is assembled as ``lam * (D - W) + diag(V)`` in CSR and
+    solved by the sparse factorization (or an iterative backend).  Used
+    for both ``method="full"`` and — because its intermediates densify —
+    ``method="schur"`` on sparse inputs; the two are algebraically equal.
+    """
+    total = n + m
+    with obs.span(
+        "repro.solve_soft", n=n, m=m, lam=lam, method=f"{requested}:sparse"
+    ) as span:
+        degrees = np.asarray(weights.sum(axis=1)).ravel()
+        laplacian = sparse.diags(degrees, format="csr") - weights.tocsr()
+        labeled_indicator = np.zeros(total)
+        labeled_indicator[:n] = 1.0
+        system = (
+            lam * laplacian + sparse.diags(labeled_indicator, format="csr")
+        ).tocsr()
+        rhs = np.zeros(total)
+        rhs[:n] = y
+        if span.recording:
+            probes.record_graph_stats(span, weights, n)
+            probes.record_spd_system(span, system)
+        scores, info = solve_spd(system, rhs, method=solver, return_info=True)
+        probes.record_solve_info(span, info)
+        registry = obs.get_registry()
+        registry.counter("solves.soft").inc()
+        registry.histogram("solves.soft.system_size").observe(total)
+        method = "full" if requested == "full" else "schur->sparse_full"
+        return FitResult(
+            scores=scores,
+            n_labeled=n,
+            lam=lam,
+            method=method,
+            criterion="soft",
+            details={"system_size": total, "nnz": int(system.nnz)},
             solve_info=info,
         )
 

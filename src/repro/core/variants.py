@@ -63,12 +63,20 @@ def solve_soft_criterion_normalized(
         require_labeled_reachability(weights, n)
 
     lap = normalized_laplacian(weights)
-    if sparse.issparse(lap):
-        lap = np.asarray(lap.todense())
-    system = lam * lap
-    system[np.arange(n), np.arange(n)] += 1.0
     rhs = np.zeros(total)
     rhs[:n] = y_labeled
+    if sparse.issparse(lap):
+        # Sparse graphs stay sparse: add the labeled indicator as a
+        # diagonal matrix (entry-assignment on CSR would be both slow
+        # and a SparseEfficiencyWarning).
+        labeled_indicator = np.zeros(total)
+        labeled_indicator[:n] = 1.0
+        system = (
+            lam * lap.tocsr() + sparse.diags(labeled_indicator, format="csr")
+        ).tocsr()
+    else:
+        system = lam * lap
+        system[np.arange(n), np.arange(n)] += 1.0
     scores = solve_square(system, rhs)
     return FitResult(
         scores=scores,

@@ -7,6 +7,24 @@ graphs (:func:`knn_graph`) and epsilon-ball graphs (:func:`epsilon_graph`)
 — which keep the same kernel weights but zero out long-range edges.  All
 constructions return a :class:`SimilarityGraph`, which carries the weight
 matrix along with its provenance (kernel, bandwidth, sparsifier).
+
+Both sparsifiers support two construction routes:
+
+* ``construction="dense"`` — the historical route: materialize the full
+  ``(N, N)`` pairwise-distance and kernel matrices, then zero the pruned
+  entries.  Exact, but ``O(N^2)`` memory.
+* ``construction="neighbors"`` — query a ``scipy.spatial.cKDTree`` for
+  the neighbour lists and assemble the CSR weight matrix directly from
+  the surviving edges.  The ``(N, N)`` dense matrix is *never allocated*;
+  memory is ``O(N k)`` for knn graphs and ``O(nnz)`` for epsilon graphs.
+* ``construction="auto"`` (default) — ``"dense"`` for small inputs where
+  the dense BLAS route is fastest, ``"neighbors"`` beyond
+  :data:`DENSE_CONSTRUCTION_MAX` vertices.
+
+The two routes produce the same graph (verified to floating-point
+agreement by the parity and property suites in
+``tests/test_sparse_dense_parity.py`` and
+``tests/test_property_based_sparse_graph.py``).
 """
 
 from __future__ import annotations
@@ -16,6 +34,7 @@ from typing import Literal
 
 import numpy as np
 from scipy import sparse
+from scipy.spatial import cKDTree
 
 from repro import obs
 from repro.exceptions import ConfigurationError, DataValidationError
@@ -31,7 +50,36 @@ __all__ = [
     "epsilon_graph",
     "local_scaling_graph",
     "build_similarity_graph",
+    "DENSE_CONSTRUCTION_MAX",
 ]
+
+#: ``construction="auto"`` uses the dense route up to this many vertices
+#: (where one BLAS gemm beats a tree query) and the neighbour route above
+#: it (where the ``(N, N)`` allocation starts to dominate).
+DENSE_CONSTRUCTION_MAX = 512
+
+
+def _resolve_construction(construction: str, n: int) -> str:
+    if construction == "auto":
+        return "dense" if n <= DENSE_CONSTRUCTION_MAX else "neighbors"
+    if construction in ("dense", "neighbors"):
+        return construction
+    raise ConfigurationError(
+        f"construction must be 'auto', 'dense' or 'neighbors', "
+        f"got {construction!r}"
+    )
+
+
+def _resolve_knn_mode(mode: str) -> str:
+    """Canonicalize the symmetrization mode (``"mutual"`` is a legacy alias)."""
+    if mode == "union":
+        return "union"
+    if mode in ("intersection", "mutual"):
+        return "intersection"
+    raise ConfigurationError(
+        f"mode must be 'union' or 'intersection' (legacy alias 'mutual'), "
+        f"got {mode!r}"
+    )
 
 
 @dataclass
@@ -218,21 +266,95 @@ def full_kernel_graph(
         )
 
 
+def _knn_dense(x, k, kernel, bandwidth, mode) -> sparse.csr_matrix:
+    """Historical O(N^2) route: full kernel matrix, then prune."""
+    n = x.shape[0]
+    sq = pairwise_sq_distances(x)
+    weights = kernel.profile(np.sqrt(sq) / bandwidth)
+
+    with_self_inf = sq.copy()
+    np.fill_diagonal(with_self_inf, np.inf)
+    neighbour_idx = np.argpartition(with_self_inf, kth=k - 1, axis=1)[:, :k]
+    selected = np.zeros((n, n), dtype=bool)
+    rows = np.repeat(np.arange(n), k)
+    selected[rows, neighbour_idx.ravel()] = True
+    if mode == "union":
+        keep = selected | selected.T
+    else:
+        keep = selected & selected.T
+    np.fill_diagonal(keep, True)
+    return sparse.csr_matrix(np.where(keep, weights, 0.0))
+
+
+def _knn_neighbors(x, k, kernel, bandwidth, mode) -> sparse.csr_matrix:
+    """Densification-free route: kd-tree neighbour queries straight to CSR."""
+    n = x.shape[0]
+    tree = cKDTree(x)
+    dist, idx = tree.query(x, k=k + 1)
+
+    # Drop each row's self entry.  Under exact duplicates the self index
+    # may land anywhere in the k+1 results (or not at all); drop it where
+    # present and the farthest entry otherwise, leaving k true neighbours.
+    is_self = idx == np.arange(n)[:, None]
+    drop = np.where(is_self.any(axis=1), np.argmax(is_self, axis=1), k)
+    keep = np.ones((n, k + 1), dtype=bool)
+    keep[np.arange(n), drop] = False
+    neighbour_idx = idx[keep].reshape(n, k)
+    neighbour_dist = dist[keep].reshape(n, k)
+
+    data = kernel.profile(neighbour_dist.ravel() / bandwidth)
+    rows = np.repeat(np.arange(n), k)
+    directed = sparse.csr_matrix(
+        (data, (rows, neighbour_idx.ravel())), shape=(n, n)
+    )
+    # Kernel weights are symmetric functions of the (symmetric) distance,
+    # so w_ij == w_ji wherever both directed edges exist: the elementwise
+    # maximum keeps an edge selected by either endpoint (union) and the
+    # minimum keeps only mutually-selected edges (intersection).
+    if mode == "union":
+        symmetric = directed.maximum(directed.T)
+    else:
+        symmetric = directed.minimum(directed.T)
+    diagonal = sparse.diags(
+        np.full(n, float(kernel.profile(np.zeros(1))[0])), format="csr"
+    )
+    out = (symmetric + diagonal).tocsr()
+    out.eliminate_zeros()
+    return out
+
+
 def knn_graph(
     x: np.ndarray,
     *,
     k: int,
     kernel: RadialKernel | None = None,
     bandwidth: float,
-    mode: Literal["union", "mutual"] = "union",
+    mode: Literal["union", "intersection", "mutual"] = "union",
+    construction: Literal["auto", "dense", "neighbors"] = "auto",
 ) -> SimilarityGraph:
     """Sparse k-nearest-neighbour graph with kernel edge weights.
 
     Each vertex keeps edges to its ``k`` nearest neighbours (by Euclidean
-    distance); the result is symmetrized by union (keep an edge if either
-    endpoint selected it) or intersection (``mode="mutual"``).  Weights on
-    surviving edges are the kernel values, plus kernel self-weights on the
-    diagonal to mirror the full graph's degree convention.
+    distance).  Because "i is among j's nearest" is not symmetric, the
+    directed neighbour relation must be symmetrized, and ``mode`` makes
+    that choice explicit:
+
+    * ``mode="union"`` (default) — keep edge ``{i, j}`` if *either*
+      endpoint selected the other.  Every vertex keeps degree >= k, which
+      preserves labeled reachability on clustered data; nnz is bounded by
+      ``2 N k`` off-diagonal entries.
+    * ``mode="intersection"`` (legacy alias ``"mutual"``) — keep the edge
+      only if *both* endpoints selected each other.  Sparser (at most
+      ``N k`` off-diagonal entries) and robust to hubs, but can isolate
+      boundary vertices; nnz is bounded by ``N k``.
+
+    Surviving edges carry the kernel weight of the full graph, and kernel
+    self-weights sit on the diagonal to mirror the full graph's degree
+    convention.  ``construction`` picks the dense (``O(N^2)`` memory) or
+    kd-tree neighbour route (``O(N k)``, never allocating an ``(N, N)``
+    array); ``"auto"`` switches to neighbours above
+    :data:`DENSE_CONSTRUCTION_MAX` vertices.  Both routes build the same
+    graph.
     """
     x = check_matrix_2d(x, "x")
     n = x.shape[0]
@@ -240,36 +362,55 @@ def knn_graph(
         raise ConfigurationError(f"k must satisfy 1 <= k < n; got k={k}, n={n}")
     kernel = kernel or GaussianKernel()
     bandwidth = check_positive_scalar(bandwidth, "bandwidth")
+    mode = _resolve_knn_mode(mode)
+    route = _resolve_construction(construction, n)
 
     with obs.span(
-        "repro.graph.knn", n_vertices=n, k=k, mode=mode, bandwidth=float(bandwidth)
+        "repro.graph.knn",
+        n_vertices=n,
+        k=k,
+        mode=mode,
+        bandwidth=float(bandwidth),
+        construction=route,
     ) as span:
-        sq = pairwise_sq_distances(x)
-        weights = kernel.profile(np.sqrt(sq) / bandwidth)
-
-        with_self_inf = sq.copy()
-        np.fill_diagonal(with_self_inf, np.inf)
-        neighbour_idx = np.argpartition(with_self_inf, kth=k - 1, axis=1)[:, :k]
-        selected = np.zeros((n, n), dtype=bool)
-        rows = np.repeat(np.arange(n), k)
-        selected[rows, neighbour_idx.ravel()] = True
-        if mode == "union":
-            keep = selected | selected.T
-        elif mode == "mutual":
-            keep = selected & selected.T
+        if route == "dense":
+            sparse_weights = _knn_dense(x, k, kernel, bandwidth, mode)
         else:
-            raise ConfigurationError(f"mode must be 'union' or 'mutual', got {mode!r}")
-        np.fill_diagonal(keep, True)
-
-        sparse_weights = sparse.csr_matrix(np.where(keep, weights, 0.0))
+            sparse_weights = _knn_neighbors(x, k, kernel, bandwidth, mode)
         probes.record_graph_stats(span, sparse_weights)
         return SimilarityGraph(
             weights=sparse_weights,
             kernel_name=kernel.name,
             bandwidth=float(bandwidth),
             construction="knn",
-            params={"k": k, "mode": mode},
+            params={"k": k, "mode": mode, "construction": route},
         )
+
+
+def _epsilon_dense(x, radius, kernel, bandwidth) -> sparse.csr_matrix:
+    """Historical O(N^2) route: full kernel matrix, then prune."""
+    sq = pairwise_sq_distances(x)
+    weights = kernel.profile(np.sqrt(sq) / bandwidth)
+    keep = sq <= radius * radius
+    return sparse.csr_matrix(np.where(keep, weights, 0.0))
+
+
+def _epsilon_neighbors(x, radius, kernel, bandwidth) -> sparse.csr_matrix:
+    """Densification-free route: kd-tree range query straight to CSR."""
+    n = x.shape[0]
+    tree = cKDTree(x)
+    pairs = tree.query_pairs(radius, output_type="ndarray")
+    left, right = pairs[:, 0], pairs[:, 1]
+    diffs = x[left] - x[right]
+    dist = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+    edge_weights = kernel.profile(dist / bandwidth)
+    self_weight = float(kernel.profile(np.zeros(1))[0])
+    rows = np.concatenate([left, right, np.arange(n)])
+    cols = np.concatenate([right, left, np.arange(n)])
+    data = np.concatenate([edge_weights, edge_weights, np.full(n, self_weight)])
+    out = sparse.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+    out.eliminate_zeros()
+    return out
 
 
 def epsilon_graph(
@@ -278,35 +419,43 @@ def epsilon_graph(
     radius: float,
     kernel: RadialKernel | None = None,
     bandwidth: float,
+    construction: Literal["auto", "dense", "neighbors"] = "auto",
 ) -> SimilarityGraph:
     """Sparse epsilon-ball graph: keep edges with ``||x_i - x_j|| <= radius``.
 
     Equivalent to the full graph built from a kernel truncated at
     ``radius / bandwidth`` scaled radii, so for compactly-supported kernels
     with ``radius >= support_radius * bandwidth`` it equals the full graph.
+
+    ``construction`` picks the dense route (materialize all pairwise
+    distances, ``O(N^2)`` memory) or the kd-tree range-query route
+    (``O(nnz)``, never allocating an ``(N, N)`` array); ``"auto"``
+    switches to neighbours above :data:`DENSE_CONSTRUCTION_MAX` vertices.
     """
     x = check_matrix_2d(x, "x")
     radius = check_positive_scalar(radius, "radius")
     kernel = kernel or GaussianKernel()
     bandwidth = check_positive_scalar(bandwidth, "bandwidth")
+    route = _resolve_construction(construction, int(x.shape[0]))
 
     with obs.span(
         "repro.graph.epsilon",
         n_vertices=int(x.shape[0]),
         radius=float(radius),
         bandwidth=float(bandwidth),
+        construction=route,
     ) as span:
-        sq = pairwise_sq_distances(x)
-        weights = kernel.profile(np.sqrt(sq) / bandwidth)
-        keep = sq <= radius * radius
-        sparse_weights = sparse.csr_matrix(np.where(keep, weights, 0.0))
+        if route == "dense":
+            sparse_weights = _epsilon_dense(x, radius, kernel, bandwidth)
+        else:
+            sparse_weights = _epsilon_neighbors(x, radius, kernel, bandwidth)
         probes.record_graph_stats(span, sparse_weights)
         return SimilarityGraph(
             weights=sparse_weights,
             kernel_name=kernel.name,
             bandwidth=float(bandwidth),
             construction="epsilon",
-            params={"radius": radius},
+            params={"radius": radius, "construction": route},
         )
 
 
@@ -357,12 +506,18 @@ def build_similarity_graph(
     construction: Literal["full", "knn", "epsilon"] = "full",
     kernel: RadialKernel | None = None,
     bandwidth: float,
+    construction_method: Literal["auto", "dense", "neighbors"] | None = None,
     **params,
 ) -> SimilarityGraph:
     """Dispatch to one of the graph constructions by name.
 
     ``params`` are forwarded (``k``/``mode`` for knn, ``radius`` for
-    epsilon).  This is the single entry point the estimators use.
+    epsilon).  ``construction_method`` forwards to the sparsifiers'
+    ``construction=`` switch (``"dense"``/``"neighbors"``/``"auto"``) —
+    the name differs only because ``construction`` here already selects
+    the graph *family* — so estimator ``graph_params`` can pin a route,
+    e.g. ``graph_params={"k": 10, "construction_method": "neighbors"}``.
+    This is the single entry point the estimators use.
     """
     builders = {
         "full": full_kernel_graph,
@@ -376,6 +531,13 @@ def build_similarity_graph(
         raise ConfigurationError(
             f"unknown graph construction {construction!r}; known: {known}"
         ) from None
+    if construction_method is not None:
+        if construction == "full":
+            raise ConfigurationError(
+                "construction_method only applies to the 'knn' and "
+                "'epsilon' sparsifiers; the 'full' graph is always dense"
+            )
+        params["construction"] = construction_method
     try:
         return builder(x, kernel=kernel, bandwidth=bandwidth, **params)
     except TypeError as exc:

@@ -13,7 +13,13 @@ from repro.linalg.iterative import (
     jacobi,
 )
 from repro.linalg.neumann import NeumannDiagnostics, neumann_inverse, neumann_partial_sums
-from repro.linalg.solvers import solve_spd, solve_square
+from repro.linalg.solvers import (
+    SolveInfo,
+    SPDFactorization,
+    factorize_spd,
+    solve_spd,
+    solve_square,
+)
 
 __all__ = [
     "BlockMatrix",
@@ -28,6 +34,9 @@ __all__ = [
     "IterativeResult",
     "solve_spd",
     "solve_square",
+    "SolveInfo",
+    "SPDFactorization",
+    "factorize_spd",
     "sor",
     "preconditioned_conjugate_gradient",
     "jacobi_preconditioner",

@@ -103,6 +103,7 @@ def graph_stats(weights, n_labeled: int | None = None) -> dict:
     stats["degree_mean"] = float(degrees.mean())
     stats["degree_max"] = float(degrees.max())
     nnz_off = positive.nnz - int(positive.diagonal().sum())
+    stats["nnz"] = int(positive.nnz)
     stats["edge_density"] = float(nnz_off / (n * (n - 1))) if n > 1 else 0.0
     from scipy.sparse.csgraph import connected_components
 
@@ -146,6 +147,14 @@ def record_solve_info(span, info) -> None:
     residual = info.final_residual
     if residual == residual:  # skip NaN (direct solves without a residual)
         span.set_attribute("solver.final_residual", float(residual))
+    nnz = getattr(info, "nnz", None)
+    fill = getattr(info, "fill_nnz", None)
+    if nnz is not None:
+        span.set_attribute("solver.nnz", int(nnz))
+    if fill is not None:
+        span.set_attribute("solver.fill_nnz", int(fill))
+        if nnz:
+            span.set_attribute("solver.fill_ratio", float(fill) / float(nnz))
 
 
 def record_schur_blocks(span, n: int, m: int) -> None:

@@ -92,6 +92,57 @@ class TestKnnGraph:
             knn_graph(x, k=2, bandwidth=1.0, mode="both")
 
 
+class TestKnnSymmetrization:
+    """The kNN asymmetry footgun, pinned down.
+
+    "j is among i's k nearest" is a *directed* relation.  On this line,
+
+        0.0   1.0   1.8   2.0
+         a     b     c     d
+
+    with k=1: a selects b, but b selects c (1.8 - 1.0 < 1.0 - 0.0); c and
+    d select each other.  ``mode`` decides what survives symmetrization:
+    union keeps {a,b}, {b,c}, {c,d}; intersection keeps only the mutual
+    pair {c,d}.
+    """
+
+    X = np.array([[0.0], [1.0], [1.8], [2.0]])
+
+    @pytest.mark.parametrize("construction", ["dense", "neighbors"])
+    def test_union_keeps_either_direction(self, construction):
+        w = knn_graph(
+            self.X, k=1, bandwidth=1.0, mode="union", construction=construction
+        ).dense_weights()
+        edges = {(i, j) for i in range(4) for j in range(i + 1, 4) if w[i, j] > 0}
+        assert edges == {(0, 1), (1, 2), (2, 3)}
+
+    @pytest.mark.parametrize("construction", ["dense", "neighbors"])
+    def test_intersection_keeps_only_mutual(self, construction):
+        w = knn_graph(
+            self.X, k=1, bandwidth=1.0, mode="intersection", construction=construction
+        ).dense_weights()
+        edges = {(i, j) for i in range(4) for j in range(i + 1, 4) if w[i, j] > 0}
+        assert edges == {(2, 3)}
+
+    def test_mutual_is_legacy_alias_for_intersection(self):
+        legacy = knn_graph(self.X, k=1, bandwidth=1.0, mode="mutual")
+        canonical = knn_graph(self.X, k=1, bandwidth=1.0, mode="intersection")
+        np.testing.assert_array_equal(
+            legacy.dense_weights(), canonical.dense_weights()
+        )
+        assert legacy.params["mode"] == "intersection"
+
+    def test_provenance_records_route(self):
+        dense = knn_graph(self.X, k=1, bandwidth=1.0, construction="dense")
+        neigh = knn_graph(self.X, k=1, bandwidth=1.0, construction="neighbors")
+        assert dense.params["construction"] == "dense"
+        assert neigh.params["construction"] == "neighbors"
+
+    def test_invalid_construction_raises(self):
+        with pytest.raises(ConfigurationError, match="construction"):
+            knn_graph(self.X, k=1, bandwidth=1.0, construction="magic")
+
+
 class TestEpsilonGraph:
     def test_keeps_only_close_pairs(self):
         x = np.array([[0.0], [0.5], [5.0]])

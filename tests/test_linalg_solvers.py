@@ -71,3 +71,71 @@ class TestSolveSpd:
         a = _spd(rng, 20)
         with pytest.raises(ConvergenceError):
             solve_spd(a, rng.normal(size=20), method="cg", tol=1e-15, max_iter=1)
+
+
+class TestSPDFactorization:
+    def test_dense_cholesky_reused_across_rhs(self, rng):
+        from repro.linalg.solvers import factorize_spd
+
+        a = _spd(rng, 10)
+        factor = factorize_spd(a)
+        assert factor.method == "cholesky"
+        assert factor.nnz is None and factor.fill_nnz is None
+        block = rng.normal(size=(10, 3))
+        np.testing.assert_allclose(a @ factor.solve(block), block, atol=1e-8)
+
+    def test_sparse_reports_nnz_and_fill(self, rng):
+        from repro.linalg.solvers import factorize_spd
+
+        a = sparse.csr_matrix(_spd(rng, 15))
+        factor = factorize_spd(a)
+        assert factor.method == "sparse_lu"
+        assert factor.nnz == a.nnz
+        assert factor.fill_nnz >= factor.size  # L and U each carry a diagonal
+        x = rng.normal(size=15)
+        np.testing.assert_allclose(factor.solve(a @ x), x, atol=1e-8)
+
+    def test_sparse_block_rhs(self, rng):
+        from repro.linalg.solvers import factorize_spd
+
+        dense = _spd(rng, 9)
+        factor = factorize_spd(sparse.csr_matrix(dense))
+        block = rng.normal(size=(9, 4))
+        np.testing.assert_allclose(dense @ factor.solve(block), block, atol=1e-8)
+
+    def test_singular_sparse_raises(self):
+        from repro.linalg.solvers import factorize_spd
+
+        with pytest.raises(SingularSystemError):
+            factorize_spd(sparse.csr_matrix(np.ones((4, 4))))
+
+    def test_singular_dense_raises(self):
+        from repro.linalg.solvers import factorize_spd
+
+        with pytest.raises(SingularSystemError):
+            factorize_spd(np.ones((4, 4)))
+
+    def test_info_carries_fill_stats(self, rng):
+        from repro.linalg.solvers import factorize_spd
+
+        a = sparse.csr_matrix(_spd(rng, 12))
+        info = factorize_spd(a).info()
+        assert info.method == "sparse_lu"
+        assert info.nnz == a.nnz
+        assert info.fill_nnz is not None
+
+    def test_solve_spd_sparse_info_has_nnz(self, rng):
+        a = sparse.csr_matrix(_spd(rng, 12))
+        x = rng.normal(size=12)
+        got, info = solve_spd(a, np.asarray(a @ x).ravel(), method="direct", return_info=True)
+        np.testing.assert_allclose(got, x, atol=1e-8)
+        assert info.method == "sparse_lu"
+        assert info.nnz == a.nnz
+
+    def test_dense_direct_info_unchanged(self, rng):
+        a = _spd(rng, 8)
+        x = rng.normal(size=8)
+        got, info = solve_spd(a, a @ x, method="direct", return_info=True)
+        np.testing.assert_allclose(got, x, atol=1e-9)
+        assert info.method == "cholesky"
+        assert info.nnz is None

@@ -58,7 +58,7 @@ class TestGraphPersistence:
         np.testing.assert_allclose(
             loaded.dense_weights(), graph.dense_weights()
         )
-        assert loaded.params == {"k": 4, "mode": "union"}
+        assert loaded.params == {"k": 4, "mode": "union", "construction": "dense"}
 
     def test_loaded_graph_solves_identically(self, rng, tmp_path):
         from repro.core.hard import solve_hard_criterion

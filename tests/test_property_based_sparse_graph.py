@@ -1,0 +1,129 @@
+"""Property-based tests for the neighbor-based (kd-tree) graph routes.
+
+The dense route is the reference implementation; these properties pin the
+densification-free route to it on random point clouds:
+
+* symmetry and non-negativity of the assembled CSR,
+* nnz within the combinatorial bound of the symmetrization mode,
+* exact (floating-point) weight agreement with the dense construction.
+
+Point clouds are generated from a hypothesis-drawn RNG seed rather than
+hypothesis float arrays: the adversarial duplicate/subnormal values those
+produce create exact distance ties, where *any* k-nearest-neighbour
+definition is ambiguous and the two routes may legitimately differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.similarity import epsilon_graph, knn_graph
+
+
+@st.composite
+def clouds(draw, min_points=8, max_points=32):
+    n = draw(st.integers(min_points, max_points))
+    dim = draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-2.0, 2.0, size=(n, dim))
+
+
+def _dense(graph) -> np.ndarray:
+    return graph.dense_weights()
+
+
+class TestKnnNeighborProperties:
+    @given(x=clouds(), k=st.integers(1, 6), mode=st.sampled_from(["union", "intersection"]))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric_nonnegative(self, x, k, mode):
+        k = min(k, x.shape[0] - 1)
+        graph = knn_graph(x, k=k, bandwidth=1.0, mode=mode, construction="neighbors")
+        assert graph.is_sparse
+        w = graph.weights
+        asym = abs(w - w.T)
+        assert asym.nnz == 0 or asym.data.max() == 0.0
+        assert w.data.min() >= 0.0
+
+    @given(x=clouds(), k=st.integers(1, 6), mode=st.sampled_from(["union", "intersection"]))
+    @settings(max_examples=60, deadline=None)
+    def test_nnz_bound(self, x, k, mode):
+        n = x.shape[0]
+        k = min(k, n - 1)
+        graph = knn_graph(x, k=k, bandwidth=1.0, mode=mode, construction="neighbors")
+        directed_cap = n * k if mode == "intersection" else 2 * n * k
+        assert graph.weights.nnz <= n + directed_cap
+
+    @given(x=clouds(), k=st.integers(1, 6), mode=st.sampled_from(["union", "intersection"]))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_dense_construction(self, x, k, mode):
+        k = min(k, x.shape[0] - 1)
+        dense_route = _dense(
+            knn_graph(x, k=k, bandwidth=1.0, mode=mode, construction="dense")
+        )
+        neighbor_route = _dense(
+            knn_graph(x, k=k, bandwidth=1.0, mode=mode, construction="neighbors")
+        )
+        np.testing.assert_array_equal(dense_route > 0, neighbor_route > 0)
+        np.testing.assert_allclose(neighbor_route, dense_route, atol=1e-7)
+
+    @given(x=clouds(), k=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_intersection_pattern_subset_of_union(self, x, k):
+        k = min(k, x.shape[0] - 1)
+        union = _dense(knn_graph(x, k=k, bandwidth=1.0, mode="union", construction="neighbors"))
+        inter = _dense(
+            knn_graph(x, k=k, bandwidth=1.0, mode="intersection", construction="neighbors")
+        )
+        assert np.all((inter > 0) <= (union > 0))
+
+    @given(x=clouds(), k=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_union_degree_at_least_k(self, x, k):
+        """Union symmetrization never drops a vertex's own k selections."""
+        k = min(k, x.shape[0] - 1)
+        graph = knn_graph(x, k=k, bandwidth=1.0, mode="union", construction="neighbors")
+        offdiag = graph.weights.copy().tolil()
+        offdiag.setdiag(0.0)
+        neighbours_per_vertex = (offdiag.tocsr() != 0).sum(axis=1)
+        assert np.all(np.asarray(neighbours_per_vertex).ravel() >= k)
+
+
+class TestEpsilonNeighborProperties:
+    @given(x=clouds(), radius=st.floats(0.2, 3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric_nonnegative(self, x, radius):
+        graph = epsilon_graph(x, radius=radius, bandwidth=1.0, construction="neighbors")
+        w = graph.weights
+        asym = abs(w - w.T)
+        assert asym.nnz == 0 or asym.data.max() == 0.0
+        assert w.data.min() >= 0.0
+
+    @given(x=clouds(), radius=st.floats(0.2, 3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_dense_construction(self, x, radius):
+        dense_route = _dense(
+            epsilon_graph(x, radius=radius, bandwidth=1.0, construction="dense")
+        )
+        neighbor_route = _dense(
+            epsilon_graph(x, radius=radius, bandwidth=1.0, construction="neighbors")
+        )
+        np.testing.assert_array_equal(dense_route > 0, neighbor_route > 0)
+        np.testing.assert_allclose(neighbor_route, dense_route, atol=1e-7)
+
+    @given(x=clouds(), radius=st.floats(0.2, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_edges_within_radius(self, x, radius):
+        graph = epsilon_graph(x, radius=radius, bandwidth=1.0, construction="neighbors")
+        coo = graph.weights.tocoo()
+        off = coo.row != coo.col
+        dists = np.linalg.norm(x[coo.row[off]] - x[coo.col[off]], axis=1)
+        assert dists.size == 0 or dists.max() <= radius * (1 + 1e-12)
+
+    @given(x=clouds())
+    @settings(max_examples=30, deadline=None)
+    def test_nnz_bounded_by_pair_count(self, x):
+        n = x.shape[0]
+        graph = epsilon_graph(x, radius=1.0, bandwidth=1.0, construction="neighbors")
+        assert graph.weights.nnz <= n * n
