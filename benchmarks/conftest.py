@@ -3,8 +3,19 @@
 Every figure bench regenerates its paper artifact at a reduced replicate
 count by default (so the whole harness runs in minutes on a laptop) and
 at the paper's full scale when ``REPRO_BENCH_SCALE=paper`` is set.  Each
-bench prints the regenerated series and writes it under
-``benchmarks/results/`` so the numbers survive pytest's output capture.
+bench publishes two artifacts under ``benchmarks/results/``: the
+human-readable ``.txt`` table it always produced, and a JSON *twin* — a
+``repro.obs.bench.BenchRecord`` with timings, tracemalloc peak memory,
+solver health, and the environment fingerprint (see
+``docs/BENCHMARKING.md``).  At session end the recorder writes the
+machine-readable trajectory ``BENCH_<runid>.json`` at the repo root;
+``python -m repro bench-compare OLD.json NEW.json`` turns two of those
+into a perf regression gate.
+
+Fast benches time ``REPRO_BENCH_REPEATS`` passes (default 3) so the
+regression gate has real minima to compare; heavy figure regenerations
+pass ``repeats=1`` and are reported informationally only (the compare's
+minimum-repeat rule exempts them from gating).
 """
 
 from __future__ import annotations
@@ -14,10 +25,16 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs.bench import BenchRecorder
+
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: "quick" (default) or "paper" (the paper's replicate counts; slow).
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+#: Timing repeats for fast benches (heavy ones pass repeats=1 explicitly).
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
 
 
 def replicates(quick: int, paper: int) -> int:
@@ -31,7 +48,23 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
-def publish(results_dir: Path, name: str, text: str) -> None:
-    """Print a regenerated artifact and persist it to the results dir."""
+@pytest.fixture(scope="session")
+def bench():
+    """Session-wide :class:`BenchRecorder`; writes the trajectory at exit."""
+    recorder = BenchRecorder(scale=SCALE)
+    yield recorder
+    if recorder.records:
+        path = recorder.write_run(REPO_ROOT)
+        print(f"\nwrote bench trajectory: {path} ({len(recorder)} records)")
+
+
+def publish(results_dir: Path, name: str, text: str, record=None) -> None:
+    """Print a regenerated artifact and persist it to the results dir.
+
+    With a :class:`~repro.obs.bench.BenchRecord`, also writes the
+    machine-readable JSON twin next to the ``.txt``.
+    """
     print(f"\n{text}\n")
     (results_dir / f"{name}.txt").write_text(text + "\n")
+    if record is not None:
+        record.write_json(results_dir / f"{name}.json")

@@ -23,7 +23,7 @@ from repro.kernels.bandwidth import paper_bandwidth_rule
 from repro.metrics.regression import root_mean_squared_error
 
 
-def test_bench_ablation_anchors(benchmark, results_dir):
+def test_bench_ablation_anchors(bench, results_dir):
     n_labeled, n_unlabeled = 100, 800
     budgets = (25, 50, 100, 200, 400, 800)
 
@@ -57,13 +57,16 @@ def test_bench_ablation_anchors(benchmark, results_dir):
             )
         return rows, exact_rmse, exact_seconds
 
-    rows, exact_rmse, exact_seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    (rows, exact_rmse, exact_seconds), record = bench.measure(
+        "ablation_anchors", run, repeats=1
+    )
     table = ascii_table(["anchors", "rmse", "max|f-exact|", "seconds"], rows)
     publish(
         results_dir,
         "ablation_anchors",
         f"Anchor-budget ablation (m={800}; exact rmse {exact_rmse:.4f}, "
         f"exact solve {exact_seconds:.3f}s)\n" + table,
+        record=record,
     )
     data = np.asarray(rows, dtype=np.float64)
     # Full budget reproduces the exact solution.
@@ -74,7 +77,7 @@ def test_bench_ablation_anchors(benchmark, results_dir):
     assert data[0, 1] < 2.0 * exact_rmse
 
 
-def test_bench_ablation_penalty(benchmark, results_dir):
+def test_bench_ablation_penalty(bench, results_dir):
     reps = replicates(20, 200)
 
     def run():
@@ -106,7 +109,7 @@ def test_bench_ablation_penalty(benchmark, results_dir):
 
         return run_replicates(replicate, n_replicates=reps, seed=0)
 
-    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary, record = bench.measure("ablation_penalty", run, repeats=1)
     keys = ["hard", "unnormalized@0.01", "normalized@0.01", "unnormalized@0.1", "normalized@0.1"]
     rows = [[key, summary.means[key]] for key in keys]
     publish(
@@ -114,6 +117,7 @@ def test_bench_ablation_penalty(benchmark, results_dir):
         "ablation_penalty",
         "Laplacian-penalty ablation (mean RMSE)\n"
         + ascii_table(["variant", "rmse"], rows),
+        record=record,
     )
     # The hard criterion beats both soft variants (the paper's theme).
     assert summary.means["hard"] <= min(

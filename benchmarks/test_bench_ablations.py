@@ -17,55 +17,64 @@ from repro.experiments.ablations import (
 from repro.experiments.report import ascii_table, format_sweep_result
 
 
-def test_bench_ablation_kernels(benchmark, results_dir):
-    result = benchmark.pedantic(
+def test_bench_ablation_kernels(bench, results_dir):
+    result, record = bench.measure(
+        "ablation_kernels",
         lambda: run_kernel_ablation(
             n_labeled=200, n_unlabeled=30,
             n_replicates=replicates(20, 200), seed=0,
         ),
-        rounds=1,
-        iterations=1,
+        repeats=1,
     )
-    publish(results_dir, "ablation_kernels", format_sweep_result(result))
+    publish(
+        results_dir, "ablation_kernels", format_sweep_result(result), record=record
+    )
     # No kernel family should be degenerate (more than 2x the best RMSE).
     best = result.means.min()
     assert result.means.max() < 2.0 * best
 
 
-def test_bench_ablation_bandwidth(benchmark, results_dir):
-    result = benchmark.pedantic(
+def test_bench_ablation_bandwidth(bench, results_dir):
+    result, record = bench.measure(
+        "ablation_bandwidth",
         lambda: run_bandwidth_ablation(
             n_labeled=200, n_unlabeled=30,
             n_replicates=replicates(20, 200), seed=1,
         ),
-        rounds=1,
-        iterations=1,
+        repeats=1,
     )
-    publish(results_dir, "ablation_bandwidth", format_sweep_result(result))
+    publish(
+        results_dir, "ablation_bandwidth", format_sweep_result(result), record=record
+    )
     assert np.all(result.means > 0)
 
 
-def test_bench_ablation_graph(benchmark, results_dir):
-    result = benchmark.pedantic(
+def test_bench_ablation_graph(bench, results_dir):
+    result, record = bench.measure(
+        "ablation_graph",
         lambda: run_graph_ablation(
             n_labeled=200, n_unlabeled=30, knn_k=25,
             n_replicates=replicates(20, 200), seed=2,
         ),
-        rounds=1,
-        iterations=1,
+        repeats=1,
     )
-    publish(results_dir, "ablation_graph", format_sweep_result(result))
+    publish(results_dir, "ablation_graph", format_sweep_result(result), record=record)
     # Sparsifiers trade accuracy for speed but must stay in the ballpark.
     full = result.series("rmse")[result.x_values.index("full")]
     assert np.all(result.means < 2.0 * full)
 
 
-def test_bench_ablation_solvers(benchmark, results_dir):
-    result = benchmark.pedantic(
+def test_bench_ablation_solvers(bench, results_dir):
+    result, record = bench.measure(
+        "ablation_solvers",
         lambda: run_solver_ablation(n_labeled=400, n_unlabeled=150, repeats=3, seed=0),
-        rounds=1,
-        iterations=1,
+        repeats=1,
     )
     table = ascii_table(result.headers(), result.to_rows())
-    publish(results_dir, "ablation_solvers", "Solver ablation (hard criterion)\n" + table)
+    publish(
+        results_dir,
+        "ablation_solvers",
+        "Solver ablation (hard criterion)\n" + table,
+        record=record,
+    )
     assert all(dev < 1e-6 for dev in result.max_deviation)

@@ -16,7 +16,7 @@ from repro.graph.similarity import full_kernel_graph
 from repro.utils.rng import spawn_rngs
 
 
-def test_bench_active_learning(benchmark, results_dir):
+def test_bench_active_learning(bench, results_dir):
     n_runs = replicates(5, 30)
 
     def run():
@@ -40,7 +40,7 @@ def test_bench_active_learning(benchmark, results_dir):
             {name: float(np.mean(v)) for name, v in finals.items()},
         )
 
-    mean_alc, mean_final = benchmark.pedantic(run, rounds=1, iterations=1)
+    (mean_alc, mean_final), record = bench.measure("active_learning", run, repeats=1)
     rows = [
         [name, mean_alc[name], mean_final[name]]
         for name in ("random", "margin", "variance", "expected_risk")
@@ -50,6 +50,7 @@ def test_bench_active_learning(benchmark, results_dir):
         results_dir,
         "active_learning",
         "Active learning on two moons (10 queries from 4 seeds)\n" + table,
+        record=record,
     )
     assert mean_alc["variance"] >= mean_alc["random"] - 0.01
     assert mean_alc["expected_risk"] >= mean_alc["random"] - 0.01

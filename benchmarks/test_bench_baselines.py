@@ -28,7 +28,7 @@ from repro.metrics.regression import root_mean_squared_error
 from repro.utils.rng import spawn_rngs
 
 
-def test_bench_baselines_synthetic(benchmark, results_dir):
+def test_bench_baselines_synthetic(bench, results_dir):
     reps = replicates(25, 200)
 
     def run():
@@ -66,7 +66,7 @@ def test_bench_baselines_synthetic(benchmark, results_dir):
 
         return run_replicates(replicate, n_replicates=reps, seed=0)
 
-    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary, record = bench.measure("baselines_synthetic", run, repeats=1)
     order = sorted(summary.means, key=summary.means.get)
     rows = [[name, summary.means[name]] for name in order]
     publish(
@@ -74,6 +74,7 @@ def test_bench_baselines_synthetic(benchmark, results_dir):
         "baselines_synthetic",
         "Method shootout - paper's synthetic DGP (mean RMSE vs true q)\n"
         + ascii_table(["method", "rmse"], rows),
+        record=record,
     )
     # The paper's headline survives a full field: hard beats soft and
     # the mean floor; NW and hard are close (the consistency link).
@@ -82,7 +83,7 @@ def test_bench_baselines_synthetic(benchmark, results_dir):
     assert abs(summary.means["hard"] - summary.means["nadaraya-watson"]) < 0.03
 
 
-def test_bench_baselines_two_moons(benchmark, results_dir):
+def test_bench_baselines_two_moons(bench, results_dir):
     n_runs = replicates(10, 50)
 
     def run():
@@ -116,13 +117,14 @@ def test_bench_baselines_two_moons(benchmark, results_dir):
             )
         return {name: float(np.mean(vals)) for name, vals in accumulator.items()}
 
-    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    means, record = bench.measure("baselines_two_moons", run, repeats=1)
     rows = [[name, value] for name, value in sorted(means.items(), key=lambda kv: -kv[1])]
     publish(
         results_dir,
         "baselines_two_moons",
         "Method shootout - two moons, 10 labels (mean accuracy)\n"
         + ascii_table(["method", "accuracy"], rows),
+        record=record,
     )
     # Manifold structure: every graph method beats the supervised kNN.
     assert means["hard"] > means["knn(3)"]

@@ -22,7 +22,7 @@ from repro.metrics.classification import accuracy, matthews_corrcoef
 from repro.metrics.isotonic import IsotonicCalibrator
 
 
-def test_bench_calibration_repair(benchmark, results_dir):
+def test_bench_calibration_repair(bench, results_dir):
     reps = replicates(20, 200)
     lam = 5.0
 
@@ -59,7 +59,7 @@ def test_bench_calibration_repair(benchmark, results_dir):
 
         return run_replicates(replicate, n_replicates=reps, seed=0)
 
-    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary, record = bench.measure("calibration_repair", run, repeats=1)
     rows = [
         ["soft (lambda=5), raw 0.5 threshold", summary.means["soft_raw_acc"], summary.means["soft_raw_mcc"]],
         ["soft (lambda=5), isotonic-calibrated", summary.means["soft_cal_acc"], summary.means["soft_cal_mcc"]],
@@ -70,6 +70,7 @@ def test_bench_calibration_repair(benchmark, results_dir):
         "calibration_repair",
         "Isotonic calibration repair at lambda=5\n"
         + ascii_table(["method", "accuracy", "MCC"], rows),
+        record=record,
     )
     # Calibration substantially repairs the soft criterion's thresholds.
     assert summary.means["soft_cal_acc"] > summary.means["soft_raw_acc"] + 0.1

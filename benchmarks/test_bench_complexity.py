@@ -11,12 +11,12 @@ from repro.experiments.figures import run_complexity_experiment
 from repro.experiments.report import ascii_table
 
 
-def test_bench_complexity(benchmark, results_dir):
+def test_bench_complexity(bench, results_dir):
     sizes = (200, 400, 800, 1600) if SCALE == "paper" else (150, 300, 600)
-    result = benchmark.pedantic(
+    result, record = bench.measure(
+        "complexity",
         lambda: run_complexity_experiment(total_sizes=sizes, repeats=3, seed=0),
-        rounds=1,
-        iterations=1,
+        repeats=1,
     )
     table = ascii_table(result.headers(), result.to_rows())
     summary = (
@@ -25,7 +25,7 @@ def test_bench_complexity(benchmark, results_dir):
         f"fitted exponents: hard={result.hard_exponent:.2f}, "
         f"soft_full={result.soft_exponent:.2f}"
     )
-    publish(results_dir, "complexity", summary)
+    publish(results_dir, "complexity", summary, record=record)
 
     speedups = result.speedups()
     assert all(s > 1.0 for s in speedups)  # hard always cheaper

@@ -12,22 +12,23 @@ from repro.experiments.report import ascii_table
 from repro.validation.consistency import run_consistency_curve
 
 
-def test_bench_consistency_curve(benchmark, results_dir):
-    curve = benchmark.pedantic(
+def test_bench_consistency_curve(bench, results_dir):
+    curve, record = bench.measure(
+        "consistency_curve",
         lambda: run_consistency_curve(
             n_values=(25, 50, 100, 200, 400, 800),
             n_unlabeled=20,
             n_replicates=replicates(40, 500),
             seed=0,
         ),
-        rounds=1,
-        iterations=1,
+        repeats=1,
     )
     table = ascii_table(curve.headers(), curve.to_rows())
     publish(
         results_dir,
         "consistency_curve",
         f"Theorem II.1 empirical consistency (eps={curve.epsilon})\n" + table,
+        record=record,
     )
     assert curve.rmse_decreases
     assert curve.exceedance[-1] <= curve.exceedance[0]

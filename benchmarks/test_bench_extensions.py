@@ -18,16 +18,16 @@ from repro.experiments.extensions import (
 from repro.experiments.report import ascii_table, format_sweep_result
 
 
-def test_bench_metric_study(benchmark, results_dir):
-    result = benchmark.pedantic(
+def test_bench_metric_study(bench, results_dir):
+    result, record = bench.measure(
+        "metric_study",
         lambda: run_metric_study(
             n_labeled=200, n_unlabeled=100,
             n_replicates=replicates(30, 300), seed=0,
         ),
-        rounds=1,
-        iterations=1,
+        repeats=1,
     )
-    publish(results_dir, "metric_study", format_sweep_result(result))
+    publish(results_dir, "metric_study", format_sweep_result(result), record=record)
     # Threshold metrics (MCC, accuracy) must favor the hard criterion.
     for metric in ("mcc", "accuracy"):
         series = result.series(metric)
@@ -38,7 +38,7 @@ def test_bench_metric_study(benchmark, results_dir):
     assert auc_series[0] >= auc_series[-1] - 0.02
 
 
-def test_bench_m_growth(benchmark, results_dir):
+def test_bench_m_growth(bench, results_dir):
     def run():
         return {
             gamma: run_m_growth_study(
@@ -51,14 +51,19 @@ def test_bench_m_growth(benchmark, results_dir):
             for gamma in (0.5, 1.0, 1.5)
         }
 
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    results, record = bench.measure("m_growth", run, repeats=1)
     blocks = []
     for gamma, result in results.items():
         table = ascii_table(result.headers(), result.to_rows())
         blocks.append(f"gamma = {gamma} (m ~ n^{gamma})\n{table}")
         # The paper's observation holds in every regime: hard ahead.
         assert result.hard_always_ahead()
-    publish(results_dir, "m_growth", "m-growth study\n\n" + "\n\n".join(blocks))
+    publish(
+        results_dir,
+        "m_growth",
+        "m-growth study\n\n" + "\n\n".join(blocks),
+        record=record,
+    )
 
     # Sublinear growth (inside the theorem) must show decreasing RMSE.
     sub = results[0.5]
@@ -68,14 +73,14 @@ def test_bench_m_growth(benchmark, results_dir):
     assert sup.growth_ratio[-1] > sup.growth_ratio[0]
 
 
-def test_bench_tuned_lambda(benchmark, results_dir):
-    result = benchmark.pedantic(
+def test_bench_tuned_lambda(bench, results_dir):
+    result, record = bench.measure(
+        "tuned_lambda",
         lambda: run_tuned_lambda_study(
             n_labeled=150, n_unlabeled=30,
             n_replicates=replicates(10, 100), seed=2,
         ),
-        rounds=1,
-        iterations=1,
+        repeats=1,
     )
     table = ascii_table(
         ["method", "mean RMSE"],
@@ -90,5 +95,5 @@ def test_bench_tuned_lambda(benchmark, results_dir):
         f"CV chose lambda = 0 in {100 * result.fraction_choosing_zero():.0f}% "
         f"of replicates"
     )
-    publish(results_dir, "tuned_lambda", summary)
+    publish(results_dir, "tuned_lambda", summary, record=record)
     assert result.hard_rmse <= result.tuned_rmse + 0.005

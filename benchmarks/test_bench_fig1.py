@@ -13,13 +13,13 @@ from repro.experiments.figures import run_figure1
 from repro.experiments.report import format_sweep_result, write_csv
 
 
-def test_bench_figure1(benchmark, results_dir):
-    result = benchmark.pedantic(
+def test_bench_figure1(bench, results_dir):
+    result, record = bench.measure(
+        "figure1",
         lambda: run_figure1(n_replicates=replicates(25, 1000), seed=1),
-        rounds=1,
-        iterations=1,
+        repeats=1,
     )
-    publish(results_dir, "figure1", format_sweep_result(result))
+    publish(results_dir, "figure1", format_sweep_result(result), record=record)
     write_csv(results_dir / "figure1.csv", result.headers(), result.to_rows())
 
     slack = 0.01  # replicate noise allowance

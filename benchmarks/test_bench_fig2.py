@@ -11,13 +11,13 @@ from repro.experiments.figures import run_figure2
 from repro.experiments.report import format_sweep_result, write_csv
 
 
-def test_bench_figure2(benchmark, results_dir):
-    result = benchmark.pedantic(
+def test_bench_figure2(bench, results_dir):
+    result, record = bench.measure(
+        "figure2",
         lambda: run_figure2(n_replicates=replicates(25, 1000), seed=2),
-        rounds=1,
-        iterations=1,
+        repeats=1,
     )
-    publish(results_dir, "figure2", format_sweep_result(result))
+    publish(results_dir, "figure2", format_sweep_result(result), record=record)
     write_csv(results_dir / "figure2.csv", result.headers(), result.to_rows())
 
     slack = 0.01

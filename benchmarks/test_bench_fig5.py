@@ -22,7 +22,7 @@ from repro.experiments.figures import run_figure5
 from repro.experiments.report import format_sweep_result, write_csv
 
 
-def test_bench_figure5(benchmark, results_dir):
+def test_bench_figure5(bench, results_dir):
     images_per_class = 250 if SCALE == "paper" else 150
 
     def run():
@@ -31,8 +31,8 @@ def test_bench_figure5(benchmark, results_dir):
             dataset=dataset, repeats=replicates(3, 100), seed=2
         )
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-    publish(results_dir, "figure5", format_sweep_result(result))
+    result, record = bench.measure("figure5", run, repeats=1)
+    publish(results_dir, "figure5", format_sweep_result(result), record=record)
     write_csv(results_dir / "figure5.csv", result.headers(), result.to_rows())
 
     lam0 = result.means[:, 0]

@@ -13,11 +13,11 @@ from repro.experiments.lambda_curve import run_lambda_curve
 from repro.experiments.report import ascii_table
 
 
-def test_bench_lambda_curve(benchmark, results_dir):
-    curve = benchmark.pedantic(
+def test_bench_lambda_curve(bench, results_dir):
+    curve, record = bench.measure(
+        "lambda_curve",
         lambda: run_lambda_curve(n_replicates=replicates(30, 300), seed=0),
-        rounds=1,
-        iterations=1,
+        repeats=1,
     )
     rows = [[f"{lam:g}", value] for lam, value in zip(curve.lambdas, curve.rmse)]
     summary = (
@@ -26,7 +26,7 @@ def test_bench_lambda_curve(benchmark, results_dir):
         + f"\nanchors: hard = {curve.hard_rmse:.4f}, "
         + f"constant mean = {curve.mean_rmse:.4f}"
     )
-    publish(results_dir, "lambda_curve", summary)
+    publish(results_dir, "lambda_curve", summary, record=record)
 
     assert curve.interpolates_anchors
     rmse = np.asarray(curve.rmse)

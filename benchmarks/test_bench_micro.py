@@ -2,10 +2,16 @@
 
 These use pytest-benchmark's statistics machinery properly (multiple
 rounds) so solver/graph-construction regressions are visible in the
-benchmark table, complementing the figure benches above.
+benchmark table, complementing the figure benches above.  Each test also
+imports its calibrated stats into the session :class:`BenchRecorder`
+(one extra profiled pass supplies memory and solver health), so the
+micro kernels appear in the ``BENCH_<runid>.json`` trajectory with
+enough repeats to gate ``bench-compare``.
 """
 
 import pytest
+
+from conftest import publish
 
 from repro.core.hard import solve_hard_criterion
 from repro.core.propagation import propagate_labels
@@ -25,57 +31,74 @@ def workload():
     return data, weights, bandwidth
 
 
-def test_bench_gram_matrix(benchmark, workload):
+def _capture(benchmark, bench, results_dir, name, fn):
+    benchmark(fn)
+    record = bench.from_pytest_benchmark(name, benchmark.stats.stats, fn)
+    publish(results_dir, name, record.summary(), record=record)
+
+
+def test_bench_gram_matrix(benchmark, bench, results_dir, workload):
     data, _, bandwidth = workload
-    benchmark(lambda: GaussianKernel().gram(data.x_all, bandwidth=bandwidth))
-
-
-def test_bench_knn_graph(benchmark, workload):
-    data, _, bandwidth = workload
-    benchmark(lambda: knn_graph(data.x_all, k=15, bandwidth=bandwidth))
-
-
-def test_bench_hard_direct(benchmark, workload):
-    data, weights, _ = workload
-    benchmark(
-        lambda: solve_hard_criterion(
-            weights, data.y_labeled, method="direct", check_reachability=False
-        )
+    _capture(
+        benchmark, bench, results_dir, "micro_gram_matrix",
+        lambda: GaussianKernel().gram(data.x_all, bandwidth=bandwidth),
     )
 
 
-def test_bench_hard_cg(benchmark, workload):
+def test_bench_knn_graph(benchmark, bench, results_dir, workload):
+    data, _, bandwidth = workload
+    _capture(
+        benchmark, bench, results_dir, "micro_knn_graph",
+        lambda: knn_graph(data.x_all, k=15, bandwidth=bandwidth),
+    )
+
+
+def test_bench_hard_direct(benchmark, bench, results_dir, workload):
     data, weights, _ = workload
-    benchmark(
+    _capture(
+        benchmark, bench, results_dir, "micro_hard_direct",
+        lambda: solve_hard_criterion(
+            weights, data.y_labeled, method="direct", check_reachability=False
+        ),
+    )
+
+
+def test_bench_hard_cg(benchmark, bench, results_dir, workload):
+    data, weights, _ = workload
+    _capture(
+        benchmark, bench, results_dir, "micro_hard_cg",
         lambda: solve_hard_criterion(
             weights, data.y_labeled, method="cg", tol=1e-10,
             check_reachability=False,
-        )
+        ),
     )
 
 
-def test_bench_hard_propagation(benchmark, workload):
+def test_bench_hard_propagation(benchmark, bench, results_dir, workload):
     data, weights, _ = workload
-    benchmark(
+    _capture(
+        benchmark, bench, results_dir, "micro_hard_propagation",
         lambda: propagate_labels(
             weights, data.y_labeled, tol=1e-10, check_reachability=False
-        )
+        ),
     )
 
 
-def test_bench_soft_schur(benchmark, workload):
+def test_bench_soft_schur(benchmark, bench, results_dir, workload):
     data, weights, _ = workload
-    benchmark(
+    _capture(
+        benchmark, bench, results_dir, "micro_soft_schur",
         lambda: solve_soft_criterion(
             weights, data.y_labeled, 0.1, method="schur", check_reachability=False
-        )
+        ),
     )
 
 
-def test_bench_soft_full(benchmark, workload):
+def test_bench_soft_full(benchmark, bench, results_dir, workload):
     data, weights, _ = workload
-    benchmark(
+    _capture(
+        benchmark, bench, results_dir, "micro_soft_full",
         lambda: solve_soft_criterion(
             weights, data.y_labeled, 0.1, method="full", check_reachability=False
-        )
+        ),
     )

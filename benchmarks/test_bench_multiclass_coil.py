@@ -20,7 +20,7 @@ from repro.kernels.library import GaussianKernel
 from repro.metrics.probabilistic import macro_ovr_auc
 
 
-def test_bench_multiclass_coil(benchmark, results_dir):
+def test_bench_multiclass_coil(bench, results_dir):
     repeats = replicates(2, 20)
 
     def run():
@@ -48,12 +48,13 @@ def test_bench_multiclass_coil(benchmark, results_dir):
             rows.append([setting, float(np.mean(aucs)), float(np.mean(accs))])
         return rows
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows, record = bench.measure("multiclass_coil", run, repeats=1)
     table = ascii_table(["labeled ratio", "macro AUC", "accuracy"], rows)
     publish(
         results_dir,
         "multiclass_coil",
         "Multiclass (6-way) COIL-like task, hard criterion + CMN\n" + table,
+        record=record,
     )
     data = np.asarray([row[1:] for row in rows], dtype=np.float64)
     # Well above chance: AUC >> 0.5, accuracy >> 1/6.

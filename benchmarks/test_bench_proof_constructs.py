@@ -9,7 +9,7 @@ probabilistic step: the Chebyshev concentration of the ball-hit ratio
 every n.
 """
 
-from conftest import SCALE, publish, replicates
+from conftest import REPEATS, SCALE, publish, replicates
 
 from repro.experiments.report import ascii_table
 from repro.validation.proof_constructs import (
@@ -18,15 +18,15 @@ from repro.validation.proof_constructs import (
 )
 
 
-def test_bench_phi_concentration(benchmark, results_dir):
-    result = benchmark.pedantic(
+def test_bench_phi_concentration(bench, results_dir):
+    result, record = bench.measure(
+        "phi_concentration",
         lambda: run_phi_concentration(
             n_values=(100, 400, 1600),
             n_replicates=replicates(200, 2000),
             seed=0,
         ),
-        rounds=1,
-        iterations=1,
+        repeats=1,
     )
     rows = [
         [n, emp, bound]
@@ -41,18 +41,19 @@ def test_bench_phi_concentration(benchmark, results_dir):
         results_dir,
         "phi_concentration",
         f"Phi_n concentration (uniform inputs, eps={result.epsilon})\n" + table,
+        record=record,
     )
     assert result.bound_holds
     assert result.concentrates
     assert result.exceedance[-1] < 0.05
 
 
-def test_bench_proof_constructs(benchmark, results_dir):
+def test_bench_proof_constructs(bench, results_dir):
     n_values = (50, 100, 200, 400, 800, 1600) if SCALE == "paper" else (50, 100, 200, 400, 800)
-    snaps = benchmark.pedantic(
+    snaps, record = bench.measure(
+        "proof_constructs",
         lambda: run_proof_construct_sweep(n_values=n_values, n_unlabeled=20, seed=0),
-        rounds=1,
-        iterations=1,
+        repeats=REPEATS,
     )
     rows = [
         [s.n, s.tiny_elements_max, s.spectral_radius, s.g_max, s.hard_nw_gap]
@@ -61,7 +62,12 @@ def test_bench_proof_constructs(benchmark, results_dir):
     table = ascii_table(
         ["n", "||D22^-1 W22||_max", "spec radius", "max |g|", "max |f - NW|"], rows
     )
-    publish(results_dir, "proof_constructs", "Section IV proof constructs\n" + table)
+    publish(
+        results_dir,
+        "proof_constructs",
+        "Section IV proof constructs\n" + table,
+        record=record,
+    )
 
     assert all(s.spectral_radius < 1.0 for s in snaps)
     assert snaps[-1].tiny_elements_max < snaps[0].tiny_elements_max

@@ -1,20 +1,25 @@
 """Bench: Proposition II.1 — the soft solution converges to the hard
 solution as lambda -> 0, monotonically."""
 
-from conftest import publish
+from conftest import REPEATS, publish
 
 from repro.experiments.figures import run_prop21_experiment
 from repro.experiments.report import ascii_table
 
 
-def test_bench_prop21(benchmark, results_dir):
-    result = benchmark.pedantic(
+def test_bench_prop21(bench, results_dir):
+    result, record = bench.measure(
+        "prop21",
         lambda: run_prop21_experiment(n_labeled=300, n_unlabeled=60, seed=0),
-        rounds=1,
-        iterations=1,
+        repeats=REPEATS,
     )
     rows = [[f"{lam:.0e}", dev] for lam, dev in zip(result.lambdas, result.deviations)]
     table = ascii_table(result.headers(), rows)
-    publish(results_dir, "prop21", "Proposition II.1 (lambda -> 0 limit)\n" + table)
+    publish(
+        results_dir,
+        "prop21",
+        "Proposition II.1 (lambda -> 0 limit)\n" + table,
+        record=record,
+    )
     assert result.converges
     assert result.deviations[-1] < 1e-8

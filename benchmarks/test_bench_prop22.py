@@ -2,17 +2,17 @@
 labeled-mean prediction as lambda -> inf, and its RMSE stays bounded away
 from the hard criterion's (the inconsistency gap)."""
 
-from conftest import publish
+from conftest import REPEATS, publish
 
 from repro.experiments.figures import run_prop22_experiment
 from repro.experiments.report import ascii_table
 
 
-def test_bench_prop22(benchmark, results_dir):
-    result = benchmark.pedantic(
+def test_bench_prop22(bench, results_dir):
+    result, record = bench.measure(
+        "prop22",
         lambda: run_prop22_experiment(n_labeled=300, n_unlabeled=60, seed=0),
-        rounds=1,
-        iterations=1,
+        repeats=REPEATS,
     )
     rows = [
         [f"{lam:.0e}", dist, err]
@@ -27,7 +27,7 @@ def test_bench_prop22(benchmark, results_dir):
         f"hard-criterion RMSE: {result.hard_rmse:.4f}; "
         f"inconsistency gap at max lambda: {result.inconsistency_gap:.4f}"
     )
-    publish(results_dir, "prop22", summary)
+    publish(results_dir, "prop22", summary, record=record)
 
     assert result.collapses_to_mean
     assert result.inconsistency_gap > 0.01

@@ -19,7 +19,7 @@ from repro.kernels.bandwidth import paper_bandwidth_rule
 from repro.metrics.regression import root_mean_squared_error
 
 
-def test_bench_regression_consistency(benchmark, results_dir):
+def test_bench_regression_consistency(bench, results_dir):
     n_values = (50, 100, 200, 400, 800)
     lambdas = (0.0, 0.1, 5.0)
     reps = replicates(20, 200)
@@ -52,12 +52,13 @@ def test_bench_regression_consistency(benchmark, results_dir):
             )
         return rows
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows, record = bench.measure("regression_consistency", run, repeats=1)
     headers = ["n"] + [f"lambda={lam:g}" for lam in lambdas] + ["nadaraya-watson"]
     publish(
         results_dir,
         "regression_consistency",
         "Regression case (continuous bounded Y)\n" + ascii_table(headers, rows),
+        record=record,
     )
 
     table = np.asarray(rows, dtype=np.float64)

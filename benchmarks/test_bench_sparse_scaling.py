@@ -38,7 +38,7 @@ def _timed(fn):
     return out, time.perf_counter() - start
 
 
-def test_bench_sparse_scaling(results_dir):
+def _run_sparse_scaling():
     rng = np.random.default_rng(0)
     rows = []
     guard_peak = None
@@ -93,6 +93,16 @@ def test_bench_sparse_scaling(results_dir):
             ]
         )
 
+    return rows, guard_peak
+
+
+def test_bench_sparse_scaling(bench, results_dir):
+    # profile=False: this bench manages tracemalloc itself for the
+    # neighbor-route guard, so the recorder must not start a second trace.
+    (rows, guard_peak), record = bench.measure(
+        "sparse_scaling", _run_sparse_scaling, repeats=1, profile=False
+    )
+
     table = ascii_table(
         [
             "N",
@@ -113,7 +123,7 @@ def test_bench_sparse_scaling(results_dir):
         f"{(guard_peak or 0) / 1e6:.1f} MB traced "
         f"(dense graph would be {max(SIZES) ** 2 * 8 / 1e6:.0f} MB)"
     )
-    publish(results_dir, "sparse_scaling", summary)
+    publish(results_dir, "sparse_scaling", summary, record=record)
 
     # Acceptance guard: the neighbor route's traced allocations stay far
     # below one (N, N) float64 matrix.

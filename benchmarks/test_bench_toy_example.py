@@ -1,18 +1,18 @@
 """Bench: Section III's toy example — closed forms vs the production solver."""
 
-from conftest import publish
+from conftest import REPEATS, publish
 
 from repro.experiments.figures import run_toy_example
 from repro.experiments.report import ascii_table
 
 
-def test_bench_toy_example(benchmark, results_dir):
-    result = benchmark.pedantic(
+def test_bench_toy_example(bench, results_dir):
+    result, record = bench.measure(
+        "toy_example",
         lambda: run_toy_example(
             grid=((5, 3), (20, 7), (50, 50), (10, 40), (200, 100)), seed=0
         ),
-        rounds=1,
-        iterations=1,
+        repeats=REPEATS,
     )
     table = ascii_table(
         ["check", "max deviation"],
@@ -21,5 +21,7 @@ def test_bench_toy_example(benchmark, results_dir):
             ["(D22-W22)^-1 vs paper formula", result.max_inverse_deviation],
         ],
     )
-    publish(results_dir, "toy_example", "Section III toy example\n" + table)
+    publish(
+        results_dir, "toy_example", "Section III toy example\n" + table, record=record
+    )
     assert result.ok

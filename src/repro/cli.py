@@ -20,9 +20,20 @@ with ``--csv PATH``, also writes it as CSV.
 Every experiment command also accepts ``--trace PATH.jsonl``, which
 runs it under a recording tracer (see :mod:`repro.obs`) and writes the
 span trace — per-replicate spans, graph statistics, solver health — as
-JSONL.  Render a written trace with::
+JSONL, and ``--metrics PATH.json``, which dumps the metrics-registry
+snapshot at exit (even when the command fails).  Render a written trace
+with::
 
     python -m repro trace-report PATH.jsonl
+
+Benchmark trajectories (``BENCH_<runid>.json`` files written by the
+benchmark harness; see docs/BENCHMARKING.md) have two verbs::
+
+    python -m repro bench-report BENCH_RUN.json
+    python -m repro bench-compare OLD.json NEW.json --threshold 0.15
+
+``bench-compare`` exits non-zero when a benchmark regressed beyond the
+threshold — the CI perf gate.
 """
 
 from __future__ import annotations
@@ -272,14 +283,65 @@ def _cmd_trace_report(args) -> int:
     except FileNotFoundError:
         print(f"error: no such trace file: {args.path}", file=sys.stderr)
         return 2
+    except OSError as exc:
+        print(f"error: cannot read trace file {args.path}: {exc}", file=sys.stderr)
+        return 2
     except json.JSONDecodeError as exc:
         print(f"error: {args.path} is not a JSONL trace: {exc}", file=sys.stderr)
         return 2
+    if not records:
+        print(f"empty trace: {args.path} contains no spans")
+        return 0
     print(render_trace_report(records))
     if args.tree:
         print()
         print(render_tree(records, max_spans=args.max_spans))
     return 0
+
+
+def _load_bench_file(path):
+    """Load a bench run for the CLI; returns (run, error_message)."""
+    import json
+
+    from repro.obs.bench import load_bench_run
+
+    try:
+        return load_bench_run(path), None
+    except FileNotFoundError:
+        return None, f"error: no such bench file: {path}"
+    except OSError as exc:
+        return None, f"error: cannot read bench file {path}: {exc}"
+    except (json.JSONDecodeError, ValueError) as exc:
+        return None, f"error: {exc}"
+
+
+def _cmd_bench_report(args) -> int:
+    from repro.obs.bench import render_bench_report
+
+    run, error = _load_bench_file(args.path)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    print(render_bench_report(run))
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from repro.obs.bench import compare_runs, render_bench_compare
+
+    old_run, error = _load_bench_file(args.old)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    new_run, error = _load_bench_file(args.new)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    comparison = compare_runs(
+        old_run, new_run, threshold=args.threshold, min_repeats=args.min_repeats
+    )
+    print(render_bench_compare(comparison))
+    return 0 if comparison.ok else 1
 
 
 def _cmd_tuned_lambda(args) -> int:
@@ -318,6 +380,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--trace", type=str, default=None, metavar="PATH.jsonl",
             help="record a span trace (solver health, graph stats) as JSONL",
+        )
+        p.add_argument(
+            "--metrics", type=str, default=None, metavar="PATH.json",
+            help="dump the metrics-registry snapshot as JSON at exit "
+            "(written even when the command fails)",
         )
 
     for name in ("figure1", "figure2", "figure3", "figure4"):
@@ -395,6 +462,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=_cmd_trace_report)
 
     p = sub.add_parser(
+        "bench-report", help="render a BENCH_*.json benchmark trajectory"
+    )
+    p.add_argument("path", help="bench run (BENCH_*.json) or single-record JSON")
+    p.set_defaults(handler=_cmd_bench_report)
+
+    p = sub.add_parser(
+        "bench-compare",
+        help="compare two bench trajectories; exit 1 on timing regression",
+    )
+    p.add_argument("old", help="baseline bench run (BENCH_*.json)")
+    p.add_argument("new", help="candidate bench run (BENCH_*.json)")
+    p.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="relative min-timing tolerance before a delta counts as a "
+        "regression (default 0.15 = 15%%)",
+    )
+    p.add_argument(
+        "--min-repeats", type=int, default=3,
+        help="benchmarks with fewer timing repeats on either side are "
+        "reported but never gate (default 3)",
+    )
+    p.set_defaults(handler=_cmd_bench_compare)
+
+    p = sub.add_parser(
         "diagnose", help="graph health report for a user NPZ problem"
     )
     common(p)
@@ -429,24 +520,43 @@ def main(argv=None) -> int:
 
     When the command carries ``--trace PATH.jsonl``, the handler runs
     under a recording tracer and the collected spans are written to the
-    given path afterwards (even if the handler fails part-way, so a
-    crashing experiment still leaves its trace behind).
+    given path afterwards; ``--metrics PATH.json`` likewise runs it under
+    a fresh metrics registry and dumps the snapshot at exit.  Both
+    artifacts are written even if the handler fails part-way, so a
+    crashing experiment still leaves its evidence behind.
     """
     args = build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
-    if not trace_path:
+    metrics_path = getattr(args, "metrics", None)
+    if not trace_path and not metrics_path:
         return args.handler(args)
 
-    from repro import obs
-    from repro.obs.export import write_jsonl
+    from contextlib import ExitStack
 
-    tracer = obs.RecordingTracer()
+    from repro import obs
+    from repro.obs.export import dump_metrics_json, write_jsonl
+
+    tracer = obs.RecordingTracer() if trace_path else None
+    registry = obs.MetricsRegistry() if metrics_path else None
     try:
-        with obs.use_tracer(tracer):
+        with ExitStack() as stack:
+            if tracer is not None:
+                stack.enter_context(obs.use_tracer(tracer))
+            if registry is not None:
+                stack.enter_context(obs.use_registry(registry))
             code = args.handler(args)
     finally:
-        path = write_jsonl(tracer, trace_path)
-        print(f"\nwrote trace: {path} ({len(tracer)} spans)")
+        # Write both artifacts before printing anything: a dead stdout
+        # (closed pipe) must not cost the evidence on disk.
+        written = []
+        if tracer is not None:
+            path = write_jsonl(tracer, trace_path)
+            written.append(f"\nwrote trace: {path} ({len(tracer)} spans)")
+        if registry is not None:
+            path = dump_metrics_json(registry, metrics_path, command=args.command)
+            written.append(f"wrote metrics: {path} ({len(registry)} metrics)")
+        for line in written:
+            print(line)
     return code
 
 

@@ -10,8 +10,14 @@ Layered so each piece is independently usable:
 * :mod:`repro.obs.probes` — cheap numeric health probes (condition
   estimates, graph degree/component statistics, CG iteration counts,
   Schur block sizes) that attach to recording spans.
-* :mod:`repro.obs.export` — JSONL files, aligned-table reports, and an
-  in-memory exporter for assertions.
+* :mod:`repro.obs.export` — JSONL files (with provenance headers),
+  aligned-table reports, and an in-memory exporter for assertions.
+* :mod:`repro.obs.environment` — the environment fingerprint every
+  provenance-carrying artifact (trace header, bench record, metrics
+  dump) embeds.
+* :mod:`repro.obs.bench` — structured benchmark capture
+  (:class:`~repro.obs.bench.BenchRecorder`) and the noise-aware
+  regression comparison behind ``python -m repro bench-compare``.
 
 Typical use::
 
@@ -23,7 +29,8 @@ Typical use::
     print(obs.export.render_trace_report(tracer))
 """
 
-from repro.obs import export, probes
+from repro.obs import bench, export, probes
+from repro.obs.environment import environment_fingerprint
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -46,8 +53,10 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "bench",
     "export",
     "probes",
+    "environment_fingerprint",
     "Span",
     "NoopSpan",
     "NoopTracer",

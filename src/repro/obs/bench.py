@@ -1,0 +1,498 @@
+"""Structured benchmark capture and noise-aware regression comparison.
+
+The benchmark harness used to emit free-text tables only; this module is
+the machine-readable twin.  A :class:`BenchRecorder` captures, per
+benchmark:
+
+* repeated wall-clock timings with min/median/mean summaries (the *min*
+  is the noise-robust statistic regressions are judged on);
+* peak and net ``tracemalloc`` memory from one dedicated profiled pass —
+  kept separate from the timing passes so the ~2x tracemalloc slowdown
+  never pollutes the timings;
+* solver-health evidence harvested from the span trace of the profiled
+  pass (``solver.method`` / iterations / nnz / fill ratio — see
+  :mod:`repro.obs.probes`);
+* the :func:`~repro.obs.environment.environment_fingerprint`, so two
+  runs can be checked for comparability before their numbers are.
+
+Records serialize as one JSON document per benchmark plus a session
+trajectory file ``BENCH_<run_id>.json``; :func:`compare_runs` implements
+the regression gate behind ``python -m repro bench-compare``:
+relative-to-min comparison with a configurable tolerance and a
+minimum-repeat requirement (single-shot timings are reported but never
+gate — one sample cannot distinguish a regression from scheduler noise).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import statistics
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.environment import environment_fingerprint
+from repro.obs.trace import RecordingTracer, use_tracer
+
+__all__ = [
+    "BenchRecord",
+    "BenchRecorder",
+    "BenchComparison",
+    "BenchDelta",
+    "compare_runs",
+    "load_bench_run",
+    "render_bench_report",
+    "render_bench_compare",
+    "solver_health_from_trace",
+]
+
+RECORD_SCHEMA = "repro.bench.record/v1"
+RUN_SCHEMA = "repro.bench.run/v1"
+
+#: Raw timing samples stored per record (summaries stay exact beyond this).
+MAX_STORED_SAMPLES = 64
+
+
+def _default_run_id() -> str:
+    return time.strftime("%Y%m%dT%H%M%S", time.gmtime()) + f"-{os.getpid()}"
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark's captured evidence (see module docstring)."""
+
+    name: str
+    min_s: float
+    median_s: float
+    mean_s: float
+    repeats: int
+    samples_s: list[float] = field(default_factory=list)
+    memory: dict = field(default_factory=dict)
+    solver_health: dict = field(default_factory=dict)
+    environment: dict = field(default_factory=environment_fingerprint)
+    scale: str = "quick"
+    created_unix: float = field(default_factory=time.time)
+
+    @classmethod
+    def from_samples(cls, name: str, samples, *, repeats: int | None = None, **kwargs) -> "BenchRecord":
+        """Build a record from raw timing samples, computing the summaries.
+
+        ``repeats`` defaults to ``len(samples)``; pass it explicitly when
+        the samples are a capped subset of a larger population (e.g.
+        pytest-benchmark rounds).
+        """
+        samples = [float(s) for s in samples]
+        if not samples:
+            raise ValueError(f"benchmark {name!r} needs at least one timing sample")
+        return cls(
+            name=name,
+            min_s=min(samples),
+            median_s=statistics.median(samples),
+            mean_s=statistics.fmean(samples),
+            repeats=len(samples) if repeats is None else int(repeats),
+            samples_s=samples[:MAX_STORED_SAMPLES],
+            **kwargs,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": RECORD_SCHEMA,
+            "name": self.name,
+            "scale": self.scale,
+            "repeats": self.repeats,
+            "timings_s": {
+                "min": self.min_s,
+                "median": self.median_s,
+                "mean": self.mean_s,
+                "samples": list(self.samples_s),
+            },
+            "memory": dict(self.memory),
+            "solver_health": dict(self.solver_health),
+            "environment": dict(self.environment),
+            "created_unix": self.created_unix,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchRecord":
+        timings = data.get("timings_s") or {}
+        return cls(
+            name=data["name"],
+            min_s=float(timings.get("min", math.nan)),
+            median_s=float(timings.get("median", math.nan)),
+            mean_s=float(timings.get("mean", math.nan)),
+            repeats=int(data.get("repeats", len(timings.get("samples", ())) or 1)),
+            samples_s=[float(s) for s in timings.get("samples", ())],
+            memory=dict(data.get("memory") or {}),
+            solver_health=dict(data.get("solver_health") or {}),
+            environment=dict(data.get("environment") or {}),
+            scale=data.get("scale", "quick"),
+            created_unix=float(data.get("created_unix", 0.0)),
+        )
+
+    def write_json(self, path) -> Path:
+        """Write this record as one standalone JSON document."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    def summary(self) -> str:
+        """One-line human summary (the text twin for micro-benchmarks)."""
+        peak = self.memory.get("peak_bytes")
+        mem = f", peak {peak / 1e6:.2f} MB" if peak is not None else ""
+        solves = self.solver_health.get("solves", 0)
+        return (
+            f"{self.name}: min {_fmt_ms(self.min_s)} / median {_fmt_ms(self.median_s)} / "
+            f"mean {_fmt_ms(self.mean_s)} over {self.repeats} repeat(s){mem}, "
+            f"{solves} solve(s)"
+        )
+
+
+def solver_health_from_trace(trace) -> dict:
+    """Aggregate ``solver.*`` span attributes into one health dict.
+
+    Counts only spans carrying ``solver.method`` (the top-level solve
+    spans that :func:`repro.obs.probes.record_solve_info` annotates), so
+    inner iterative-solver spans are not double-counted.
+    """
+    from repro.obs.export import to_records
+
+    health: dict = {"solves": 0, "methods": {}, "iterations_total": 0, "converged_all": True}
+    nnz_max = fill_ratio_max = None
+    for record in to_records(trace):
+        attributes = record.get("attributes") or {}
+        method = attributes.get("solver.method")
+        if method is None:
+            continue
+        health["solves"] += 1
+        health["methods"][method] = health["methods"].get(method, 0) + 1
+        health["iterations_total"] += int(attributes.get("solver.iterations", 0))
+        if attributes.get("solver.converged") is False:
+            health["converged_all"] = False
+        nnz = attributes.get("solver.nnz")
+        if nnz is not None:
+            nnz_max = max(int(nnz), nnz_max or 0)
+        fill_ratio = attributes.get("solver.fill_ratio")
+        if fill_ratio is not None:
+            fill_ratio_max = max(float(fill_ratio), fill_ratio_max or 0.0)
+    if nnz_max is not None:
+        health["nnz_max"] = nnz_max
+    if fill_ratio_max is not None:
+        health["fill_ratio_max"] = fill_ratio_max
+    return health
+
+
+def _profiled_pass(fn):
+    """Run ``fn`` once under tracemalloc + a recording tracer.
+
+    Returns ``(result, memory, solver_health)``.  Tracemalloc is only
+    stopped afterwards if this pass started it, so a caller already
+    profiling is left undisturbed.
+    """
+    import tracemalloc
+
+    tracer = RecordingTracer()
+    owns_tracemalloc = not tracemalloc.is_tracing()
+    if owns_tracemalloc:
+        tracemalloc.start()
+    baseline, _ = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    try:
+        with use_tracer(tracer):
+            result = fn()
+        current, peak = tracemalloc.get_traced_memory()
+    finally:
+        if owns_tracemalloc:
+            tracemalloc.stop()
+    memory = {
+        "peak_bytes": max(0, int(peak - baseline)),
+        "net_bytes": int(current - baseline),
+    }
+    return result, memory, solver_health_from_trace(tracer)
+
+
+class BenchRecorder:
+    """Collects :class:`BenchRecord` objects for one benchmark session.
+
+    ``measure(name, fn)`` runs one profiled pass (memory + solver health;
+    it doubles as warmup) followed by ``repeats`` clean timing passes,
+    and returns ``(result, record)`` where ``result`` is the profiled
+    pass's return value.  ``write_run(directory)`` serializes the session
+    as ``BENCH_<run_id>.json``.
+    """
+
+    def __init__(self, *, scale: str = "quick", run_id: str | None = None,
+                 environment: dict | None = None):
+        self.scale = scale
+        self.run_id = run_id or _default_run_id()
+        self.environment = environment or environment_fingerprint()
+        self.records: list[BenchRecord] = []
+        self.created_unix = time.time()
+
+    def measure(self, name: str, fn, *, repeats: int = 3, profile: bool = True):
+        """Benchmark ``fn`` and register the record; returns ``(result, record)``."""
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        from repro.utils.timing import collect_timings
+
+        if profile:
+            result, memory, health = _profiled_pass(fn)
+            timings, _ = collect_timings(fn, repeats)
+        else:
+            memory, health = {}, {}
+            timings, result = collect_timings(fn, repeats)
+        record = BenchRecord.from_samples(
+            name, timings, memory=memory, solver_health=health,
+            environment=self.environment, scale=self.scale,
+        )
+        self.add(record)
+        return result, record
+
+    def from_pytest_benchmark(self, name: str, stats, fn=None, *, profile: bool = True) -> BenchRecord:
+        """Import a pytest-benchmark ``Stats`` object as a record.
+
+        ``stats`` is ``benchmark.stats.stats`` after the fixture ran; its
+        min/median/mean and round count are taken as-is (its calibration
+        already de-noised them).  When ``fn`` is given and ``profile`` is
+        true, one extra profiled pass supplies memory and solver health.
+        """
+        memory, health = {}, {}
+        if profile and fn is not None:
+            _, memory, health = _profiled_pass(fn)
+        record = BenchRecord(
+            name=name,
+            min_s=float(stats.min),
+            median_s=float(stats.median),
+            mean_s=float(stats.mean),
+            repeats=int(stats.rounds),
+            samples_s=[float(s) for s in list(stats.data)[:MAX_STORED_SAMPLES]],
+            memory=memory,
+            solver_health=health,
+            environment=self.environment,
+            scale=self.scale,
+        )
+        self.add(record)
+        return record
+
+    def add(self, record: BenchRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def to_run(self) -> dict:
+        """The session trajectory document (``repro.bench.run/v1``)."""
+        return {
+            "schema": RUN_SCHEMA,
+            "run_id": self.run_id,
+            "scale": self.scale,
+            "created_unix": self.created_unix,
+            "environment": dict(self.environment),
+            "benchmarks": [record.to_dict() for record in self.records],
+        }
+
+    def write_run(self, directory) -> Path:
+        """Write ``BENCH_<run_id>.json`` under ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{self.run_id}.json"
+        path.write_text(json.dumps(self.to_run(), indent=2, sort_keys=True) + "\n")
+        return path
+
+
+def load_bench_run(path) -> dict:
+    """Read a ``BENCH_*.json`` trajectory (or a single-record JSON).
+
+    A single benchmark record is wrapped into a one-entry run so both
+    artifact shapes work with ``bench-report`` / ``bench-compare``.
+    Raises ``ValueError`` for JSON that is neither.
+    """
+    path = Path(path)
+    data = json.loads(path.read_text())
+    if isinstance(data, dict) and isinstance(data.get("benchmarks"), list):
+        return data
+    if isinstance(data, dict) and ("timings_s" in data or data.get("schema") == RECORD_SCHEMA):
+        return {
+            "schema": RUN_SCHEMA,
+            "run_id": data.get("name", path.stem),
+            "scale": data.get("scale", "quick"),
+            "created_unix": data.get("created_unix", 0.0),
+            "environment": data.get("environment") or {},
+            "benchmarks": [data],
+        }
+    raise ValueError(
+        f"{path} is not a bench run or record (expected a 'benchmarks' list "
+        f"or a '{RECORD_SCHEMA}' document)"
+    )
+
+
+@dataclass
+class BenchDelta:
+    """One benchmark's old-vs-new timing verdict."""
+
+    name: str
+    old_min_s: float
+    new_min_s: float
+    ratio: float
+    old_repeats: int
+    new_repeats: int
+    status: str  # "ok" | "regression" | "improvement" | "informational"
+
+
+@dataclass
+class BenchComparison:
+    """The full old-vs-new verdict :func:`compare_runs` produces."""
+
+    threshold: float
+    min_repeats: int
+    entries: list[BenchDelta] = field(default_factory=list)
+    added: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[BenchDelta]:
+        return [entry for entry in self.entries if entry.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare_runs(old_run: dict, new_run: dict, *, threshold: float = 0.15,
+                 min_repeats: int = 3) -> BenchComparison:
+    """Noise-aware comparison of two bench runs (loaded trajectory dicts).
+
+    A benchmark *regresses* when ``new_min / old_min > 1 + threshold``
+    **and** both sides took at least ``min_repeats`` timing samples; with
+    fewer repeats the delta is reported as ``informational`` only — a
+    single sample cannot separate a regression from scheduler noise.
+    Symmetrically, ``new_min / old_min < 1 / (1 + threshold)`` reports an
+    ``improvement``.  Deterministic: a pure function of its inputs.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    if min_repeats < 1:
+        raise ValueError(f"min_repeats must be >= 1, got {min_repeats}")
+    old_records = {r["name"]: BenchRecord.from_dict(r) for r in old_run.get("benchmarks", ())}
+    new_records = {r["name"]: BenchRecord.from_dict(r) for r in new_run.get("benchmarks", ())}
+
+    comparison = BenchComparison(
+        threshold=threshold,
+        min_repeats=min_repeats,
+        added=sorted(set(new_records) - set(old_records)),
+        removed=sorted(set(old_records) - set(new_records)),
+    )
+    for name in sorted(set(old_records) & set(new_records)):
+        old, new = old_records[name], new_records[name]
+        if not (old.min_s > 0 and math.isfinite(old.min_s) and math.isfinite(new.min_s)):
+            ratio, status = math.nan, "informational"
+        else:
+            ratio = new.min_s / old.min_s
+            if old.repeats < min_repeats or new.repeats < min_repeats:
+                status = "informational"
+            elif ratio > 1.0 + threshold:
+                status = "regression"
+            elif ratio < 1.0 / (1.0 + threshold):
+                status = "improvement"
+            else:
+                status = "ok"
+        comparison.entries.append(
+            BenchDelta(
+                name=name,
+                old_min_s=old.min_s,
+                new_min_s=new.min_s,
+                ratio=ratio,
+                old_repeats=old.repeats,
+                new_repeats=new.repeats,
+                status=status,
+            )
+        )
+    return comparison
+
+
+def _fmt_ms(seconds: float) -> str:
+    if seconds != seconds:
+        return "-"
+    return f"{seconds * 1e3:.4g}ms"
+
+
+def _fmt_mb(value) -> str:
+    if value is None:
+        return "-"
+    return f"{value / 1e6:.2f}"
+
+
+def render_bench_report(run: dict) -> str:
+    """Human-readable table for one trajectory (``repro bench-report``)."""
+    from repro.experiments.report import ascii_table
+
+    env = run.get("environment") or {}
+    lines = [
+        f"bench run {run.get('run_id', '?')} (scale={run.get('scale', '?')}, "
+        f"{len(run.get('benchmarks', ()))} benchmarks)",
+        f"environment: python {env.get('python', '?')}, numpy {env.get('numpy', '?')}, "
+        f"scipy {env.get('scipy', '?')}, {env.get('cpu_count', '?')} cpus, "
+        f"git {str(env.get('git_sha'))[:12]}",
+        "",
+    ]
+    rows = []
+    for data in run.get("benchmarks", ()):
+        record = BenchRecord.from_dict(data)
+        methods = ",".join(
+            f"{method}x{count}" for method, count in sorted(record.solver_health.get("methods", {}).items())
+        )
+        rows.append(
+            [
+                record.name,
+                record.repeats,
+                _fmt_ms(record.min_s),
+                _fmt_ms(record.median_s),
+                _fmt_ms(record.mean_s),
+                _fmt_mb(record.memory.get("peak_bytes")),
+                record.solver_health.get("solves", 0),
+                methods or "-",
+            ]
+        )
+    lines.append(
+        ascii_table(
+            ["benchmark", "repeats", "min", "median", "mean", "peak MB", "solves", "methods"],
+            rows,
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_bench_compare(comparison: BenchComparison) -> str:
+    """Human-readable verdict table for ``repro bench-compare``."""
+    from repro.experiments.report import ascii_table
+
+    rows = []
+    for entry in comparison.entries:
+        delta = "-" if entry.ratio != entry.ratio else f"{(entry.ratio - 1.0) * 100:+.1f}%"
+        rows.append(
+            [
+                entry.name,
+                _fmt_ms(entry.old_min_s),
+                _fmt_ms(entry.new_min_s),
+                delta,
+                f"{entry.old_repeats}/{entry.new_repeats}",
+                entry.status,
+            ]
+        )
+    lines = [
+        ascii_table(
+            ["benchmark", "old min", "new min", "delta", "repeats", "status"], rows
+        )
+    ]
+    if comparison.added:
+        lines.append(f"added: {', '.join(comparison.added)}")
+    if comparison.removed:
+        lines.append(f"removed: {', '.join(comparison.removed)}")
+    regressions = comparison.regressions
+    lines.append(
+        f"{len(regressions)} regression(s) at threshold {comparison.threshold:.0%} "
+        f"(min {comparison.min_repeats} repeats to gate)"
+    )
+    return "\n".join(lines)

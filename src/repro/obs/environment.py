@@ -1,0 +1,77 @@
+"""Environment fingerprinting for provenance of traces and benchmarks.
+
+A perf number without the environment it ran in is noise: a 2x "regression"
+between two `BENCH_*.json` files that were produced on different CPUs or
+numpy builds is not a regression at all.  :func:`environment_fingerprint`
+captures the identifying facts once per process — interpreter, BLAS-bearing
+library versions, platform, CPU count, and the git commit of the source
+tree — and every provenance-carrying artifact (JSONL trace headers,
+benchmark records, metrics dumps) embeds the same dict, so any two
+artifacts can be checked for comparability before their numbers are
+compared.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from functools import lru_cache
+from pathlib import Path
+
+__all__ = ["environment_fingerprint", "git_revision"]
+
+#: Schema tag embedded in every fingerprint, so readers can evolve.
+FINGERPRINT_SCHEMA = "repro.env/v1"
+
+
+def git_revision(start: Path | None = None) -> str | None:
+    """The HEAD commit sha of the source tree, or None outside a checkout.
+
+    Resolved from the installed package's directory (not the process cwd),
+    so the fingerprint describes the code that ran, not where it ran from.
+    """
+    if start is None:
+        start = Path(__file__).resolve().parent
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=start,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+@lru_cache(maxsize=1)
+def _cached_fingerprint() -> dict:
+    import numpy
+    import scipy
+
+    return {
+        "schema": FINGERPRINT_SCHEMA,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": git_revision(),
+        "executable": sys.executable,
+    }
+
+
+def environment_fingerprint() -> dict:
+    """Identifying facts of the current runtime environment.
+
+    Cached after the first call (the git subprocess is the only
+    non-trivial cost); callers receive a fresh copy so mutating the
+    returned dict cannot poison later artifacts.
+    """
+    return dict(_cached_fingerprint())

@@ -6,6 +6,13 @@ The JSONL format is one flat span record per line (pre-order), each with
     {"span_id": 1, "parent_id": null, "depth": 0, "name": "repro.replicate",
      "start_wall": 1733..., "duration_s": 0.012, "attributes": {...}}
 
+Since the provenance unification with the benchmark records (see
+:mod:`repro.obs.bench`), :func:`write_jsonl` prepends one *header* line
+(``"type": "header"``) carrying the environment fingerprint and creation
+time.  :func:`load_jsonl` returns span records only — header lines are
+skipped, so traces written before the header existed load identically —
+and :func:`load_header` retrieves the provenance when present.
+
 :func:`render_trace_report` aggregates records by span name into an
 aligned table (count / total / mean / max durations) plus per-name
 numeric-attribute summaries — this backs ``python -m repro trace-report``.
@@ -15,16 +22,26 @@ from __future__ import annotations
 
 import json
 import math
+import time
 from pathlib import Path
 
 __all__ = [
     "to_records",
     "write_jsonl",
     "load_jsonl",
+    "load_header",
+    "dump_metrics_json",
     "InMemoryExporter",
     "render_tree",
     "render_trace_report",
 ]
+
+#: Schema tag on the JSONL header line.
+TRACE_SCHEMA = "repro.trace/v1"
+
+
+def _is_header(record: dict) -> bool:
+    return record.get("type") == "header"
 
 
 def _json_default(value):
@@ -45,11 +62,27 @@ def to_records(trace) -> list[dict]:
     return records
 
 
-def write_jsonl(trace, path) -> Path:
-    """Write one span record per line; returns the resolved path."""
+def write_jsonl(trace, path, *, header: bool = True) -> Path:
+    """Write one span record per line; returns the resolved path.
+
+    Unless ``header=False``, the first line is a provenance header with
+    the environment fingerprint — the same dict benchmark records embed,
+    so traces and bench artifacts share one provenance format.
+    """
+    from repro.obs.environment import environment_fingerprint
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w") as handle:
+        if header:
+            head = {
+                "type": "header",
+                "schema": TRACE_SCHEMA,
+                "created_unix": time.time(),
+                "environment": environment_fingerprint(),
+            }
+            handle.write(json.dumps(head, default=_json_default))
+            handle.write("\n")
         for record in to_records(trace):
             handle.write(json.dumps(record, default=_json_default))
             handle.write("\n")
@@ -57,15 +90,58 @@ def write_jsonl(trace, path) -> Path:
 
 
 def load_jsonl(path) -> list[dict]:
-    """Read span records written by :func:`write_jsonl`."""
+    """Read span records written by :func:`write_jsonl`.
+
+    Header lines are skipped, so files from before the header existed and
+    files carrying one load to the same span-record list; use
+    :func:`load_header` for the provenance record itself.
+    """
     path = Path(path)
     records = []
     with path.open() as handle:
         for line in handle:
             line = line.strip()
             if line:
-                records.append(json.loads(line))
+                record = json.loads(line)
+                if not (isinstance(record, dict) and _is_header(record)):
+                    records.append(record)
     return records
+
+
+def load_header(path) -> dict | None:
+    """The provenance header of a JSONL trace, or None on old files."""
+    path = Path(path)
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                record = json.loads(line)
+                if isinstance(record, dict) and _is_header(record):
+                    return record
+                return None
+    return None
+
+
+def dump_metrics_json(registry, path, *, command: str | None = None) -> Path:
+    """Write a metrics-registry snapshot as one provenance-carrying JSON.
+
+    Backs the CLI's ``--metrics PATH`` flag; the document embeds the
+    environment fingerprint so metric dumps, traces, and bench records
+    all answer "where did this number come from" the same way.
+    """
+    from repro.obs.environment import environment_fingerprint
+
+    payload = {
+        "schema": "repro.metrics/v1",
+        "command": command,
+        "created_unix": time.time(),
+        "environment": environment_fingerprint(),
+        "metrics": registry.snapshot(),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=_json_default) + "\n")
+    return path
 
 
 class InMemoryExporter:
@@ -97,7 +173,7 @@ def _fmt_seconds(value) -> str:
 
 def render_tree(trace, *, max_spans: int = 200) -> str:
     """Indented per-span listing (one line per span, pre-order)."""
-    records = to_records(trace)
+    records = [r for r in to_records(trace) if "name" in r]
     lines = []
     for record in records[:max_spans]:
         indent = "  " * record.get("depth", 0)
@@ -128,7 +204,7 @@ def render_trace_report(trace) -> str:
     """
     from repro.experiments.report import ascii_table
 
-    records = to_records(trace)
+    records = [r for r in to_records(trace) if "name" in r]
     if not records:
         return "empty trace (0 spans)"
 

@@ -65,6 +65,8 @@ class Span:
         "children",
         "_tracer",
         "_start_perf",
+        "_mem_start",
+        "_mem_peak_abs",
     )
 
     recording = True
@@ -165,6 +167,17 @@ class NoopTracer:
 class RecordingTracer:
     """Collects spans into an in-memory trace forest.
 
+    With ``track_memory=True`` every span additionally records
+    ``memory.peak_bytes`` (high-water allocation while the span was open,
+    including its children) and ``memory.net_bytes`` (allocations
+    surviving span exit) via ``tracemalloc``.  The module is imported and
+    tracing started only when the flag is set — the default tracer and a
+    plain ``RecordingTracer()`` never touch tracemalloc, keeping the
+    disabled-path overhead guard honest.  Memory tracking costs roughly a
+    2x slowdown on allocation-heavy code; never combine it with timings
+    you intend to keep.  Call :meth:`close` to stop tracemalloc again if
+    this tracer started it.
+
     Attributes
     ----------
     roots:
@@ -173,10 +186,27 @@ class RecordingTracer:
 
     enabled = True
 
-    def __init__(self):
+    def __init__(self, *, track_memory: bool = False):
         self.roots: list[Span] = []
         self._stack: list[Span] = []
         self._counter = 0
+        self.track_memory = bool(track_memory)
+        self._tracemalloc = None
+        self._owns_tracemalloc = False
+        if self.track_memory:
+            import tracemalloc
+
+            self._tracemalloc = tracemalloc
+            self._owns_tracemalloc = not tracemalloc.is_tracing()
+            if self._owns_tracemalloc:
+                tracemalloc.start()
+
+    def close(self) -> None:
+        """Stop tracemalloc if this tracer started it (idempotent)."""
+        if self._owns_tracemalloc and self._tracemalloc is not None:
+            if self._tracemalloc.is_tracing():
+                self._tracemalloc.stop()
+            self._owns_tracemalloc = False
 
     def span(self, name: str, **attributes) -> Span:
         return Span(self, name, attributes)
@@ -191,6 +221,17 @@ class RecordingTracer:
             parent.children.append(span)
         else:
             self.roots.append(span)
+        if self.track_memory and self._tracemalloc.is_tracing():
+            current, peak = self._tracemalloc.get_traced_memory()
+            if self._stack:
+                # Bank the enclosing span's high-water mark before the
+                # reset below discards it.
+                parent = self._stack[-1]
+                if getattr(parent, "_mem_peak_abs", None) is not None:
+                    parent._mem_peak_abs = max(parent._mem_peak_abs, peak)
+            self._tracemalloc.reset_peak()
+            span._mem_start = current
+            span._mem_peak_abs = current
         self._stack.append(span)
 
     def _pop(self, span: Span) -> None:
@@ -200,6 +241,21 @@ class RecordingTracer:
             top = self._stack.pop()
             if top is span:
                 break
+        if (
+            self.track_memory
+            and self._tracemalloc.is_tracing()
+            and getattr(span, "_mem_start", None) is not None
+        ):
+            current, peak = self._tracemalloc.get_traced_memory()
+            peak_abs = max(span._mem_peak_abs, peak)
+            span.attributes["memory.peak_bytes"] = max(0, int(peak_abs - span._mem_start))
+            span.attributes["memory.net_bytes"] = int(current - span._mem_start)
+            self._tracemalloc.reset_peak()
+            if self._stack:
+                # Propagate: a child's peak is also its parent's peak.
+                parent = self._stack[-1]
+                if getattr(parent, "_mem_peak_abs", None) is not None:
+                    parent._mem_peak_abs = max(parent._mem_peak_abs, peak_abs)
 
     def iter_spans(self):
         """Pre-order walk over all finished and open spans."""

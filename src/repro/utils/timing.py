@@ -26,7 +26,26 @@ import numpy as np
 
 from repro import obs
 
-__all__ = ["Stopwatch", "fit_power_law"]
+__all__ = ["Stopwatch", "collect_timings", "fit_power_law"]
+
+
+def collect_timings(fn, repeats: int) -> tuple[list[float], object]:
+    """Call ``fn`` ``repeats`` times, timing each call with ``perf_counter``.
+
+    Returns ``(timings, last_result)`` — the per-call wall-clock seconds
+    and the final call's return value.  This is the clean timing loop the
+    benchmark recorder (:mod:`repro.obs.bench`) uses: no tracing, no
+    tracemalloc, nothing between the clock reads but ``fn`` itself.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    timings: list[float] = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        timings.append(time.perf_counter() - start)
+    return timings, result
 
 
 @dataclass

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.bench import BenchRecord, BenchRecorder
 
 
 class TestParser:
@@ -29,6 +32,24 @@ class TestParser:
         assert args.seed == 7
         assert args.replicates == 3
         assert args.csv == "/tmp/x.csv"
+
+    def test_trace_and_metrics_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["toy", "--trace", "/tmp/t.jsonl", "--metrics", "/tmp/m.json"]
+        )
+        assert args.trace == "/tmp/t.jsonl"
+        assert args.metrics == "/tmp/m.json"
+
+    def test_bench_verbs_registered(self):
+        parser = build_parser()
+        report = parser.parse_args(["bench-report", "run.json"])
+        assert report.command == "bench-report"
+        compare = parser.parse_args(
+            ["bench-compare", "old.json", "new.json", "--threshold", "0.2"]
+        )
+        assert compare.command == "bench-compare"
+        assert compare.threshold == pytest.approx(0.2)
+        assert compare.min_repeats == 3
 
 
 class TestCommands:
@@ -152,3 +173,124 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 1
         assert "warnings" in out
+
+
+class TestTraceReportRobustness:
+    def test_empty_trace_file_prints_friendly_message(self, capsys, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        code = main(["trace-report", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "empty trace" in out
+        assert "Traceback" not in out
+
+    def test_missing_trace_file_exits_cleanly(self, capsys, tmp_path):
+        code = main(["trace-report", str(tmp_path / "nope.jsonl")])
+        captured = capsys.readouterr()
+        text = (captured.out + captured.err).lower()
+        assert code == 2
+        assert "no such" in text or "not found" in text
+        assert "traceback" not in text
+
+    def test_directory_path_exits_cleanly(self, capsys, tmp_path):
+        code = main(["trace-report", str(tmp_path)])
+        assert code == 2
+
+    def test_corrupt_json_exits_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        code = main(["trace-report", str(path)])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "Traceback" not in out
+
+
+def _write_run(tmp_path, run_id, samples_by_name):
+    recorder = BenchRecorder(scale="quick", run_id=run_id)
+    for name, samples in samples_by_name.items():
+        recorder.add(BenchRecord.from_samples(name, samples))
+    return recorder.write_run(tmp_path)
+
+
+class TestBenchVerbs:
+    def test_bench_report(self, capsys, tmp_path):
+        path = _write_run(tmp_path, "r1", {"solve": [0.1, 0.11, 0.12]})
+        code = main(["bench-report", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "solve" in out and "r1" in out
+
+    def test_bench_report_missing_file(self, capsys, tmp_path):
+        code = main(["bench-report", str(tmp_path / "gone.json")])
+        assert code == 2
+
+    def test_self_compare_exits_zero(self, capsys, tmp_path):
+        path = _write_run(tmp_path, "r1", {"solve": [0.1, 0.11, 0.12]})
+        code = main(["bench-compare", str(path), str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 regression(s)" in out
+
+    def test_degraded_timing_exits_nonzero(self, capsys, tmp_path):
+        old = _write_run(tmp_path / "old", "r1", {"solve": [0.100, 0.101, 0.102]})
+        new = _write_run(tmp_path / "new", "r2", {"solve": [0.150, 0.151, 0.152]})
+        code = main(["bench-compare", str(old), str(new), "--threshold", "0.15"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "regression" in out
+
+    def test_threshold_flag_loosens_gate(self, capsys, tmp_path):
+        old = _write_run(tmp_path / "old", "r1", {"solve": [0.100, 0.101, 0.102]})
+        new = _write_run(tmp_path / "new", "r2", {"solve": [0.150, 0.151, 0.152]})
+        code = main(["bench-compare", str(old), str(new), "--threshold", "0.60"])
+        assert code == 0
+        capsys.readouterr()
+
+    def test_compare_missing_file_exits_two(self, capsys, tmp_path):
+        path = _write_run(tmp_path, "r1", {"solve": [0.1]})
+        assert main(["bench-compare", str(path), str(tmp_path / "gone.json")]) == 2
+
+
+class TestMetricsFlag:
+    def test_metrics_dump_written(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        code = main(["toy", "--seed", "0", "--metrics", str(path)])
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro.metrics/v1"
+        assert data["command"] == "toy"
+        assert data["environment"]["schema"] == "repro.env/v1"
+        assert any(name.startswith("solves.") for name in data["metrics"])
+        capsys.readouterr()
+
+    def test_metrics_and_trace_together(self, capsys, tmp_path):
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.jsonl"
+        code = main([
+            "toy", "--seed", "0",
+            "--metrics", str(metrics), "--trace", str(trace),
+        ])
+        assert code == 0
+        assert metrics.exists() and trace.exists()
+        capsys.readouterr()
+
+    def test_metrics_written_even_on_failure(self, tmp_path, capsys):
+        from repro.datasets.io import TransductiveProblem, save_transductive_npz
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        problem = TransductiveProblem(
+            x_labeled=rng.normal(size=(10, 2)),
+            y_labeled=rng.integers(0, 2, 10).astype(float),
+            x_unlabeled=rng.normal(size=(4, 2)) + 1000.0,
+        )
+        npz = save_transductive_npz(tmp_path / "far.npz", problem)
+        path = tmp_path / "metrics.json"
+        code = main([
+            "diagnose", str(npz), "--bandwidth", "0.5", "--metrics", str(path),
+        ])
+        assert code == 1  # the command itself failed its health check
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro.metrics/v1"
+        capsys.readouterr()

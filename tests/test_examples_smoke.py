@@ -28,6 +28,7 @@ EXPECTED_PHRASES = {
     "bring_your_own_data.py": "scored",
     "calibration_and_thresholds.py": "calibration artifact",
     "tracing_a_solve.py": "trace report",
+    "benchmark_capture.py": "self-comparison ok: True",
 }
 
 

@@ -7,6 +7,7 @@ disabled no-op path stays within the overhead budget.
 """
 
 import json
+import sys
 import time
 
 import numpy as np
@@ -21,6 +22,7 @@ from repro.kernels.bandwidth import paper_bandwidth_rule
 from repro.linalg.solvers import SolveInfo, solve_spd
 from repro.obs.export import (
     InMemoryExporter,
+    load_header,
     load_jsonl,
     render_trace_report,
     render_tree,
@@ -195,6 +197,104 @@ class TestExporters:
 
     def test_render_report_empty(self):
         assert "empty trace" in render_trace_report([])
+
+    def test_jsonl_header_carries_environment(self, tmp_path):
+        path = write_jsonl(self._record_trace(), tmp_path / "trace.jsonl")
+        header = load_header(path)
+        assert header is not None
+        assert header["type"] == "header"
+        assert header["schema"] == "repro.trace/v1"
+        env = header["environment"]
+        assert env["schema"] == "repro.env/v1"
+        for key in ("python", "numpy", "scipy", "platform", "cpu_count"):
+            assert key in env
+        # load_jsonl must skip the header and return spans only
+        assert [r["name"] for r in load_jsonl(path)] == ["parent", "child"]
+
+    def test_load_jsonl_tolerates_headerless_files(self, tmp_path):
+        # Traces written before the header existed must keep loading.
+        path = write_jsonl(self._record_trace(), tmp_path / "old.jsonl", header=False)
+        assert load_header(path) is None
+        assert [r["name"] for r in load_jsonl(path)] == ["parent", "child"]
+
+    def test_render_report_skips_header_records(self, tmp_path):
+        path = write_jsonl(self._record_trace(), tmp_path / "trace.jsonl")
+        report = render_trace_report(load_jsonl(path))
+        assert "parent" in report and "child" in report
+
+
+class TestMemorySpans:
+    def test_disabled_tracking_never_touches_tracemalloc(self):
+        # Neither the no-op path nor a plain RecordingTracer may import
+        # (let alone start) tracemalloc: the opt-out path must stay free.
+        saved = sys.modules.pop("tracemalloc", None)
+        try:
+            with obs.span("noop"):
+                pass
+            tracer = obs.RecordingTracer()
+            with obs.use_tracer(tracer):
+                with obs.span("work", n=3):
+                    pass
+            tracer.close()
+            assert "tracemalloc" not in sys.modules
+        finally:
+            if saved is not None:
+                sys.modules["tracemalloc"] = saved
+        assert "memory.peak_bytes" not in tracer.roots[0].attributes
+
+    def test_memory_attributes_recorded_when_opted_in(self):
+        import tracemalloc
+
+        tracer = obs.RecordingTracer(track_memory=True)
+        try:
+            assert tracemalloc.is_tracing()
+            with obs.use_tracer(tracer):
+                with obs.span("alloc"):
+                    block = np.ones(250_000)  # ~2 MB
+                    del block
+        finally:
+            tracer.close()
+        assert not tracemalloc.is_tracing()
+        (root,) = tracer.roots
+        assert root.attributes["memory.peak_bytes"] >= 1_900_000
+        # the allocation was freed inside the span
+        assert root.attributes["memory.net_bytes"] < 500_000
+
+    def test_nested_peaks_are_attributed_per_span(self):
+        tracer = obs.RecordingTracer(track_memory=True)
+        try:
+            with obs.use_tracer(tracer):
+                with obs.span("outer"):
+                    own = np.ones(1_000_000)  # ~8 MB held across the child
+                    with obs.span("inner"):
+                        tmp = np.ones(250_000)  # ~2 MB transient
+                        del tmp
+                    del own
+        finally:
+            tracer.close()
+        (outer,) = tracer.roots
+        (inner,) = outer.children
+        # inner's peak covers only its own transient, not outer's 8 MB
+        assert 1_900_000 <= inner.attributes["memory.peak_bytes"] <= 5_000_000
+        # outer's peak includes its own allocation
+        assert outer.attributes["memory.peak_bytes"] >= 7_500_000
+
+    def test_close_is_idempotent_and_leaves_foreign_tracing_alone(self):
+        import tracemalloc
+
+        tracer = obs.RecordingTracer(track_memory=True)
+        tracer.close()
+        tracer.close()
+        assert not tracemalloc.is_tracing()
+
+        tracemalloc.start()
+        try:
+            nested = obs.RecordingTracer(track_memory=True)
+            nested.close()
+            # it did not own the trace, so it must not stop it
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
 
 
 class TestProbes:

@@ -1,0 +1,291 @@
+"""Tests for repro.obs.bench — structured benchmark capture and the
+noise-aware regression comparison behind ``repro bench-compare``."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.hard import solve_hard_criterion
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.graph.similarity import full_kernel_graph
+from repro.kernels.bandwidth import paper_bandwidth_rule
+from repro.obs.bench import (
+    BenchRecord,
+    BenchRecorder,
+    compare_runs,
+    load_bench_run,
+    render_bench_compare,
+    render_bench_report,
+    solver_health_from_trace,
+)
+from repro.obs.environment import environment_fingerprint
+
+
+def _record(name, samples, *, repeats=None, **kwargs):
+    return BenchRecord.from_samples(name, samples, repeats=repeats, **kwargs)
+
+
+def _run(*records, run_id="test-run"):
+    recorder = BenchRecorder(scale="quick", run_id=run_id)
+    for record in records:
+        recorder.add(record)
+    return recorder.to_run()
+
+
+class TestEnvironmentFingerprint:
+    def test_required_fields(self):
+        env = environment_fingerprint()
+        assert env["schema"] == "repro.env/v1"
+        for key in ("python", "numpy", "scipy", "platform", "machine", "cpu_count"):
+            assert env[key], key
+        assert env["cpu_count"] >= 1
+
+    def test_returns_fresh_copies(self):
+        first = environment_fingerprint()
+        first["python"] = "tampered"
+        assert environment_fingerprint()["python"] != "tampered"
+
+
+class TestBenchRecord:
+    def test_from_samples_summaries(self):
+        record = _record("x", [0.3, 0.1, 0.2])
+        assert record.min_s == pytest.approx(0.1)
+        assert record.median_s == pytest.approx(0.2)
+        assert record.mean_s == pytest.approx(0.2)
+        assert record.repeats == 3
+        assert record.environment["schema"] == "repro.env/v1"
+
+    def test_from_samples_rejects_empty(self):
+        with pytest.raises(ValueError):
+            _record("x", [])
+
+    def test_dict_round_trip(self):
+        record = _record(
+            "x", [0.2, 0.1],
+            memory={"peak_bytes": 1024, "net_bytes": 0},
+            solver_health={"solves": 2, "methods": {"cg": 2}},
+        )
+        clone = BenchRecord.from_dict(record.to_dict())
+        assert clone.name == "x"
+        assert clone.min_s == record.min_s
+        assert clone.memory == record.memory
+        assert clone.solver_health == record.solver_health
+
+    def test_write_json(self, tmp_path):
+        path = _record("x", [0.1]).write_json(tmp_path / "x.json")
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro.bench.record/v1"
+        assert data["timings_s"]["min"] == pytest.approx(0.1)
+
+    def test_summary_is_one_line(self):
+        record = _record("x", [0.1], memory={"peak_bytes": 2_000_000})
+        text = record.summary()
+        assert "\n" not in text
+        assert "x:" in text and "peak 2.00 MB" in text
+
+
+class TestBenchRecorder:
+    def test_measure_counts_and_profiles(self):
+        recorder = BenchRecorder(scale="quick")
+        calls = []
+        result, record = recorder.measure("inc", lambda: calls.append(1) or len(calls), repeats=3)
+        # one profiled pass + three timing passes
+        assert len(calls) == 4
+        assert result == 1  # profiled pass ran first
+        assert record.repeats == 3
+        assert len(record.samples_s) == 3
+        assert record.memory["peak_bytes"] >= 0
+        assert recorder.records == [record]
+
+    def test_measure_without_profile(self):
+        recorder = BenchRecorder()
+        calls = []
+        result, record = recorder.measure(
+            "plain", lambda: calls.append(1) or "out", repeats=2, profile=False
+        )
+        assert len(calls) == 2
+        assert result == "out"
+        assert record.memory == {} and record.solver_health == {}
+
+    def test_measure_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            BenchRecorder().measure("x", lambda: None, repeats=0)
+
+    def test_measure_captures_solver_health(self):
+        data = make_synthetic_dataset(40, 20, seed=0)
+        bandwidth = paper_bandwidth_rule(40, data.x_labeled.shape[1])
+        weights = full_kernel_graph(data.x_all, bandwidth=bandwidth).dense_weights()
+        recorder = BenchRecorder()
+        _, record = recorder.measure(
+            "solve",
+            lambda: solve_hard_criterion(
+                weights, data.y_labeled, method="cg", check_reachability=False
+            ),
+            repeats=1,
+        )
+        health = record.solver_health
+        assert health["solves"] == 1
+        assert health["methods"] == {"cg": 1}
+        assert health["iterations_total"] > 0
+        assert health["converged_all"] is True
+
+    def test_measure_leaves_tracemalloc_stopped(self):
+        import tracemalloc
+
+        BenchRecorder().measure("x", lambda: np.ones(1000), repeats=1)
+        assert not tracemalloc.is_tracing()
+
+    def test_write_and_load_run(self, tmp_path):
+        recorder = BenchRecorder(scale="quick", run_id="r1")
+        recorder.measure("a", lambda: None, repeats=1, profile=False)
+        path = recorder.write_run(tmp_path)
+        assert path.name == "BENCH_r1.json"
+        run = load_bench_run(path)
+        assert run["schema"] == "repro.bench.run/v1"
+        assert [r["name"] for r in run["benchmarks"]] == ["a"]
+        assert run["environment"]["schema"] == "repro.env/v1"
+
+    def test_load_single_record_wraps_into_run(self, tmp_path):
+        path = _record("solo", [0.1]).write_json(tmp_path / "solo.json")
+        run = load_bench_run(path)
+        assert [r["name"] for r in run["benchmarks"]] == ["solo"]
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ValueError):
+            load_bench_run(path)
+
+
+class TestSolverHealthFromTrace:
+    def test_only_top_level_solve_spans_count(self):
+        from repro import obs
+
+        tracer = obs.RecordingTracer()
+        with obs.use_tracer(tracer):
+            with obs.span("repro.solve_hard") as span:
+                span.set_attributes(
+                    {
+                        "solver.method": "cg",
+                        "solver.iterations": 12,
+                        "solver.converged": True,
+                    }
+                )
+                with obs.span("repro.linalg.cg") as inner:
+                    # inner solver span without solver.method: not a solve
+                    inner.set_attribute("solver.iterations", 12)
+        health = solver_health_from_trace(tracer)
+        assert health["solves"] == 1
+        assert health["iterations_total"] == 12
+
+    def test_divergence_flips_converged_all(self):
+        from repro import obs
+
+        tracer = obs.RecordingTracer()
+        with obs.use_tracer(tracer):
+            with obs.span("s") as span:
+                span.set_attributes(
+                    {"solver.method": "cg", "solver.converged": False}
+                )
+        assert solver_health_from_trace(tracer)["converged_all"] is False
+
+
+class TestCompareRuns:
+    def test_self_comparison_is_clean(self):
+        run = _run(_record("a", [0.1, 0.1, 0.1]), _record("b", [0.2, 0.2, 0.2]))
+        comparison = compare_runs(run, run)
+        assert comparison.ok
+        assert {e.status for e in comparison.entries} == {"ok"}
+
+    def test_regression_detected_over_threshold(self):
+        old = _run(_record("a", [0.100, 0.101, 0.102]))
+        new = _run(_record("a", [0.130, 0.131, 0.132]))
+        comparison = compare_runs(old, new, threshold=0.15)
+        (entry,) = comparison.entries
+        assert entry.status == "regression"
+        assert not comparison.ok
+
+    def test_within_threshold_is_ok(self):
+        old = _run(_record("a", [0.100] * 3))
+        new = _run(_record("a", [0.110] * 3))
+        assert compare_runs(old, new, threshold=0.15).ok
+
+    def test_improvement_reported(self):
+        old = _run(_record("a", [0.200] * 3))
+        new = _run(_record("a", [0.100] * 3))
+        (entry,) = compare_runs(old, new).entries
+        assert entry.status == "improvement"
+
+    def test_single_shot_never_gates(self):
+        # 3x slower but only one repeat on each side: informational only.
+        old = _run(_record("a", [0.1]))
+        new = _run(_record("a", [0.3]))
+        comparison = compare_runs(old, new, threshold=0.15, min_repeats=3)
+        (entry,) = comparison.entries
+        assert entry.status == "informational"
+        assert comparison.ok
+
+    def test_added_and_removed_tracked(self):
+        old = _run(_record("gone", [0.1]))
+        new = _run(_record("fresh", [0.1]))
+        comparison = compare_runs(old, new)
+        assert comparison.added == ["fresh"]
+        assert comparison.removed == ["gone"]
+        assert comparison.entries == []
+
+    def test_nonfinite_old_min_is_informational(self):
+        old_run = _run(_record("a", [0.1]))
+        old_run["benchmarks"][0]["timings_s"]["min"] = 0.0
+        new = _run(_record("a", [0.1]))
+        (entry,) = compare_runs(old_run, new).entries
+        assert entry.status == "informational"
+        assert math.isnan(entry.ratio)
+
+    def test_validates_parameters(self):
+        run = _run(_record("a", [0.1]))
+        with pytest.raises(ValueError):
+            compare_runs(run, run, threshold=0.0)
+        with pytest.raises(ValueError):
+            compare_runs(run, run, min_repeats=0)
+
+    def test_comparison_is_deterministic(self):
+        old = _run(
+            _record("a", [0.100, 0.104, 0.102]),
+            _record("b", [0.050, 0.052, 0.051]),
+            _record("c", [0.3]),
+        )
+        new = _run(
+            _record("a", [0.140, 0.139, 0.150]),
+            _record("b", [0.049, 0.050, 0.048]),
+            _record("d", [0.2]),
+        )
+        first = compare_runs(old, new, threshold=0.15)
+        second = compare_runs(old, new, threshold=0.15)
+        assert [vars(e) for e in first.entries] == [vars(e) for e in second.entries]
+        assert first.added == second.added and first.removed == second.removed
+        assert render_bench_compare(first) == render_bench_compare(second)
+
+
+class TestRenderers:
+    def test_report_renders_all_benchmarks(self):
+        run = _run(
+            _record(
+                "fast", [0.001] * 3,
+                memory={"peak_bytes": 1_000_000},
+                solver_health={"solves": 2, "methods": {"cg": 2}},
+            ),
+            _record("slow", [1.0]),
+        )
+        text = render_bench_report(run)
+        assert "fast" in text and "slow" in text
+        assert "cgx2" in text
+        assert "test-run" in text
+
+    def test_compare_render_mentions_verdict(self):
+        old = _run(_record("a", [0.1] * 3))
+        new = _run(_record("a", [0.2] * 3))
+        text = render_bench_compare(compare_runs(old, new))
+        assert "regression" in text
+        assert "threshold 15%" in text
