@@ -1,0 +1,86 @@
+"""Bench: replicate fan-out speedup vs worker count.
+
+Times the Figure-1 style workload (synthetic dataset -> full kernel graph
+-> soft-criterion solves over a lambda grid) at 100 replicates for
+``n_jobs`` in {1, 2, 4}, through ``run_replicates``'s process-pool path.
+Two things are measured and published:
+
+* wall-clock and speedup per worker count — each timing lands in the
+  session :class:`~repro.obs.bench.BenchRecorder`, so the regression gate
+  tracks parallel overhead alongside everything else;
+* a parity check that the parallel aggregates are *bit-identical* to the
+  serial ones (the executor's determinism contract, asserted here on the
+  real workload, not a toy).
+
+The speedup acceptance (>= 1.5x at n_jobs=4) only fires on machines with
+at least 4 CPUs — on smaller boxes (CI runners, containers) the numbers
+are recorded informationally, since a 1-core host cannot physically show
+a parallel win.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import partial
+
+from conftest import REPEATS, replicates, publish
+
+from repro.experiments.report import ascii_table
+from repro.experiments.runner import run_replicates
+from repro.experiments.synthetic_sweep import synthetic_replicate_rmse
+
+JOB_COUNTS = (1, 2, 4)
+LAMBDAS = (0.0, 0.1, 1.0)
+
+REPLICATE = partial(
+    synthetic_replicate_rmse,
+    n_labeled=120,
+    n_unlabeled=30,
+    model="model1",
+    lambdas=LAMBDAS,
+)
+
+
+def _run_workload(n_replicates: int, n_jobs: int):
+    return run_replicates(
+        REPLICATE, n_replicates=n_replicates, seed=2024, n_jobs=n_jobs
+    )
+
+
+def test_bench_parallel_scaling(bench, results_dir):
+    n_replicates = replicates(quick=100, paper=300)
+
+    timings = {}
+    summaries = {}
+    for n_jobs in JOB_COUNTS:
+        summary, record = bench.measure(
+            f"parallel_replicates_jobs{n_jobs}",
+            lambda n_jobs=n_jobs: _run_workload(n_replicates, n_jobs),
+            repeats=REPEATS,
+        )
+        timings[n_jobs] = record.min_s
+        summaries[n_jobs] = summary
+
+    serial_seconds = timings[1]
+    rows = []
+    for n_jobs in JOB_COUNTS:
+        speedup = serial_seconds / timings[n_jobs]
+        rows.append([n_jobs, f"{timings[n_jobs]:.3f}", f"{speedup:.2f}x"])
+
+    table = ascii_table(["n_jobs", "min seconds", "speedup"], rows)
+    text = (
+        f"parallel replicate scaling: {n_replicates} replicates, "
+        f"{len(LAMBDAS)} lambdas, n=120/m=30 ({os.cpu_count()} CPUs)\n"
+        f"{table}"
+    )
+    publish(results_dir, "parallel_scaling", text)
+
+    # Determinism contract on the real workload: every worker count
+    # produces the same numbers, down to the raw per-replicate values.
+    for n_jobs in JOB_COUNTS[1:]:
+        assert summaries[n_jobs] == summaries[1]
+
+    # The speedup acceptance needs physical parallelism to exist.
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        assert serial_seconds / timings[4] >= 1.5

@@ -46,6 +46,41 @@ from repro.experiments.report import ascii_table, format_sweep_result, write_csv
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (clean CLI error instead of a traceback)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid integer value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _seed_int(text: str) -> int:
+    """argparse type: a non-negative integer (SeedSequence rejects < 0)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid integer value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"seed must be >= 0, got {value}")
+    return value
+
+
+def _jobs_int(text: str) -> int:
+    """argparse type: a worker count >= 1, or -1 for one worker per CPU."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid integer value: {text!r}")
+    if value < 1 and value != -1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 or -1 (one worker per CPU), got {value}"
+        )
+    return value
+
+
 def _print_sweep(result, csv_path) -> None:
     print(format_sweep_result(result))
     if csv_path:
@@ -70,7 +105,9 @@ def _cmd_figure(args) -> int:
         "figure3": run_figure3,
         "figure4": run_figure4,
     }
-    result = drivers[args.command](n_replicates=args.replicates, seed=args.seed)
+    result = drivers[args.command](
+        n_replicates=args.replicates, seed=args.seed, n_jobs=args.jobs
+    )
     _print_sweep(result, args.csv)
     return 0
 
@@ -164,7 +201,9 @@ def _cmd_proof_constructs(args) -> int:
 def _cmd_consistency(args) -> int:
     from repro.validation import run_consistency_curve
 
-    curve = run_consistency_curve(n_replicates=args.replicates, seed=args.seed)
+    curve = run_consistency_curve(
+        n_replicates=args.replicates, seed=args.seed, n_jobs=args.jobs
+    )
     _print_rows(
         f"Theorem II.1 empirical consistency (eps={curve.epsilon})",
         curve.headers(),
@@ -177,7 +216,9 @@ def _cmd_consistency(args) -> int:
 def _cmd_metric_study(args) -> int:
     from repro.experiments.extensions import run_metric_study
 
-    result = run_metric_study(n_replicates=args.replicates, seed=args.seed)
+    result = run_metric_study(
+        n_replicates=args.replicates, seed=args.seed, n_jobs=args.jobs
+    )
     _print_sweep(result, args.csv)
     return 0
 
@@ -186,7 +227,8 @@ def _cmd_m_growth(args) -> int:
     from repro.experiments.extensions import run_m_growth_study
 
     result = run_m_growth_study(
-        gamma=args.gamma, n_replicates=args.replicates, seed=args.seed
+        gamma=args.gamma, n_replicates=args.replicates, seed=args.seed,
+        n_jobs=args.jobs,
     )
     _print_rows(
         f"m-growth study (m ~ n^{args.gamma:g})",
@@ -201,7 +243,9 @@ def _cmd_m_growth(args) -> int:
 def _cmd_lambda_curve(args) -> int:
     from repro.experiments.lambda_curve import run_lambda_curve
 
-    curve = run_lambda_curve(n_replicates=args.replicates, seed=args.seed)
+    curve = run_lambda_curve(
+        n_replicates=args.replicates, seed=args.seed, n_jobs=args.jobs
+    )
     rows = [[f"{lam:g}", value] for lam, value in zip(curve.lambdas, curve.rmse)]
     _print_rows("lambda-degradation curve", curve.headers(), rows, args.csv)
     print(
@@ -228,7 +272,9 @@ def _cmd_ablation(args) -> int:
         "bandwidth": run_bandwidth_ablation,
         "graph": run_graph_ablation,
     }
-    result = drivers[args.axis](n_replicates=args.replicates, seed=args.seed)
+    result = drivers[args.axis](
+        n_replicates=args.replicates, seed=args.seed, n_jobs=args.jobs
+    )
     _print_sweep(result, args.csv)
     return 0
 
@@ -347,7 +393,9 @@ def _cmd_bench_compare(args) -> int:
 def _cmd_tuned_lambda(args) -> int:
     from repro.experiments.extensions import run_tuned_lambda_study
 
-    result = run_tuned_lambda_study(n_replicates=args.replicates, seed=args.seed)
+    result = run_tuned_lambda_study(
+        n_replicates=args.replicates, seed=args.seed, n_jobs=args.jobs
+    )
     _print_rows(
         "untuned hard vs CV-tuned soft",
         ["method", "mean RMSE"],
@@ -371,11 +419,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p, replicates_default=25):
-        p.add_argument("--seed", type=int, default=None, help="master RNG seed")
+        p.add_argument("--seed", type=_seed_int, default=None, help="master RNG seed")
         p.add_argument("--csv", type=str, default=None, help="also write CSV here")
         p.add_argument(
-            "--replicates", type=int, default=replicates_default,
+            "--replicates", type=_positive_int, default=replicates_default,
             help="replicates per grid point",
+        )
+        p.add_argument(
+            "--jobs", type=_jobs_int, default=1, metavar="N",
+            help="worker processes for replicate fan-out (1 = serial, "
+            "-1 = one per CPU); results are identical at every setting",
         )
         p.add_argument(
             "--trace", type=str, default=None, metavar="PATH.jsonl",
@@ -394,8 +447,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("figure5", help="regenerate figure 5 (COIL-like AUC)")
     common(p)
-    p.add_argument("--images-per-class", type=int, default=150)
-    p.add_argument("--repeats", type=int, default=2, help="fold-shuffle repeats")
+    p.add_argument("--images-per-class", type=_positive_int, default=150)
+    p.add_argument(
+        "--repeats", type=_positive_int, default=2, help="fold-shuffle repeats"
+    )
     p.set_defaults(handler=_cmd_figure5)
 
     p = sub.add_parser("toy", help="verify the Section III toy example")
@@ -518,6 +573,25 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code.
 
+    Invalid configuration surfaces as a one-line ``error: ...`` message
+    and exit status 2 — argparse-level validation (e.g. ``--replicates
+    0``) is caught by the type functions, and any
+    :class:`~repro.exceptions.ConfigurationError` a driver raises is
+    caught here rather than dumped as a traceback.
+    """
+    from repro.exceptions import ConfigurationError
+
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
+    """Run the selected handler, honoring ``--trace`` / ``--metrics``.
+
     When the command carries ``--trace PATH.jsonl``, the handler runs
     under a recording tracer and the collected spans are written to the
     given path afterwards; ``--metrics PATH.json`` likewise runs it under
@@ -525,7 +599,6 @@ def main(argv=None) -> int:
     artifacts are written even if the handler fails part-way, so a
     crashing experiment still leaves its evidence behind.
     """
-    args = build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
     if not trace_path and not metrics_path:

@@ -22,6 +22,7 @@ __all__ = [
     "AssumptionViolationError",
     "NotFittedError",
     "ConfigurationError",
+    "NonFiniteMetricError",
 ]
 
 
@@ -89,3 +90,13 @@ class NotFittedError(ReproError, RuntimeError):
 
 class ConfigurationError(ReproError, ValueError):
     """Raised for invalid experiment or estimator configuration values."""
+
+
+class NonFiniteMetricError(ReproError, ValueError):
+    """Raised when a replicate returns a NaN/inf metric under strict mode.
+
+    A non-finite replicate value would silently poison every downstream
+    mean/std/sem; :func:`repro.experiments.runner.run_replicates` raises
+    this (naming the metric and replicate index) unless ``strict=False``,
+    in which case it warns and counts the event instead.
+    """

@@ -1,12 +1,27 @@
 """Experiment harness: configs, replicate runner, reporting, figure drivers."""
 
+from repro.experiments.executor import (
+    ParallelFallbackWarning,
+    ReplicateOutcome,
+    execute_replicates,
+    resolve_n_jobs,
+)
 from repro.experiments.report import ascii_table, format_sweep_result, write_csv
-from repro.experiments.runner import ReplicateSummary, run_replicates
+from repro.experiments.runner import (
+    NonFiniteMetricWarning,
+    ReplicateSummary,
+    run_replicates,
+)
 from repro.experiments.sweep import SweepResult
 
 __all__ = [
     "run_replicates",
     "ReplicateSummary",
+    "NonFiniteMetricWarning",
+    "ParallelFallbackWarning",
+    "ReplicateOutcome",
+    "execute_replicates",
+    "resolve_n_jobs",
     "SweepResult",
     "ascii_table",
     "format_sweep_result",

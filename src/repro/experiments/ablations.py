@@ -17,6 +17,7 @@ criterion) and swaps one axis:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -66,9 +67,12 @@ def _ablation_sweep(
     n_replicates: int,
     seed,
     meta: dict,
+    n_jobs: int = 1,
 ) -> SweepResult:
     """Aggregate a single-metric replicate function over named variants."""
-    summary = run_replicates(replicate_fn, n_replicates=n_replicates, seed=seed)
+    summary = run_replicates(
+        replicate_fn, n_replicates=n_replicates, seed=seed, n_jobs=n_jobs
+    )
     means = np.array([[summary.means[v] for v in variants]])
     stds = np.array([[summary.stds[v] for v in variants]])
     sems = np.array([[summary.sems[v] for v in variants]])
@@ -86,6 +90,26 @@ def _ablation_sweep(
     )
 
 
+def _kernel_ablation_replicate(
+    rng, *, kernels: tuple[str, ...], n_labeled: int, n_unlabeled: int
+) -> dict[str, float]:
+    """One kernel-ablation replicate (module-level so it pickles for n_jobs)."""
+    instances = {name: kernel_by_name(name) for name in kernels}
+    data = make_synthetic_dataset(n_labeled, n_unlabeled, seed=rng)
+    base_bandwidth = paper_bandwidth_rule(n_labeled, data.x_labeled.shape[1])
+    metrics = {}
+    for name, kernel in instances.items():
+        scale = 1.0 if not np.isfinite(kernel.support_radius) else 2.0
+        graph = build_similarity_graph(
+            data.x_all, kernel=kernel, bandwidth=scale * base_bandwidth
+        )
+        fit = solve_hard_criterion(graph.weights, data.y_labeled)
+        metrics[name] = root_mean_squared_error(
+            data.q_unlabeled, fit.unlabeled_scores
+        )
+    return metrics
+
+
 def run_kernel_ablation(
     *,
     kernels: tuple[str, ...] = _DEFAULT_KERNELS,
@@ -93,6 +117,7 @@ def run_kernel_ablation(
     n_unlabeled: int = 30,
     n_replicates: int = 50,
     seed=None,
+    n_jobs: int = 1,
 ) -> SweepResult:
     """Hard-criterion RMSE under different kernel families.
 
@@ -102,28 +127,52 @@ def run_kernel_ablation(
     kernels would see far fewer neighbours and the comparison would
     conflate kernel shape with effective scale.
     """
-    instances = {name: kernel_by_name(name) for name in kernels}
-
-    def replicate(rng):
-        data = make_synthetic_dataset(n_labeled, n_unlabeled, seed=rng)
-        base_bandwidth = paper_bandwidth_rule(n_labeled, data.x_labeled.shape[1])
-        metrics = {}
-        for name, kernel in instances.items():
-            scale = 1.0 if not np.isfinite(kernel.support_radius) else 2.0
-            graph = build_similarity_graph(
-                data.x_all, kernel=kernel, bandwidth=scale * base_bandwidth
-            )
-            fit = solve_hard_criterion(graph.weights, data.y_labeled)
-            metrics[name] = root_mean_squared_error(
-                data.q_unlabeled, fit.unlabeled_scores
-            )
-        return metrics
+    for name in kernels:  # validate names before any replicate runs
+        kernel_by_name(name)
 
     return _ablation_sweep(
-        "ablation_kernels", tuple(kernels), replicate,
+        "ablation_kernels", tuple(kernels),
+        partial(
+            _kernel_ablation_replicate,
+            kernels=tuple(kernels),
+            n_labeled=n_labeled,
+            n_unlabeled=n_unlabeled,
+        ),
         n_replicates=n_replicates, seed=seed,
         meta={"n": n_labeled, "m": n_unlabeled},
+        n_jobs=n_jobs,
     )
+
+
+def _resolve_bandwidth(rule: str, x, n: int) -> float:
+    """Apply one named bandwidth rule (picklable, unlike a lambda table)."""
+    if rule == "paper":
+        return paper_bandwidth_rule(n, x.shape[1])
+    if rule == "median":
+        return median_heuristic(x)
+    if rule == "scott":
+        return scott_rule(x)
+    if rule == "silverman":
+        return silverman_rule(x)
+    if rule == "knn":
+        return knn_distance_rule(x)
+    raise ConfigurationError(f"unknown bandwidth rule {rule!r}")
+
+
+def _bandwidth_ablation_replicate(
+    rng, *, rules: tuple[str, ...], n_labeled: int, n_unlabeled: int
+) -> dict[str, float]:
+    """One bandwidth-ablation replicate (module-level so it pickles)."""
+    data = make_synthetic_dataset(n_labeled, n_unlabeled, seed=rng)
+    metrics = {}
+    for rule in rules:
+        bandwidth = _resolve_bandwidth(rule, data.x_all, n_labeled)
+        graph = build_similarity_graph(data.x_all, bandwidth=bandwidth)
+        fit = solve_hard_criterion(graph.weights, data.y_labeled)
+        metrics[rule] = root_mean_squared_error(
+            data.q_unlabeled, fit.unlabeled_scores
+        )
+    return metrics
 
 
 def run_bandwidth_ablation(
@@ -133,36 +182,60 @@ def run_bandwidth_ablation(
     n_unlabeled: int = 30,
     n_replicates: int = 50,
     seed=None,
+    n_jobs: int = 1,
 ) -> SweepResult:
     """Hard-criterion RMSE under different bandwidth-selection rules."""
-    resolvers = {
-        "paper": lambda x, n: paper_bandwidth_rule(n, x.shape[1]),
-        "median": lambda x, n: median_heuristic(x),
-        "scott": lambda x, n: scott_rule(x),
-        "silverman": lambda x, n: silverman_rule(x),
-        "knn": lambda x, n: knn_distance_rule(x),
-    }
-    unknown = [r for r in rules if r not in resolvers]
+    unknown = [r for r in rules if r not in _DEFAULT_BANDWIDTH_RULES]
     if unknown:
         raise ConfigurationError(f"unknown bandwidth rules {unknown}")
 
-    def replicate(rng):
-        data = make_synthetic_dataset(n_labeled, n_unlabeled, seed=rng)
-        metrics = {}
-        for rule in rules:
-            bandwidth = resolvers[rule](data.x_all, n_labeled)
-            graph = build_similarity_graph(data.x_all, bandwidth=bandwidth)
-            fit = solve_hard_criterion(graph.weights, data.y_labeled)
-            metrics[rule] = root_mean_squared_error(
-                data.q_unlabeled, fit.unlabeled_scores
-            )
-        return metrics
-
     return _ablation_sweep(
-        "ablation_bandwidth", tuple(rules), replicate,
+        "ablation_bandwidth", tuple(rules),
+        partial(
+            _bandwidth_ablation_replicate,
+            rules=tuple(rules),
+            n_labeled=n_labeled,
+            n_unlabeled=n_unlabeled,
+        ),
         n_replicates=n_replicates, seed=seed,
         meta={"n": n_labeled, "m": n_unlabeled},
+        n_jobs=n_jobs,
     )
+
+
+def _graph_ablation_replicate(
+    rng,
+    *,
+    constructions: tuple[str, ...],
+    n_labeled: int,
+    n_unlabeled: int,
+    knn_k: int,
+    epsilon_scale: float,
+) -> dict[str, float]:
+    """One graph-ablation replicate (module-level so it pickles)."""
+    from repro.graph.similarity import local_scaling_graph
+
+    data = make_synthetic_dataset(n_labeled, n_unlabeled, seed=rng)
+    bandwidth = paper_bandwidth_rule(n_labeled, data.x_labeled.shape[1])
+    metrics = {}
+    for construction in constructions:
+        if construction == "local_scaling":
+            graph = local_scaling_graph(data.x_all, k=min(knn_k, 7))
+        else:
+            params = {}
+            if construction == "knn":
+                params["k"] = knn_k
+            elif construction == "epsilon":
+                params["radius"] = epsilon_scale * bandwidth
+            graph = build_similarity_graph(
+                data.x_all, construction=construction,
+                bandwidth=bandwidth, **params,
+            )
+        fit = solve_hard_criterion(graph.weights, data.y_labeled)
+        metrics[construction] = root_mean_squared_error(
+            data.q_unlabeled, fit.unlabeled_scores
+        )
+    return metrics
 
 
 def run_graph_ablation(
@@ -174,41 +247,26 @@ def run_graph_ablation(
     epsilon_scale: float = 1.5,
     n_replicates: int = 50,
     seed=None,
+    n_jobs: int = 1,
 ) -> SweepResult:
     """Hard-criterion RMSE under full vs sparsified graph constructions."""
     unknown = [c for c in constructions if c not in _DEFAULT_GRAPHS]
     if unknown:
         raise ConfigurationError(f"unknown graph constructions {unknown}")
 
-    def replicate(rng):
-        from repro.graph.similarity import local_scaling_graph
-
-        data = make_synthetic_dataset(n_labeled, n_unlabeled, seed=rng)
-        bandwidth = paper_bandwidth_rule(n_labeled, data.x_labeled.shape[1])
-        metrics = {}
-        for construction in constructions:
-            if construction == "local_scaling":
-                graph = local_scaling_graph(data.x_all, k=min(knn_k, 7))
-            else:
-                params = {}
-                if construction == "knn":
-                    params["k"] = knn_k
-                elif construction == "epsilon":
-                    params["radius"] = epsilon_scale * bandwidth
-                graph = build_similarity_graph(
-                    data.x_all, construction=construction,
-                    bandwidth=bandwidth, **params,
-                )
-            fit = solve_hard_criterion(graph.weights, data.y_labeled)
-            metrics[construction] = root_mean_squared_error(
-                data.q_unlabeled, fit.unlabeled_scores
-            )
-        return metrics
-
     return _ablation_sweep(
-        "ablation_graph", tuple(constructions), replicate,
+        "ablation_graph", tuple(constructions),
+        partial(
+            _graph_ablation_replicate,
+            constructions=tuple(constructions),
+            n_labeled=n_labeled,
+            n_unlabeled=n_unlabeled,
+            knn_k=knn_k,
+            epsilon_scale=epsilon_scale,
+        ),
         n_replicates=n_replicates, seed=seed,
         meta={"n": n_labeled, "m": n_unlabeled, "k": knn_k},
+        n_jobs=n_jobs,
     )
 
 

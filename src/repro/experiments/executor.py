@@ -1,0 +1,213 @@
+"""Process-based parallel execution of experiment replicates.
+
+The paper's protocol repeats every synthetic configuration up to 1000
+times; :func:`repro.experiments.runner.run_replicates` used to pay that
+cost strictly serially.  This module fans ``replicate(rng)`` calls out
+over a :class:`concurrent.futures.ProcessPoolExecutor` while keeping two
+contracts intact:
+
+**Determinism.**  Workers never derive randomness themselves: the parent
+spawns one :class:`numpy.random.SeedSequence` child per replicate (via
+:func:`repro.utils.rng.spawn_seeds`, exactly as the serial path does)
+and ships it to the worker, which builds its generator from that child.
+Results come back in submission order, so aggregates computed from a
+parallel run are bit-identical to the serial ones for the same master
+seed.
+
+**Observability.**  Each worker runs its replicate under a private
+:class:`~repro.obs.trace.RecordingTracer` (only when the parent is
+tracing) and a private :class:`~repro.obs.metrics.MetricsRegistry`, and
+returns the recorded span subtree plus the registry state alongside the
+metric values.  The parent grafts the spans into the session trace
+(:meth:`RecordingTracer.adopt_records`) and folds the metric deltas into
+the session registry (:meth:`MetricsRegistry.merge_state`), so
+``trace-report`` and the :class:`~repro.obs.bench.BenchRecorder` solver
+health extraction keep working under ``n_jobs > 1``.
+
+Parallelism is best-effort, never load-bearing: a callable that fails to
+pickle, or a platform where the process pool cannot start, degrades to
+serial execution with a :class:`ParallelFallbackWarning` — the caller
+gets the same numbers either way.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import warnings
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ParallelFallbackWarning",
+    "ReplicateOutcome",
+    "resolve_n_jobs",
+    "default_chunksize",
+    "execute_replicates",
+]
+
+
+class ParallelFallbackWarning(UserWarning):
+    """A parallel run degraded to serial execution (results unaffected)."""
+
+
+@dataclass(frozen=True)
+class ReplicateOutcome:
+    """Everything one worker sends back for one replicate.
+
+    Attributes
+    ----------
+    index:
+        The replicate's position in the seed stream (and therefore in
+        every aggregate).
+    metrics:
+        The mapping ``replicate(rng)`` returned, values coerced to float.
+    span_records:
+        Flat pre-order span records from the worker's private tracer
+        (empty when the parent was not tracing).
+    metrics_state:
+        The worker registry's :meth:`~repro.obs.MetricsRegistry.to_state`
+        dump, mergeable into the parent registry.
+    """
+
+    index: int
+    metrics: dict[str, float]
+    span_records: list[dict] = field(default_factory=list)
+    metrics_state: dict[str, dict] = field(default_factory=dict)
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` request to a concrete worker count.
+
+    ``None`` and ``1`` mean serial; ``-1`` means one worker per CPU;
+    anything else must be a positive integer.
+    """
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == -1:
+        return max(1, os.cpu_count() or 1)
+    if n_jobs < 1:
+        raise ConfigurationError(
+            f"n_jobs must be >= 1 or -1 (one worker per CPU), got {n_jobs}"
+        )
+    return n_jobs
+
+
+def default_chunksize(n_tasks: int, n_jobs: int) -> int:
+    """Chunk tasks so each worker sees ~4 chunks (amortizes IPC overhead
+    while keeping the pool load-balanced when replicate costs vary)."""
+    if n_tasks < 1 or n_jobs < 1:
+        return 1
+    return max(1, math.ceil(n_tasks / (n_jobs * 4)))
+
+
+def _run_replicate_task(task) -> ReplicateOutcome:
+    """Worker entry point: run one replicate under private obs state.
+
+    Mirrors the serial path in :func:`~repro.experiments.runner.run_replicates`:
+    the replicate executes inside a ``repro.replicate`` span carrying the
+    replicate index and one ``metric.<name>`` attribute per returned
+    metric.
+    """
+    replicate, seed, index, record_spans = task
+    registry = obs.MetricsRegistry()
+    tracer = obs.RecordingTracer() if record_spans else None
+    rng = np.random.default_rng(seed)
+    with obs.use_registry(registry):
+        if tracer is not None:
+            with obs.use_tracer(tracer):
+                with obs.span("repro.replicate", index=index) as span:
+                    metrics = {
+                        key: float(value)
+                        for key, value in dict(replicate(rng)).items()
+                    }
+                    for key, value in metrics.items():
+                        span.set_attribute(f"metric.{key}", value)
+        else:
+            metrics = {
+                key: float(value) for key, value in dict(replicate(rng)).items()
+            }
+    return ReplicateOutcome(
+        index=index,
+        metrics=metrics,
+        span_records=tracer.to_records() if tracer is not None else [],
+        metrics_state=registry.to_state(),
+    )
+
+
+def execute_replicates(
+    replicate: Callable[[np.random.Generator], Mapping[str, float]],
+    seeds: Sequence[np.random.SeedSequence],
+    *,
+    n_jobs: int,
+    chunksize: int | None = None,
+    record_spans: bool | None = None,
+) -> list[ReplicateOutcome] | None:
+    """Run ``replicate`` over pre-spawned ``seeds`` in a worker pool.
+
+    Returns the outcomes in seed order, or ``None`` when the work should
+    run serially instead — either because ``n_jobs`` resolves to 1, the
+    callable cannot cross the process boundary, or the pool itself fails
+    to operate (the latter two emit a :class:`ParallelFallbackWarning`).
+    Exceptions raised *by the replicate itself* are real failures and
+    propagate unchanged.
+
+    Parameters
+    ----------
+    replicate:
+        The per-replicate callable; must be picklable (module-level
+        functions and :func:`functools.partial` over them are; closures
+        and lambdas are not).
+    seeds:
+        One :class:`numpy.random.SeedSequence` per replicate, pre-spawned
+        by the caller so parallel and serial runs share one seed stream.
+    n_jobs:
+        Worker count (``-1`` = one per CPU).
+    chunksize:
+        Tasks per pool dispatch; defaults to :func:`default_chunksize`.
+    record_spans:
+        Whether workers should record span subtrees; defaults to the
+        parent's :func:`repro.obs.tracing_enabled`.
+    """
+    n_jobs = resolve_n_jobs(n_jobs)
+    if n_jobs == 1 or not seeds:
+        return None
+    if record_spans is None:
+        record_spans = obs.tracing_enabled()
+    try:
+        pickle.dumps(replicate)
+    except Exception as exc:  # pickle raises many unrelated types
+        warnings.warn(
+            f"replicate callable {replicate!r} cannot be pickled ({exc}); "
+            f"falling back to serial execution",
+            ParallelFallbackWarning,
+            stacklevel=3,
+        )
+        return None
+
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    tasks = [
+        (replicate, seed, index, record_spans)
+        for index, seed in enumerate(seeds)
+    ]
+    if chunksize is None:
+        chunksize = default_chunksize(len(tasks), n_jobs)
+    try:
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
+            return list(pool.map(_run_replicate_task, tasks, chunksize=chunksize))
+    except (BrokenProcessPool, OSError) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc}); falling back to serial execution",
+            ParallelFallbackWarning,
+            stacklevel=3,
+        )
+        return None

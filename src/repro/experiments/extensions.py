@@ -27,6 +27,7 @@ A third study targets the paper's practical message head-on:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -51,6 +52,41 @@ __all__ = [
 ]
 
 
+def _metric_study_replicate(
+    rng,
+    *,
+    n_labeled: int,
+    n_unlabeled: int,
+    lambdas: tuple[float, ...],
+    metrics: tuple[str, ...],
+    model: str,
+) -> dict[str, float]:
+    """One metric-study replicate (module-level so it pickles for n_jobs)."""
+    data = make_synthetic_dataset(n_labeled, n_unlabeled, model=model, seed=rng)
+    bandwidth = paper_bandwidth_rule(n_labeled, data.x_labeled.shape[1])
+    graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+    out = {}
+    for lam in lambdas:
+        fit = solve_soft_criterion(
+            graph.weights, data.y_labeled, lam, check_reachability=False
+        )
+        scores = fit.unlabeled_scores
+        hidden = data.y_unlabeled
+        if hidden.min() == hidden.max():
+            # Degenerate replicate; score it neutrally.
+            values = {"auc": 0.5, "mcc": 0.0, "accuracy": float(np.mean((scores >= 0.5) == hidden))}
+        else:
+            predictions = (scores >= 0.5).astype(float)
+            values = {
+                "auc": auc(hidden, scores),
+                "mcc": matthews_corrcoef(hidden, predictions),
+                "accuracy": accuracy(hidden, predictions),
+            }
+        for metric in metrics:
+            out[f"{metric}@lambda={lam:g}"] = values[metric]
+    return out
+
+
 def run_metric_study(
     *,
     n_labeled: int = 200,
@@ -60,6 +96,7 @@ def run_metric_study(
     model: str = "model1",
     n_replicates: int = 50,
     seed=None,
+    n_jobs: int = 1,
 ) -> SweepResult:
     """Hard vs soft under AUC / MCC / accuracy (future-work metric study).
 
@@ -72,32 +109,17 @@ def run_metric_study(
     if unknown:
         raise ConfigurationError(f"unknown metrics {sorted(unknown)}; known: {sorted(known)}")
 
-    def replicate(rng):
-        data = make_synthetic_dataset(n_labeled, n_unlabeled, model=model, seed=rng)
-        bandwidth = paper_bandwidth_rule(n_labeled, data.x_labeled.shape[1])
-        graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
-        out = {}
-        for lam in lambdas:
-            fit = solve_soft_criterion(
-                graph.weights, data.y_labeled, lam, check_reachability=False
-            )
-            scores = fit.unlabeled_scores
-            hidden = data.y_unlabeled
-            if hidden.min() == hidden.max():
-                # Degenerate replicate; score it neutrally.
-                values = {"auc": 0.5, "mcc": 0.0, "accuracy": float(np.mean((scores >= 0.5) == hidden))}
-            else:
-                predictions = (scores >= 0.5).astype(float)
-                values = {
-                    "auc": auc(hidden, scores),
-                    "mcc": matthews_corrcoef(hidden, predictions),
-                    "accuracy": accuracy(hidden, predictions),
-                }
-            for metric in metrics:
-                out[f"{metric}@lambda={lam:g}"] = values[metric]
-        return out
-
-    summary = run_replicates(replicate, n_replicates=n_replicates, seed=seed)
+    replicate = partial(
+        _metric_study_replicate,
+        n_labeled=n_labeled,
+        n_unlabeled=n_unlabeled,
+        lambdas=tuple(lambdas),
+        metrics=tuple(metrics),
+        model=model,
+    )
+    summary = run_replicates(
+        replicate, n_replicates=n_replicates, seed=seed, n_jobs=n_jobs
+    )
     means = np.array(
         [[summary.means[f"{metric}@lambda={lam:g}"] for lam in lambdas] for metric in metrics]
     )
@@ -164,6 +186,31 @@ class MGrowthResult:
         return ["n", "m", "m/(n h^d)", "hard_rmse", "soft_rmse"]
 
 
+def _m_growth_replicate(
+    rng,
+    *,
+    n: int,
+    m: int,
+    bandwidth: float,
+    soft_lambda: float,
+    model: str,
+) -> dict[str, float]:
+    """One m-growth replicate (module-level so it pickles for n_jobs)."""
+    data = make_synthetic_dataset(n, m, model=model, seed=rng)
+    graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+    hard = solve_hard_criterion(
+        graph.weights, data.y_labeled, check_reachability=False
+    )
+    soft = solve_soft_criterion(
+        graph.weights, data.y_labeled, soft_lambda,
+        check_reachability=False,
+    )
+    return {
+        "hard": root_mean_squared_error(data.q_unlabeled, hard.unlabeled_scores),
+        "soft": root_mean_squared_error(data.q_unlabeled, soft.unlabeled_scores),
+    }
+
+
 def run_m_growth_study(
     *,
     gamma: float,
@@ -173,6 +220,7 @@ def run_m_growth_study(
     model: str = "model1",
     n_replicates: int = 30,
     seed=None,
+    n_jobs: int = 1,
 ) -> MGrowthResult:
     """Trace RMSE with m coupled to n by ``m = round(coefficient * n^gamma)``."""
     if gamma <= 0:
@@ -189,25 +237,18 @@ def run_m_growth_study(
         bandwidth = paper_bandwidth_rule(n, 5)
         ratios.append(m / (n * bandwidth**5))
 
-        def replicate(rng, n=n, m=m, bandwidth=bandwidth):
-            data = make_synthetic_dataset(n, m, model=model, seed=rng)
-            graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
-            hard = solve_hard_criterion(
-                graph.weights, data.y_labeled, check_reachability=False
-            )
-            soft = solve_soft_criterion(
-                graph.weights, data.y_labeled, soft_lambda,
-                check_reachability=False,
-            )
-            return {
-                "hard": root_mean_squared_error(data.q_unlabeled, hard.unlabeled_scores),
-                "soft": root_mean_squared_error(data.q_unlabeled, soft.unlabeled_scores),
-            }
-
         summary = run_replicates(
-            replicate,
+            partial(
+                _m_growth_replicate,
+                n=n,
+                m=m,
+                bandwidth=bandwidth,
+                soft_lambda=soft_lambda,
+                model=model,
+            ),
             n_replicates=n_replicates,
             seed=None if seed is None else (hash((seed, j)) % (2**32)),
+            n_jobs=n_jobs,
         )
         hard_means.append(summary.means["hard"])
         soft_means.append(summary.means["soft"])
@@ -247,6 +288,41 @@ class TunedLambdaResult:
         return float(np.mean(chosen == 0.0))
 
 
+def _tuned_lambda_replicate(
+    rng,
+    *,
+    n_labeled: int,
+    n_unlabeled: int,
+    grid: tuple[float, ...],
+    n_folds: int,
+    model: str,
+) -> dict[str, float]:
+    """One tuned-lambda replicate (module-level so it pickles for n_jobs).
+
+    The CV fold shuffles draw from the same generator that produced the
+    dataset, exactly as the pre-``run_replicates`` implementation did, so
+    the per-replicate stream (and every reported number) is unchanged.
+    """
+    data = make_synthetic_dataset(n_labeled, n_unlabeled, model=model, seed=rng)
+    bandwidth = paper_bandwidth_rule(n_labeled, data.x_labeled.shape[1])
+    graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+    search = select_lambda(
+        graph.weights, data.y_labeled, grid=grid, n_folds=n_folds, seed=rng
+    )
+    tuned = solve_soft_criterion(
+        graph.weights, data.y_labeled, search.best_value,
+        check_reachability=False,
+    )
+    hard = solve_hard_criterion(
+        graph.weights, data.y_labeled, check_reachability=False
+    )
+    return {
+        "hard": root_mean_squared_error(data.q_unlabeled, hard.unlabeled_scores),
+        "tuned": root_mean_squared_error(data.q_unlabeled, tuned.unlabeled_scores),
+        "chosen": float(search.best_value),
+    }
+
+
 def run_tuned_lambda_study(
     *,
     n_labeled: int = 150,
@@ -256,36 +332,24 @@ def run_tuned_lambda_study(
     model: str = "model1",
     n_replicates: int = 20,
     seed=None,
+    n_jobs: int = 1,
 ) -> TunedLambdaResult:
     """Compare the untuned hard criterion with a CV-tuned soft criterion."""
-    from repro.utils.rng import spawn_rngs
-
-    hard_losses = []
-    tuned_losses = []
-    chosen = []
-    for rng in spawn_rngs(seed, n_replicates):
-        data = make_synthetic_dataset(n_labeled, n_unlabeled, model=model, seed=rng)
-        bandwidth = paper_bandwidth_rule(n_labeled, data.x_labeled.shape[1])
-        graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
-        search = select_lambda(
-            graph.weights, data.y_labeled, grid=grid, n_folds=n_folds, seed=rng
-        )
-        chosen.append(search.best_value)
-        tuned = solve_soft_criterion(
-            graph.weights, data.y_labeled, search.best_value,
-            check_reachability=False,
-        )
-        hard = solve_hard_criterion(
-            graph.weights, data.y_labeled, check_reachability=False
-        )
-        tuned_losses.append(
-            root_mean_squared_error(data.q_unlabeled, tuned.unlabeled_scores)
-        )
-        hard_losses.append(
-            root_mean_squared_error(data.q_unlabeled, hard.unlabeled_scores)
-        )
+    summary = run_replicates(
+        partial(
+            _tuned_lambda_replicate,
+            n_labeled=n_labeled,
+            n_unlabeled=n_unlabeled,
+            grid=tuple(grid),
+            n_folds=n_folds,
+            model=model,
+        ),
+        n_replicates=n_replicates,
+        seed=seed,
+        n_jobs=n_jobs,
+    )
     return TunedLambdaResult(
-        hard_rmse=float(np.mean(hard_losses)),
-        tuned_rmse=float(np.mean(tuned_losses)),
-        chosen_lambdas=tuple(chosen),
+        hard_rmse=summary.means["hard"],
+        tuned_rmse=summary.means["tuned"],
+        chosen_lambdas=summary.values["chosen"],
     )

@@ -24,6 +24,7 @@ def run_figure3(
     lambdas: tuple[float, ...] = PAPER_LAMBDAS,
     n_replicates: int = 200,
     seed=None,
+    n_jobs: int = 1,
 ) -> SweepResult:
     """Regenerate Figure 3's series (defaults follow the paper's grid)."""
     return run_synthetic_sweep(
@@ -35,4 +36,5 @@ def run_figure3(
         lambdas=lambdas,
         n_replicates=n_replicates,
         seed=seed,
+        n_jobs=n_jobs,
     )

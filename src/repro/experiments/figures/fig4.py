@@ -23,6 +23,7 @@ def run_figure4(
     lambdas: tuple[float, ...] = PAPER_LAMBDAS,
     n_replicates: int = 200,
     seed=None,
+    n_jobs: int = 1,
 ) -> SweepResult:
     """Regenerate Figure 4's series (defaults follow the paper's grid)."""
     return run_synthetic_sweep(
@@ -34,4 +35,5 @@ def run_figure4(
         lambdas=lambdas,
         n_replicates=n_replicates,
         seed=seed,
+        n_jobs=n_jobs,
     )

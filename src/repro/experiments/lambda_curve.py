@@ -17,6 +17,7 @@ the curve shows.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.core.hard import solve_hard_criterion
 from repro.core.soft import soft_lambda_infinity_limit, solve_soft_criterion
@@ -70,6 +71,43 @@ class LambdaCurve:
         return ["lambda", "rmse"]
 
 
+def _lambda_curve_replicate(
+    rng,
+    *,
+    n_labeled: int,
+    n_unlabeled: int,
+    lambdas: tuple[float, ...],
+    model: str,
+) -> dict[str, float]:
+    """One replicate: RMSE at each grid lambda plus the two anchors.
+
+    Module-level (not a closure) so it pickles across the ``n_jobs``
+    process boundary.
+    """
+    data = make_synthetic_dataset(n_labeled, n_unlabeled, model=model, seed=rng)
+    bandwidth = paper_bandwidth_rule(n_labeled, data.x_labeled.shape[1])
+    graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+    out = {}
+    for lam in lambdas:
+        fit = solve_soft_criterion(
+            graph.weights, data.y_labeled, lam, check_reachability=False
+        )
+        out[f"lam={lam:g}"] = root_mean_squared_error(
+            data.q_unlabeled, fit.unlabeled_scores
+        )
+    hard = solve_hard_criterion(
+        graph.weights, data.y_labeled, check_reachability=False
+    )
+    out["hard"] = root_mean_squared_error(
+        data.q_unlabeled, hard.unlabeled_scores
+    )
+    limit = soft_lambda_infinity_limit(data.y_labeled, graph.n_vertices)
+    out["mean"] = root_mean_squared_error(
+        data.q_unlabeled, limit[n_labeled:]
+    )
+    return out
+
+
 def run_lambda_curve(
     *,
     n_labeled: int = 150,
@@ -80,6 +118,7 @@ def run_lambda_curve(
     model: str = "model1",
     n_replicates: int = 50,
     seed=None,
+    n_jobs: int = 1,
 ) -> LambdaCurve:
     """Trace mean RMSE along a dense lambda grid."""
     if lambdas[0] != 0.0 or list(lambdas[1:]) != sorted(set(lambdas[1:])):
@@ -87,31 +126,16 @@ def run_lambda_curve(
             "lambdas must start at 0 and then strictly increase"
         )
 
-    def replicate(rng):
-        data = make_synthetic_dataset(n_labeled, n_unlabeled, model=model, seed=rng)
-        bandwidth = paper_bandwidth_rule(n_labeled, data.x_labeled.shape[1])
-        graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
-        out = {}
-        for lam in lambdas:
-            fit = solve_soft_criterion(
-                graph.weights, data.y_labeled, lam, check_reachability=False
-            )
-            out[f"lam={lam:g}"] = root_mean_squared_error(
-                data.q_unlabeled, fit.unlabeled_scores
-            )
-        hard = solve_hard_criterion(
-            graph.weights, data.y_labeled, check_reachability=False
-        )
-        out["hard"] = root_mean_squared_error(
-            data.q_unlabeled, hard.unlabeled_scores
-        )
-        limit = soft_lambda_infinity_limit(data.y_labeled, graph.n_vertices)
-        out["mean"] = root_mean_squared_error(
-            data.q_unlabeled, limit[n_labeled:]
-        )
-        return out
-
-    summary = run_replicates(replicate, n_replicates=n_replicates, seed=seed)
+    replicate = partial(
+        _lambda_curve_replicate,
+        n_labeled=n_labeled,
+        n_unlabeled=n_unlabeled,
+        lambdas=tuple(lambdas),
+        model=model,
+    )
+    summary = run_replicates(
+        replicate, n_replicates=n_replicates, seed=seed, n_jobs=n_jobs
+    )
     return LambdaCurve(
         lambdas=tuple(lambdas),
         rmse=tuple(summary.means[f"lam={lam:g}"] for lam in lambdas),

@@ -5,20 +5,42 @@ average RMSEs.  :func:`run_replicates` runs a replicate function under
 independent child RNG streams (see :mod:`repro.utils.rng`) and aggregates
 each returned metric into mean / std / standard error, so every figure
 driver shares one correct implementation of "repeat and average".
+
+With ``n_jobs > 1`` the replicates fan out over a process pool
+(:mod:`repro.experiments.executor`).  Workers consume the *same*
+pre-spawned :class:`numpy.random.SeedSequence` children the serial loop
+would, and results are aggregated in replicate order, so for a fixed
+master seed the parallel :class:`ReplicateSummary` is bit-identical to
+the serial one.  Callables that cannot be pickled (closures, lambdas)
+degrade to serial execution with a warning rather than failing.
+
+Non-finite replicate values are a correctness hazard — one NaN poisons
+every mean — so the runner validates them: under ``strict=True`` (the
+default, and what every experiment driver uses) a NaN/inf metric raises
+:class:`~repro.exceptions.NonFiniteMetricError` naming the metric and
+replicate index; under ``strict=False`` it warns, increments the
+``replicates.nonfinite`` counter, and lets the value through.
 """
 
 from __future__ import annotations
 
+import math
+import warnings
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro import obs
-from repro.exceptions import ConfigurationError
-from repro.utils.rng import spawn_rngs
+from repro.exceptions import ConfigurationError, NonFiniteMetricError
+from repro.experiments.executor import execute_replicates, resolve_n_jobs
+from repro.utils.rng import spawn_seeds
 
-__all__ = ["ReplicateSummary", "run_replicates"]
+__all__ = ["NonFiniteMetricWarning", "ReplicateSummary", "run_replicates"]
+
+
+class NonFiniteMetricWarning(UserWarning):
+    """A replicate returned a NaN/inf metric value (non-strict mode)."""
 
 
 @dataclass(frozen=True)
@@ -75,11 +97,48 @@ class ReplicateSummary:
         return float(low), float(high)
 
 
+def _check_keys(metrics: Mapping[str, float], expected: set[str] | None) -> set[str]:
+    """Every replicate must return the same metric keys."""
+    if expected is None:
+        return set(metrics)
+    if set(metrics) != expected:
+        raise ConfigurationError(
+            f"replicates returned inconsistent metric keys: "
+            f"{sorted(expected)} vs {sorted(metrics)}"
+        )
+    return expected
+
+
+def _ingest(
+    values: dict[str, list[float]],
+    metrics: Mapping[str, float],
+    index: int,
+    *,
+    strict: bool,
+    registry,
+) -> None:
+    """Append one replicate's metrics, policing non-finite values."""
+    for key, value in metrics.items():
+        value = float(value)
+        if not math.isfinite(value):
+            registry.counter("replicates.nonfinite").inc()
+            message = (
+                f"replicate {index} returned a non-finite value ({value!r}) "
+                f"for metric {key!r}"
+            )
+            if strict:
+                raise NonFiniteMetricError(message)
+            warnings.warn(message, NonFiniteMetricWarning, stacklevel=4)
+        values.setdefault(key, []).append(value)
+
+
 def run_replicates(
     replicate: Callable[[np.random.Generator], Mapping[str, float]],
     *,
     n_replicates: int,
     seed=None,
+    n_jobs: int = 1,
+    strict: bool = True,
 ) -> ReplicateSummary:
     """Run ``replicate(rng)`` under independent streams and aggregate.
 
@@ -88,32 +147,60 @@ def run_replicates(
     replicate:
         Callable receiving a fresh :class:`numpy.random.Generator` and
         returning a mapping of metric name to value.  Every replicate
-        must return the same metric keys.
+        must return the same metric keys.  To run under ``n_jobs > 1``
+        the callable must be picklable — a module-level function or a
+        :func:`functools.partial` over one; closures fall back to serial
+        with a warning.
     n_replicates:
         Number of replicates (the paper uses 1000; benches use fewer).
     seed:
         Master seed; children are spawned per replicate.
+    n_jobs:
+        Worker processes (``1`` = serial, ``-1`` = one per CPU).  For a
+        fixed ``seed`` the result is bit-identical at every ``n_jobs``.
+    strict:
+        When True (default), a NaN/inf metric value raises
+        :class:`~repro.exceptions.NonFiniteMetricError`; when False it
+        warns, increments the ``replicates.nonfinite`` counter, and is
+        aggregated as-is.
     """
     if n_replicates < 1:
         raise ConfigurationError(f"n_replicates must be >= 1, got {n_replicates}")
+    n_jobs = resolve_n_jobs(n_jobs)
+    seeds = spawn_seeds(seed, n_replicates)
     values: dict[str, list[float]] = {}
     expected_keys: set[str] | None = None
     registry = obs.get_registry()
-    for index, rng in enumerate(spawn_rngs(seed, n_replicates)):
-        with obs.span("repro.replicate", index=index) as span:
-            metrics = dict(replicate(rng))
-            if expected_keys is None:
-                expected_keys = set(metrics)
-            elif set(metrics) != expected_keys:
-                raise ConfigurationError(
-                    f"replicates returned inconsistent metric keys: "
-                    f"{sorted(expected_keys)} vs {sorted(metrics)}"
-                )
-            for key, value in metrics.items():
-                values.setdefault(key, []).append(float(value))
+
+    outcomes = None
+    if n_jobs > 1:
+        outcomes = execute_replicates(replicate, seeds, n_jobs=n_jobs)
+
+    if outcomes is None:
+        for index, child in enumerate(seeds):
+            rng = np.random.default_rng(child)
+            with obs.span("repro.replicate", index=index) as span:
+                metrics = dict(replicate(rng))
+                expected_keys = _check_keys(metrics, expected_keys)
                 if span.recording:
-                    span.set_attribute(f"metric.{key}", float(value))
-        registry.counter("replicates.completed").inc()
+                    for key, value in metrics.items():
+                        span.set_attribute(f"metric.{key}", float(value))
+                _ingest(values, metrics, index, strict=strict, registry=registry)
+            registry.counter("replicates.completed").inc()
+    else:
+        tracer = obs.get_tracer()
+        adopt = getattr(tracer, "adopt_records", None)
+        for outcome in outcomes:
+            if outcome.span_records and adopt is not None:
+                adopt(outcome.span_records)
+            if outcome.metrics_state:
+                registry.merge_state(outcome.metrics_state)
+            expected_keys = _check_keys(outcome.metrics, expected_keys)
+            _ingest(
+                values, outcome.metrics, outcome.index,
+                strict=strict, registry=registry,
+            )
+            registry.counter("replicates.completed").inc()
 
     means = {key: float(np.mean(v)) for key, v in values.items()}
     if n_replicates > 1:

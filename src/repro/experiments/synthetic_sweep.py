@@ -19,6 +19,8 @@ once and reused across all lambdas.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.core.soft import solve_soft_criterion
@@ -85,6 +87,7 @@ def run_synthetic_sweep(
     lambdas: tuple[float, ...] = PAPER_LAMBDAS,
     n_replicates: int = 200,
     seed=None,
+    n_jobs: int = 1,
 ) -> SweepResult:
     """Run one of Figures 1-4 (or a custom variant).
 
@@ -107,6 +110,9 @@ def run_synthetic_sweep(
         laptop-scale runs — the mean pattern is stable well before 200).
     seed:
         Master seed; every grid point spawns independent streams.
+    n_jobs:
+        Worker processes for the replicate fan-out (``1`` = serial,
+        ``-1`` = one per CPU); results are identical at every setting.
     """
     if vary not in ("n", "m"):
         raise ConfigurationError(f"vary must be 'n' or 'm', got {vary!r}")
@@ -118,15 +124,16 @@ def run_synthetic_sweep(
         n_labeled = value if vary == "n" else fixed
         n_unlabeled = value if vary == "m" else fixed
         summary = run_replicates(
-            lambda rng: synthetic_replicate_rmse(
-                rng,
+            partial(
+                synthetic_replicate_rmse,
                 n_labeled=n_labeled,
                 n_unlabeled=n_unlabeled,
                 model=model,
-                lambdas=lambdas,
+                lambdas=tuple(lambdas),
             ),
             n_replicates=n_replicates,
             seed=None if seed is None else (hash((seed, j)) % (2**32)),
+            n_jobs=n_jobs,
         )
         for i, label in enumerate(labels):
             means[i, j] = summary.means[label]

@@ -48,6 +48,12 @@ class Counter:
     def snapshot(self) -> dict:
         return {"value": self.value}
 
+    def to_state(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+    def merge_state(self, state: dict) -> None:
+        self.inc(float(state.get("value", 0.0)))
+
 
 class Gauge:
     """Last-written value (current problem size, active lambda, ...)."""
@@ -65,6 +71,14 @@ class Gauge:
 
     def snapshot(self) -> dict:
         return {"value": self.value}
+
+    def to_state(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+    def merge_state(self, state: dict) -> None:
+        value = float(state.get("value", math.nan))
+        if not math.isnan(value):
+            self.value = value
 
 
 class Histogram:
@@ -126,6 +140,34 @@ class Histogram:
             "p90": self.quantile(0.9),
         }
 
+    def to_state(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "samples": list(self.samples),
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's full state into this one.
+
+        count/sum/min/max merge exactly; retained samples are appended
+        up to ``max_samples`` (beyond the cap quantiles are approximate,
+        just as with the ring-buffer overwrite on the hot path).
+        """
+        count = int(state.get("count", 0))
+        if count == 0:
+            return
+        self.count += count
+        self.total += float(state.get("total", 0.0))
+        self.min = min(self.min, float(state.get("min", math.inf)))
+        self.max = max(self.max, float(state.get("max", -math.inf)))
+        for value in state.get("samples", ()):
+            if len(self.samples) < self.max_samples:
+                self.samples.append(float(value))
+
 
 class MetricsRegistry:
     """Get-or-create home for named metrics.
@@ -173,6 +215,35 @@ class MetricsRegistry:
             name: {"kind": metric.kind, **metric.snapshot()}
             for name, metric in sorted(self._metrics.items())
         }
+
+    def to_state(self) -> dict[str, dict]:
+        """Full-fidelity, mergeable dump of every metric.
+
+        Unlike :meth:`snapshot` (a human-facing summary), the state dump
+        round-trips through :meth:`merge_state`: counters keep their
+        totals, gauges their last value, histograms their exact
+        count/sum/min/max plus retained samples.  This is how worker
+        processes ship their metric deltas back to the parent registry.
+        """
+        return {name: metric.to_state() for name, metric in self._metrics.items()}
+
+    def merge_state(self, state: dict[str, dict]) -> None:
+        """Fold a :meth:`to_state` dump (e.g. from a worker) into this registry.
+
+        Counters add, gauges take the incoming value (last write wins,
+        matching their single-process semantics), histograms merge their
+        summaries exactly and their retained samples up to the cap.
+        Merging a name that exists here under a different kind raises
+        ``TypeError``, same as mixed-kind access does.
+        """
+        kinds = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+        for name, metric_state in state.items():
+            cls = kinds.get(metric_state.get("kind"))
+            if cls is None:
+                raise ValueError(
+                    f"metric {name!r} has unknown kind {metric_state.get('kind')!r}"
+                )
+            self._get_or_create(name, cls).merge_state(metric_state)
 
     def as_rows(self) -> list[list]:
         """``[name, kind, summary]`` rows for table rendering."""

@@ -257,6 +257,39 @@ class RecordingTracer:
                 if getattr(parent, "_mem_peak_abs", None) is not None:
                     parent._mem_peak_abs = max(parent._mem_peak_abs, peak_abs)
 
+    def adopt_records(self, records) -> None:
+        """Graft flat span records into this trace under the open span.
+
+        ``records`` is a pre-order list of record dicts as produced by
+        :meth:`to_records` — typically the subtree a worker process
+        recorded on its private tracer.  Names, attributes, wall-clock
+        starts and durations are preserved; span ids are reassigned from
+        this tracer's counter.  Parent/child links *within* the batch
+        are kept, and any record whose parent is not in the batch
+        attaches to the span currently open here (or becomes a root),
+        so a worker's ``repro.replicate`` subtree lands exactly where
+        the serial path would have recorded it.
+        """
+        base = self._stack[-1] if self._stack else None
+        by_old_id: dict[int, Span] = {}
+        for record in records:
+            span = Span(self, record.get("name", "?"), dict(record.get("attributes") or {}))
+            self._counter += 1
+            span.span_id = self._counter
+            span.start_wall = float(record.get("start_wall") or 0.0)
+            duration = record.get("duration_s")
+            span.duration = None if duration is None else float(duration)
+            parent = by_old_id.get(record.get("parent_id"), base)
+            if parent is not None:
+                span.parent_id = parent.span_id
+                span.depth = parent.depth + 1
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+            old_id = record.get("span_id")
+            if old_id is not None:
+                by_old_id[old_id] = span
+
     def iter_spans(self):
         """Pre-order walk over all finished and open spans."""
         stack = list(reversed(self.roots))

@@ -14,6 +14,7 @@ the proof's mechanism made visible.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -73,6 +74,27 @@ class ConsistencyCurve:
         return ["n", "hard_rmse", "nw_rmse", "P(max err > eps)"]
 
 
+def _consistency_replicate(
+    rng, *, n: int, n_unlabeled: int, model: str, epsilon: float
+) -> dict[str, float]:
+    """One consistency-curve replicate (module-level so it pickles for n_jobs)."""
+    data = make_synthetic_dataset(n, n_unlabeled, model=model, seed=rng)
+    bandwidth = paper_bandwidth_rule(n, data.x_labeled.shape[1])
+    graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+    hard = solve_hard_criterion(
+        graph.weights, data.y_labeled, check_reachability=False
+    )
+    nw = nadaraya_watson_from_weights(graph.weights, data.y_labeled)
+    errors = np.abs(hard.unlabeled_scores - data.q_unlabeled)
+    return {
+        "hard_rmse": float(np.sqrt(np.mean(errors**2))),
+        "nw_rmse": float(
+            np.sqrt(np.mean((nw - data.q_unlabeled) ** 2))
+        ),
+        "exceed": float(np.max(errors) > epsilon),
+    }
+
+
 def run_consistency_curve(
     *,
     n_values: tuple[int, ...] = (25, 50, 100, 200, 400, 800),
@@ -81,6 +103,7 @@ def run_consistency_curve(
     model: str = "model1",
     n_replicates: int = 100,
     seed=None,
+    n_jobs: int = 1,
 ) -> ConsistencyCurve:
     """Trace empirical consistency of the hard criterion along growing n."""
     if len(n_values) < 2:
@@ -92,27 +115,17 @@ def run_consistency_curve(
     nw_rmse = []
     exceedance = []
     for j, n in enumerate(n_values):
-        def replicate(rng, n=n):
-            data = make_synthetic_dataset(n, n_unlabeled, model=model, seed=rng)
-            bandwidth = paper_bandwidth_rule(n, data.x_labeled.shape[1])
-            graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
-            hard = solve_hard_criterion(
-                graph.weights, data.y_labeled, check_reachability=False
-            )
-            nw = nadaraya_watson_from_weights(graph.weights, data.y_labeled)
-            errors = np.abs(hard.unlabeled_scores - data.q_unlabeled)
-            return {
-                "hard_rmse": float(np.sqrt(np.mean(errors**2))),
-                "nw_rmse": float(
-                    np.sqrt(np.mean((nw - data.q_unlabeled) ** 2))
-                ),
-                "exceed": float(np.max(errors) > epsilon),
-            }
-
         summary = run_replicates(
-            replicate,
+            partial(
+                _consistency_replicate,
+                n=n,
+                n_unlabeled=n_unlabeled,
+                model=model,
+                epsilon=epsilon,
+            ),
             n_replicates=n_replicates,
             seed=None if seed is None else (hash((seed, j)) % (2**32)),
+            n_jobs=n_jobs,
         )
         hard_rmse.append(summary.means["hard_rmse"])
         nw_rmse.append(summary.means["nw_rmse"])

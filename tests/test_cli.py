@@ -40,6 +40,12 @@ class TestParser:
         assert args.trace == "/tmp/t.jsonl"
         assert args.metrics == "/tmp/m.json"
 
+    def test_jobs_flag_parsed(self):
+        args = build_parser().parse_args(["figure1", "--jobs", "2"])
+        assert args.jobs == 2
+        assert build_parser().parse_args(["figure1"]).jobs == 1
+        assert build_parser().parse_args(["consistency", "--jobs", "-1"]).jobs == -1
+
     def test_bench_verbs_registered(self):
         parser = build_parser()
         report = parser.parse_args(["bench-report", "run.json"])
@@ -173,6 +179,55 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 1
         assert "warnings" in out
+
+
+class TestArgumentValidation:
+    """Regression tests: ``--replicates 0`` used to crash deep inside the
+    driver with a traceback; bad values now fail at the parser (exit 2)
+    or as a one-line ConfigurationError message from main()."""
+
+    @pytest.mark.parametrize("value", ["0", "-3", "x"])
+    def test_replicates_rejected_at_parser(self, capsys, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure1", "--replicates", value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--replicates" in err
+        assert "Traceback" not in err
+
+    def test_negative_seed_rejected_at_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure1", "--seed", "-1"])
+        assert excinfo.value.code == 2
+        assert "--seed" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_bad_jobs_rejected_at_parser(self, capsys, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure1", "--jobs", value])
+        assert excinfo.value.code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_figure5_count_flags_validated(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure5", "--images-per-class", "0"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_driver_configuration_error_exits_two(self, capsys):
+        code = main(["m-growth", "--gamma", "-1", "--replicates", "2", "--seed", "0"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+        assert "gamma must be > 0" in captured.err
+        assert "Traceback" not in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_parallel_figure_run(self, capsys):
+        code = main(["figure1", "--replicates", "2", "--seed", "0", "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "figure1" in out
 
 
 class TestTraceReportRobustness:

@@ -1,10 +1,13 @@
 """Unit tests for the replicate runner."""
 
+import math
+
 import numpy as np
 import pytest
 
-from repro.exceptions import ConfigurationError
-from repro.experiments.runner import run_replicates
+from repro import obs
+from repro.exceptions import ConfigurationError, NonFiniteMetricError
+from repro.experiments.runner import NonFiniteMetricWarning, run_replicates
 
 
 class TestRunReplicates:
@@ -57,3 +60,48 @@ class TestRunReplicates:
     def test_invalid_count_raises(self):
         with pytest.raises(ConfigurationError):
             run_replicates(lambda rng: {"v": 0.0}, n_replicates=0)
+
+
+class TestNonFiniteValues:
+    """Regression tests: a NaN replicate used to poison the aggregate
+    silently; now strict mode raises and non-strict mode warns + counts."""
+
+    def test_strict_raises_naming_metric_and_index(self):
+        values = iter([1.0, math.nan, 2.0])
+        with pytest.raises(NonFiniteMetricError, match=r"replicate 1 .* 'rmse'"):
+            run_replicates(
+                lambda rng: {"rmse": next(values)}, n_replicates=3, seed=0
+            )
+
+    def test_strict_is_the_default_for_inf(self):
+        with pytest.raises(NonFiniteMetricError):
+            run_replicates(lambda rng: {"v": math.inf}, n_replicates=1, seed=0)
+
+    def test_non_strict_warns_and_counts(self):
+        values = iter([1.0, math.nan, 2.0])
+        with obs.use_registry() as registry:
+            with pytest.warns(NonFiniteMetricWarning, match="replicate 1"):
+                summary = run_replicates(
+                    lambda rng: {"rmse": next(values)},
+                    n_replicates=3,
+                    seed=0,
+                    strict=False,
+                )
+        assert registry.counter("replicates.nonfinite").value == 1
+        assert math.isnan(summary.means["rmse"])
+        assert summary.values["rmse"][0] == 1.0
+        assert summary.values["rmse"][2] == 2.0
+
+    def test_finite_runs_leave_counter_untouched(self):
+        with obs.use_registry() as registry:
+            run_replicates(lambda rng: {"v": 1.0}, n_replicates=2, seed=0)
+        assert "replicates.nonfinite" not in registry
+
+    def test_strict_applies_in_parallel_mode_too(self):
+        with pytest.raises(NonFiniteMetricError):
+            run_replicates(_nan_replicate, n_replicates=4, seed=0, n_jobs=2)
+
+
+def _nan_replicate(rng):
+    """Module-level (picklable) replicate that always returns NaN."""
+    return {"v": math.nan}
