@@ -157,7 +157,9 @@ def _cmd_complexity(args) -> int:
 def _cmd_prop21(args) -> int:
     from repro.experiments.figures import run_prop21_experiment
 
-    result = run_prop21_experiment(seed=args.seed or 0)
+    result = run_prop21_experiment(
+        seed=args.seed or 0, sweep_backend=args.sweep_backend
+    )
     _print_rows(
         "Proposition II.1 (lambda -> 0)",
         result.headers(),
@@ -170,7 +172,9 @@ def _cmd_prop21(args) -> int:
 def _cmd_prop22(args) -> int:
     from repro.experiments.figures import run_prop22_experiment
 
-    result = run_prop22_experiment(seed=args.seed or 0)
+    result = run_prop22_experiment(
+        seed=args.seed or 0, sweep_backend=args.sweep_backend
+    )
     _print_rows(
         "Proposition II.2 (lambda -> inf)",
         result.headers(),
@@ -244,7 +248,8 @@ def _cmd_lambda_curve(args) -> int:
     from repro.experiments.lambda_curve import run_lambda_curve
 
     curve = run_lambda_curve(
-        n_replicates=args.replicates, seed=args.seed, n_jobs=args.jobs
+        n_replicates=args.replicates, seed=args.seed, n_jobs=args.jobs,
+        sweep_backend=args.sweep_backend,
     )
     rows = [[f"{lam:g}", value] for lam, value in zip(curve.lambdas, curve.rmse)]
     _print_rows("lambda-degradation curve", curve.headers(), rows, args.csv)
@@ -394,7 +399,8 @@ def _cmd_tuned_lambda(args) -> int:
     from repro.experiments.extensions import run_tuned_lambda_study
 
     result = run_tuned_lambda_study(
-        n_replicates=args.replicates, seed=args.seed, n_jobs=args.jobs
+        n_replicates=args.replicates, seed=args.seed, n_jobs=args.jobs,
+        sweep_backend=args.sweep_backend,
     )
     _print_rows(
         "untuned hard vs CV-tuned soft",
@@ -440,6 +446,18 @@ def build_parser() -> argparse.ArgumentParser:
             "(written even when the command fails)",
         )
 
+    def sweep_backend_flag(p):
+        p.add_argument(
+            "--sweep-backend",
+            choices=("direct", "exact", "factored", "spectral"),
+            default="direct",
+            help="how lambda sweeps are solved: 'direct' refactorizes "
+            "per grid point (bit-identical historical path); 'exact' "
+            "caches factorizations; 'factored' reuses one anchored "
+            "factorization with warm-started PCG; 'spectral' sweeps "
+            "through the Laplacian eigenbasis",
+        )
+
     for name in ("figure1", "figure2", "figure3", "figure4"):
         p = sub.add_parser(name, help=f"regenerate {name}'s series")
         common(p)
@@ -463,10 +481,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("prop21", help="Proposition II.1 (lambda -> 0)")
     common(p)
+    sweep_backend_flag(p)
     p.set_defaults(handler=_cmd_prop21)
 
     p = sub.add_parser("prop22", help="Proposition II.2 (lambda -> inf)")
     common(p)
+    sweep_backend_flag(p)
     p.set_defaults(handler=_cmd_prop22)
 
     p = sub.add_parser("proof-constructs", help="Section IV proof constructs")
@@ -488,10 +508,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("tuned-lambda", help="untuned hard vs CV-tuned soft")
     common(p, replicates_default=10)
+    sweep_backend_flag(p)
     p.set_defaults(handler=_cmd_tuned_lambda)
 
     p = sub.add_parser("lambda-curve", help="RMSE along a dense lambda grid")
     common(p, replicates_default=30)
+    sweep_backend_flag(p)
     p.set_defaults(handler=_cmd_lambda_curve)
 
     p = sub.add_parser("ablation", help="run one design-choice ablation")

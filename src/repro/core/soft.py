@@ -62,6 +62,7 @@ def solve_soft_criterion(
     method: str = "schur",
     solver: str = "direct",
     check_reachability: bool = True,
+    workspace=None,
 ) -> FitResult:
     """Solve the soft criterion for tuning parameter ``lam``.
 
@@ -85,7 +86,18 @@ def solve_soft_criterion(
         Validate labeled reachability first (needed for well-posedness at
         small ``lam``; at ``lam > 0`` a disconnected unlabeled component
         also makes ``V + lam L`` singular).
+    workspace:
+        Optional :class:`~repro.linalg.workspace.SolveWorkspace` built on
+        this graph.  When given, the solve is routed through the
+        workspace's cached factorizations / eigenbasis / continuation
+        state (``method`` and ``solver`` are ignored; the workspace's
+        backend decides), amortizing repeated solves across a sweep.
     """
+    if workspace is not None:
+        y_labeled = check_labels(y_labeled, name="y_labeled")
+        if check_reachability:
+            require_labeled_reachability(workspace.weights, y_labeled.shape[0])
+        return workspace.solve_soft(y_labeled, lam)
     weights = check_weight_matrix(_coerce_weights(weights))
     y_labeled = check_labels(y_labeled, name="y_labeled")
     lam = check_positive_scalar(lam, "lam", allow_zero=True)

@@ -23,6 +23,7 @@ __all__ = [
     "NotFittedError",
     "ConfigurationError",
     "NonFiniteMetricError",
+    "WorkspaceInvalidatedError",
 ]
 
 
@@ -90,6 +91,17 @@ class NotFittedError(ReproError, RuntimeError):
 
 class ConfigurationError(ReproError, ValueError):
     """Raised for invalid experiment or estimator configuration values."""
+
+
+class WorkspaceInvalidatedError(ReproError, RuntimeError):
+    """Raised when a solve workspace detects its graph was mutated.
+
+    A :class:`~repro.linalg.workspace.SolveWorkspace` fingerprints its
+    weight matrix at construction; serving a cached factorization or
+    eigenbasis after the weights changed would silently return answers
+    for a different graph, so the workspace raises this instead (unless
+    built with ``on_mutation="recompute"``).
+    """
 
 
 class NonFiniteMetricError(ReproError, ValueError):

@@ -296,6 +296,7 @@ def _tuned_lambda_replicate(
     grid: tuple[float, ...],
     n_folds: int,
     model: str,
+    sweep_backend: str = "direct",
 ) -> dict[str, float]:
     """One tuned-lambda replicate (module-level so it pickles for n_jobs).
 
@@ -307,7 +308,8 @@ def _tuned_lambda_replicate(
     bandwidth = paper_bandwidth_rule(n_labeled, data.x_labeled.shape[1])
     graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
     search = select_lambda(
-        graph.weights, data.y_labeled, grid=grid, n_folds=n_folds, seed=rng
+        graph.weights, data.y_labeled, grid=grid, n_folds=n_folds, seed=rng,
+        sweep_backend=sweep_backend,
     )
     tuned = solve_soft_criterion(
         graph.weights, data.y_labeled, search.best_value,
@@ -333,8 +335,16 @@ def run_tuned_lambda_study(
     n_replicates: int = 20,
     seed=None,
     n_jobs: int = 1,
+    sweep_backend: str = "direct",
 ) -> TunedLambdaResult:
-    """Compare the untuned hard criterion with a CV-tuned soft criterion."""
+    """Compare the untuned hard criterion with a CV-tuned soft criterion.
+
+    ``sweep_backend`` is forwarded to the per-replicate
+    :func:`~repro.model_selection.search.select_lambda` grid search.
+    """
+    from repro.experiments.amortize import check_sweep_backend
+
+    check_sweep_backend(sweep_backend)
     summary = run_replicates(
         partial(
             _tuned_lambda_replicate,
@@ -343,6 +353,7 @@ def run_tuned_lambda_study(
             grid=tuple(grid),
             n_folds=n_folds,
             model=model,
+            sweep_backend=sweep_backend,
         ),
         n_replicates=n_replicates,
         seed=seed,

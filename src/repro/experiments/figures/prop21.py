@@ -17,6 +17,7 @@ from repro.core.hard import solve_hard_criterion
 from repro.core.soft import solve_soft_criterion
 from repro.datasets.synthetic import make_synthetic_dataset
 from repro.exceptions import ConfigurationError
+from repro.experiments.amortize import make_workspace
 from repro.graph.similarity import full_kernel_graph
 from repro.kernels.bandwidth import paper_bandwidth_rule
 
@@ -61,8 +62,14 @@ def run_prop21_experiment(
     n_unlabeled: int = 30,
     lambdas: tuple[float, ...] = (1.0, 0.1, 0.01, 1e-3, 1e-4, 1e-6, 1e-8, 1e-10),
     seed: int = 0,
+    sweep_backend: str = "direct",
 ) -> Prop21Result:
-    """Measure ``||f_soft(lambda) - f_hard||_max`` along a vanishing grid."""
+    """Measure ``||f_soft(lambda) - f_hard||_max`` along a vanishing grid.
+
+    A fixed-graph lambda sweep: with a workspace ``sweep_backend`` the
+    grid shares one :class:`~repro.linalg.workspace.SolveWorkspace`
+    instead of refactorizing per point.
+    """
     if any(lam <= 0 for lam in lambdas):
         raise ConfigurationError("lambdas must be strictly positive (0 IS the hard criterion)")
     if list(lambdas) != sorted(lambdas, reverse=True):
@@ -70,13 +77,17 @@ def run_prop21_experiment(
     data = make_synthetic_dataset(n_labeled, n_unlabeled, seed=seed)
     bandwidth = paper_bandwidth_rule(n_labeled, data.x_labeled.shape[1])
     graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+    workspace = make_workspace(graph.weights, sweep_backend)
     hard = solve_hard_criterion(graph.weights, data.y_labeled, check_reachability=False)
     deviations = []
     for lam in lambdas:
-        soft = solve_soft_criterion(
-            graph.weights, data.y_labeled, lam, method="schur",
-            check_reachability=False,
-        )
+        if workspace is None:
+            soft = solve_soft_criterion(
+                graph.weights, data.y_labeled, lam, method="schur",
+                check_reachability=False,
+            )
+        else:
+            soft = workspace.solve_soft(data.y_labeled, lam)
         deviations.append(
             float(np.max(np.abs(soft.unlabeled_scores - hard.unlabeled_scores)))
         )

@@ -19,6 +19,7 @@ from repro.core.hard import solve_hard_criterion
 from repro.core.soft import soft_lambda_infinity_limit, solve_soft_criterion
 from repro.datasets.synthetic import make_synthetic_dataset
 from repro.exceptions import ConfigurationError
+from repro.experiments.amortize import make_workspace
 from repro.graph.similarity import full_kernel_graph
 from repro.kernels.bandwidth import paper_bandwidth_rule
 from repro.metrics.regression import root_mean_squared_error
@@ -76,8 +77,14 @@ def run_prop22_experiment(
     n_unlabeled: int = 30,
     lambdas: tuple[float, ...] = (0.1, 1.0, 10.0, 100.0, 1e4, 1e6, 1e8),
     seed: int = 0,
+    sweep_backend: str = "direct",
 ) -> Prop22Result:
-    """Measure the soft criterion's collapse to the labeled mean."""
+    """Measure the soft criterion's collapse to the labeled mean.
+
+    A fixed-graph lambda sweep: with a workspace ``sweep_backend`` the
+    grid shares one :class:`~repro.linalg.workspace.SolveWorkspace`
+    instead of refactorizing per point.
+    """
     if any(lam <= 0 for lam in lambdas):
         raise ConfigurationError("lambdas must be strictly positive")
     if list(lambdas) != sorted(lambdas):
@@ -85,6 +92,7 @@ def run_prop22_experiment(
     data = make_synthetic_dataset(n_labeled, n_unlabeled, seed=seed)
     bandwidth = paper_bandwidth_rule(n_labeled, data.x_labeled.shape[1])
     graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+    workspace = make_workspace(graph.weights, sweep_backend)
 
     hard = solve_hard_criterion(graph.weights, data.y_labeled, check_reachability=False)
     hard_rmse = root_mean_squared_error(data.q_unlabeled, hard.unlabeled_scores)
@@ -93,10 +101,13 @@ def run_prop22_experiment(
     distances = []
     errors = []
     for lam in lambdas:
-        soft = solve_soft_criterion(
-            graph.weights, data.y_labeled, lam, method="schur",
-            check_reachability=False,
-        )
+        if workspace is None:
+            soft = solve_soft_criterion(
+                graph.weights, data.y_labeled, lam, method="schur",
+                check_reachability=False,
+            )
+        else:
+            soft = workspace.solve_soft(data.y_labeled, lam)
         distances.append(
             float(np.max(np.abs(soft.unlabeled_scores - limit[n_labeled:])))
         )

@@ -23,6 +23,7 @@ from repro.core.hard import solve_hard_criterion
 from repro.core.soft import soft_lambda_infinity_limit, solve_soft_criterion
 from repro.datasets.synthetic import make_synthetic_dataset
 from repro.exceptions import ConfigurationError
+from repro.experiments.amortize import check_sweep_backend, make_workspace
 from repro.experiments.runner import run_replicates
 from repro.graph.similarity import full_kernel_graph
 from repro.kernels.bandwidth import paper_bandwidth_rule
@@ -78,26 +79,37 @@ def _lambda_curve_replicate(
     n_unlabeled: int,
     lambdas: tuple[float, ...],
     model: str,
+    sweep_backend: str = "direct",
 ) -> dict[str, float]:
     """One replicate: RMSE at each grid lambda plus the two anchors.
 
     Module-level (not a closure) so it pickles across the ``n_jobs``
-    process boundary.
+    process boundary.  With a workspace ``sweep_backend``, one
+    :class:`~repro.linalg.workspace.SolveWorkspace` serves the whole
+    grid; the hard anchor is solved through the same workspace so the
+    ``lambda = 0`` grid point stays *exactly* equal to it.
     """
     data = make_synthetic_dataset(n_labeled, n_unlabeled, model=model, seed=rng)
     bandwidth = paper_bandwidth_rule(n_labeled, data.x_labeled.shape[1])
     graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
+    workspace = make_workspace(graph.weights, sweep_backend)
     out = {}
     for lam in lambdas:
-        fit = solve_soft_criterion(
-            graph.weights, data.y_labeled, lam, check_reachability=False
-        )
+        if workspace is None:
+            fit = solve_soft_criterion(
+                graph.weights, data.y_labeled, lam, check_reachability=False
+            )
+        else:
+            fit = workspace.solve_soft(data.y_labeled, lam)
         out[f"lam={lam:g}"] = root_mean_squared_error(
             data.q_unlabeled, fit.unlabeled_scores
         )
-    hard = solve_hard_criterion(
-        graph.weights, data.y_labeled, check_reachability=False
-    )
+    if workspace is None:
+        hard = solve_hard_criterion(
+            graph.weights, data.y_labeled, check_reachability=False
+        )
+    else:
+        hard = workspace.solve_hard(data.y_labeled)
     out["hard"] = root_mean_squared_error(
         data.q_unlabeled, hard.unlabeled_scores
     )
@@ -119,12 +131,20 @@ def run_lambda_curve(
     n_replicates: int = 50,
     seed=None,
     n_jobs: int = 1,
+    sweep_backend: str = "direct",
 ) -> LambdaCurve:
-    """Trace mean RMSE along a dense lambda grid."""
+    """Trace mean RMSE along a dense lambda grid.
+
+    ``sweep_backend`` selects how each replicate's grid is solved:
+    ``"direct"`` (per-point, bit-identical to previous releases) or a
+    workspace backend (``"exact"``/``"factored"``/``"spectral"``) that
+    amortizes factorizations across the grid.
+    """
     if lambdas[0] != 0.0 or list(lambdas[1:]) != sorted(set(lambdas[1:])):
         raise ConfigurationError(
             "lambdas must start at 0 and then strictly increase"
         )
+    check_sweep_backend(sweep_backend)
 
     replicate = partial(
         _lambda_curve_replicate,
@@ -132,6 +152,7 @@ def run_lambda_curve(
         n_unlabeled=n_unlabeled,
         lambdas=tuple(lambdas),
         model=model,
+        sweep_backend=sweep_backend,
     )
     summary = run_replicates(
         replicate, n_replicates=n_replicates, seed=seed, n_jobs=n_jobs

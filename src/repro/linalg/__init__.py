@@ -21,6 +21,13 @@ from repro.linalg.solvers import (
     solve_square,
 )
 
+# Imported after solvers: workspace builds on the factorization layer.
+from repro.linalg.workspace import (  # noqa: E402
+    SWEEP_BACKENDS,
+    SolveWorkspace,
+    WorkspaceStats,
+)
+
 __all__ = [
     "BlockMatrix",
     "block_inverse",
@@ -40,4 +47,7 @@ __all__ = [
     "sor",
     "preconditioned_conjugate_gradient",
     "jacobi_preconditioner",
+    "SolveWorkspace",
+    "WorkspaceStats",
+    "SWEEP_BACKENDS",
 ]

@@ -81,6 +81,13 @@ class SolveInfo(NamedTuple):
         Nonzeros of the computed factors ``L + U``; ``fill_nnz / nnz`` is
         the fill-in ratio the obs probes report (``None`` when not a
         sparse factorization).
+    warm_started:
+        True when an iterative backend started from a caller-supplied
+        ``x0`` rather than the zero vector.
+    iterations_saved:
+        Iterations avoided relative to a known cold-start baseline
+        (``None`` when no baseline is available; populated by
+        :class:`~repro.linalg.workspace.SolveWorkspace` sweeps).
     """
 
     method: str
@@ -90,6 +97,8 @@ class SolveInfo(NamedTuple):
     converged: bool = True
     nnz: int | None = None
     fill_nnz: int | None = None
+    warm_started: bool = False
+    iterations_saved: int | None = None
 
 
 class SPDFactorization:
@@ -219,6 +228,7 @@ def solve_spd(
     method: str = "direct",
     tol: float = 1e-10,
     max_iter: int | None = None,
+    x0=None,
     return_info: bool = False,
 ):
     """Solve a symmetric positive-definite system with a chosen backend.
@@ -236,8 +246,13 @@ def solve_spd(
         ``"gauss_seidel"``.
     tol, max_iter:
         Forwarded to the iterative backends.
+    x0:
+        Warm-start vector for the iterative backends (they already
+        accepted one; this threads it through).  Ignored by the direct
+        backends, whose answer does not depend on a starting point.
     return_info:
-        When true, return ``(x, SolveInfo)`` instead of just ``x``.
+        When true, return ``(x, SolveInfo)`` instead of just ``x``;
+        warm-started iterative solves set ``info.warm_started``.
     """
     rhs = check_vector(rhs, "rhs", min_length=0)
     size = rhs.shape[0]
@@ -254,6 +269,8 @@ def solve_spd(
         kwargs = {"tol": tol}
         if max_iter is not None:
             kwargs["max_iter"] = max_iter
+        if x0 is not None:
+            kwargs["x0"] = x0
         result = _ITERATIVE[method](matrix, rhs, **kwargs)
         if not return_info:
             return result.x
@@ -263,6 +280,7 @@ def solve_spd(
             iterations=result.iterations,
             final_residual=result.final_residual,
             converged=result.converged,
+            warm_started=x0 is not None,
         )
         return result.x, info
     known = "direct, sparse, " + ", ".join(sorted(_ITERATIVE))

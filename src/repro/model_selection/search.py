@@ -6,6 +6,21 @@ labels hidden), solve the criterion on the full graph, and score the
 hidden fold against its true labels.  The true unlabeled points remain
 in the graph throughout — they contribute structure but never labels —
 which is how a practitioner would actually tune a transductive method.
+
+Two amortizations keep grid searches off the historical
+recompute-everything path:
+
+* :func:`cross_validate_lambda` accepts a whole lambda *grid*: folds are
+  drawn once and each fold's permuted weight matrix is built once, then
+  every lambda is scored against it (the permutation, not the solve, was
+  the dominant per-(fold, lambda) cost on dense graphs).  With
+  ``sweep_backend != "direct"`` each fold additionally gets a
+  :class:`~repro.linalg.workspace.SolveWorkspace` so the solves
+  themselves share factorizations along the grid.
+* :func:`select_bandwidth` computes the pairwise distance matrix once
+  and rescales it per candidate bandwidth instead of rebuilding kernels
+  from raw points (bit-identical weights: ``profile(sqrt(sq)/h)`` either
+  way).
 """
 
 from __future__ import annotations
@@ -17,7 +32,7 @@ from scipy import sparse
 
 from repro.core.soft import solve_soft_criterion
 from repro.datasets.splits import kfold_indices
-from repro.exceptions import ConfigurationError, DataValidationError
+from repro.exceptions import ConfigurationError, DataValidationError, ReproError
 from repro.metrics.regression import mean_squared_error
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_labels, check_weight_matrix
@@ -29,6 +44,20 @@ __all__ = [
     "select_bandwidth",
 ]
 
+#: Backends accepted by the grid searches: ``"direct"`` is the historical
+#: per-point solve (bit-identical to previous releases); the rest route
+#: through a per-fold :class:`~repro.linalg.workspace.SolveWorkspace`.
+CV_SWEEP_BACKENDS = ("direct", "exact", "factored", "spectral")
+
+
+def _check_sweep_backend(sweep_backend: str) -> str:
+    if sweep_backend not in CV_SWEEP_BACKENDS:
+        raise ConfigurationError(
+            f"sweep_backend must be one of {CV_SWEEP_BACKENDS}, "
+            f"got {sweep_backend!r}"
+        )
+    return sweep_backend
+
 
 def _score_or_inf(evaluate) -> float:
     """Run one CV evaluation; degenerate candidates score ``inf``.
@@ -37,8 +66,6 @@ def _score_or_inf(evaluate) -> float:
     kernel weights underflow and disconnect the graph.  Grid search
     should skip such candidates, not crash.
     """
-    from repro.exceptions import ReproError
-
     try:
         return float(evaluate())
     except ReproError:
@@ -73,12 +100,13 @@ class GridSearchResult:
 def cross_validate_lambda(
     weights,
     y_labeled,
-    lam: float,
+    lam,
     *,
     n_folds: int = 5,
     seed=None,
-) -> float:
-    """Mean held-out MSE of the soft criterion at one lambda.
+    sweep_backend: str = "direct",
+):
+    """Mean held-out MSE of the soft criterion at one lambda or a grid.
 
     Parameters
     ----------
@@ -87,14 +115,33 @@ def cross_validate_lambda(
     y_labeled:
         Labels of the first ``n`` vertices.
     lam:
-        Tuning parameter to evaluate (0 evaluates the hard criterion).
+        Tuning parameter to evaluate (0 evaluates the hard criterion), or
+        a sequence of them.  A sequence is scored against *one* set of
+        folds with each fold's permuted graph built once and reused
+        across the grid; candidates whose solve fails score ``inf``
+        instead of aborting the grid (a scalar still raises, as before).
     n_folds:
         Folds over the labeled set.
     seed:
         Fold-shuffle seed.
+    sweep_backend:
+        ``"direct"`` (per-point solves, the historical bit-identical
+        path) or a :class:`~repro.linalg.workspace.SolveWorkspace`
+        backend (``"exact"``, ``"factored"``, ``"spectral"``) built per
+        fold to amortize the solves along a lambda grid.
+
+    Returns
+    -------
+    float, or a tuple of floats when ``lam`` is a sequence (one mean
+    loss per candidate, in grid order).
     """
+    _check_sweep_backend(sweep_backend)
+    scalar = np.ndim(lam) == 0
+    grid = (lam,) if scalar else tuple(lam)
+    if not grid:
+        raise ConfigurationError("lam grid must contain at least one value")
     weights = check_weight_matrix(weights)
-    if sparse.issparse(weights):
+    if sparse.issparse(weights) and sweep_backend == "direct":
         weights = np.asarray(weights.todense())
     y_labeled = check_labels(y_labeled, name="y_labeled")
     n = y_labeled.shape[0]
@@ -108,19 +155,47 @@ def cross_validate_lambda(
             f"need at least n_folds={n_folds} labeled points, got {n}"
         )
 
-    losses = []
+    losses: list[list[float]] = [[] for _ in grid]
+    failed = [False] * len(grid)
     rng = as_rng(seed)
     for fold in kfold_indices(n, n_folds, seed=rng):
         keep = np.setdiff1d(np.arange(n), fold)
         # Reorder: kept-labeled first, then [held-out fold + true unlabeled].
         order = np.concatenate([keep, fold, np.arange(n, total)])
-        w_perm = weights[np.ix_(order, order)]
-        fit = solve_soft_criterion(
-            w_perm, y_labeled[keep], lam, check_reachability=False
-        )
-        held_out_scores = fit.scores[len(keep) : len(keep) + len(fold)]
-        losses.append(mean_squared_error(y_labeled[fold], held_out_scores))
-    return float(np.mean(losses))
+        if sparse.issparse(weights):
+            w_perm = weights[order][:, order].tocsr()
+        else:
+            w_perm = weights[np.ix_(order, order)]
+        if sweep_backend == "direct":
+            workspace = None
+        else:
+            from repro.linalg.workspace import SolveWorkspace
+
+            workspace = SolveWorkspace(w_perm, backend=sweep_backend)
+        for j, lam_j in enumerate(grid):
+            if failed[j]:
+                continue
+            try:
+                if workspace is None:
+                    fit = solve_soft_criterion(
+                        w_perm, y_labeled[keep], lam_j, check_reachability=False
+                    )
+                else:
+                    fit = workspace.solve_soft(y_labeled[keep], lam_j)
+            except ReproError:
+                if scalar:
+                    raise
+                failed[j] = True
+                continue
+            held_out_scores = fit.scores[len(keep) : len(keep) + len(fold)]
+            losses[j].append(
+                mean_squared_error(y_labeled[fold], held_out_scores)
+            )
+    scores = tuple(
+        float("inf") if failed[j] else float(np.mean(losses[j]))
+        for j in range(len(grid))
+    )
+    return scores[0] if scalar else scores
 
 
 def select_lambda(
@@ -130,25 +205,36 @@ def select_lambda(
     grid: tuple[float, ...] = (0.0, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
     n_folds: int = 5,
     seed=None,
+    sweep_backend: str = "direct",
 ) -> GridSearchResult:
     """Pick lambda by transductive cross-validation over ``grid``.
 
     The grid deliberately includes 0 (the hard criterion) so the search
     can *choose not to regularize* — which, per the paper's theory, it
-    usually should.
+    usually should.  The whole grid is scored in one
+    :func:`cross_validate_lambda` call, so folds and each fold's permuted
+    graph (and, with a workspace ``sweep_backend``, its factorizations)
+    are shared across candidates.
     """
     if not grid:
         raise ConfigurationError("grid must contain at least one lambda")
     if any(lam < 0 for lam in grid):
         raise ConfigurationError("lambda grid values must be >= 0")
-    scores = tuple(
-        _score_or_inf(
-            lambda lam=lam: cross_validate_lambda(
-                weights, y_labeled, lam, n_folds=n_folds, seed=seed
-            )
+    _check_sweep_backend(sweep_backend)
+    try:
+        scores = cross_validate_lambda(
+            weights,
+            y_labeled,
+            tuple(grid),
+            n_folds=n_folds,
+            seed=seed,
+            sweep_backend=sweep_backend,
         )
-        for lam in grid
-    )
+    except ReproError:
+        # Validation failures (degenerate graph, too few labels) score
+        # every candidate inf, matching the historical per-candidate
+        # _score_or_inf behavior.
+        scores = tuple(float("inf") for _ in grid)
     if not np.isfinite(min(scores)):
         raise ConfigurationError(
             "every lambda candidate failed cross-validation (degenerate graph?)"
@@ -172,13 +258,17 @@ def select_bandwidth(
     n_folds: int = 5,
     kernel=None,
     seed=None,
+    sweep_backend: str = "direct",
 ) -> GridSearchResult:
     """Pick the kernel bandwidth by transductive cross-validation.
 
-    Rebuilds the graph per candidate bandwidth (the expensive axis) and
-    scores each with :func:`cross_validate_lambda` at a fixed ``lam``.
+    The pairwise distance matrix is computed once and rescaled per
+    candidate bandwidth — bit-identical to rebuilding the full kernel
+    graph per candidate (``profile(sqrt(sq)/h)`` either way), without the
+    repeated ``O(N^2 d)`` distance computations.  Each candidate is then
+    scored with :func:`cross_validate_lambda` at a fixed ``lam``.
     """
-    from repro.graph.similarity import full_kernel_graph
+    from repro.kernels.base import pairwise_sq_distances
     from repro.kernels.library import GaussianKernel
     from repro.utils.validation import check_matrix_2d
 
@@ -186,18 +276,25 @@ def select_bandwidth(
         raise ConfigurationError("grid must contain at least one bandwidth")
     if any(h <= 0 for h in grid):
         raise ConfigurationError("bandwidth grid values must be > 0")
+    _check_sweep_backend(sweep_backend)
     x_labeled = check_matrix_2d(x_labeled, "x_labeled")
     x_unlabeled = check_matrix_2d(x_unlabeled, "x_unlabeled")
     kernel = kernel or GaussianKernel()
     x_all = np.vstack([x_labeled, x_unlabeled])
+    base_radii = np.sqrt(pairwise_sq_distances(x_all))
 
     scores = []
     for bandwidth in grid:
-        graph = full_kernel_graph(x_all, kernel=kernel, bandwidth=bandwidth)
+        weights = kernel.profile(base_radii / bandwidth)
         scores.append(
             _score_or_inf(
-                lambda: cross_validate_lambda(
-                    graph.weights, y_labeled, lam, n_folds=n_folds, seed=seed
+                lambda weights=weights: cross_validate_lambda(
+                    weights,
+                    y_labeled,
+                    lam,
+                    n_folds=n_folds,
+                    seed=seed,
+                    sweep_backend=sweep_backend,
                 )
             )
         )

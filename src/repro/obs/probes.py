@@ -23,6 +23,7 @@ __all__ = [
     "record_spd_system",
     "record_solve_info",
     "record_schur_blocks",
+    "record_workspace_stats",
 ]
 
 #: Systems at or below this size get an exact 2-norm condition number.
@@ -155,6 +156,24 @@ def record_solve_info(span, info) -> None:
         span.set_attribute("solver.fill_nnz", int(fill))
         if nnz:
             span.set_attribute("solver.fill_ratio", float(fill) / float(nnz))
+
+
+def record_workspace_stats(span, stats) -> None:
+    """Attach a :class:`~repro.linalg.workspace.WorkspaceStats` snapshot.
+
+    Every counter lands under a ``workspace.*`` key, plus a derived
+    ``workspace.factor_hit_rate`` when any factorization traffic
+    occurred, so traces show how much amortization a sweep achieved.
+    """
+    if not span.recording or stats is None:
+        return
+    for key, value in stats._asdict().items():
+        span.set_attribute(f"workspace.{key}", int(value))
+    traffic = stats.factor_hits + stats.factor_misses
+    if traffic:
+        span.set_attribute(
+            "workspace.factor_hit_rate", stats.factor_hits / traffic
+        )
 
 
 def record_schur_blocks(span, n: int, m: int) -> None:
