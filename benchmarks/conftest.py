@@ -8,9 +8,11 @@ human-readable ``.txt`` table it always produced, and a JSON *twin* — a
 ``repro.obs.bench.BenchRecord`` with timings, tracemalloc peak memory,
 solver health, and the environment fingerprint (see
 ``docs/BENCHMARKING.md``).  At session end the recorder writes the
-machine-readable trajectory ``BENCH_<runid>.json`` at the repo root;
-``python -m repro bench-compare OLD.json NEW.json`` turns two of those
-into a perf regression gate.
+machine-readable trajectory ``BENCH_<runid>.json`` into
+``benchmarks/results/``; ``python -m repro bench-compare OLD.json
+NEW.json`` turns two or more of those into a perf regression gate, and
+``python -m repro obs ingest benchmarks/results/BENCH_*.json`` folds
+them into the run ledger for ``obs history`` / ``obs trend``.
 
 Fast benches time ``REPRO_BENCH_REPEATS`` passes (default 3) so the
 regression gate has real minima to compare; heavy figure regenerations
@@ -28,7 +30,6 @@ import pytest
 from repro.obs.bench import BenchRecorder
 
 RESULTS_DIR = Path(__file__).parent / "results"
-REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: "quick" (default) or "paper" (the paper's replicate counts; slow).
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
@@ -54,7 +55,8 @@ def bench():
     recorder = BenchRecorder(scale=SCALE)
     yield recorder
     if recorder.records:
-        path = recorder.write_run(REPO_ROOT)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = recorder.write_run(RESULTS_DIR)
         print(f"\nwrote bench trajectory: {path} ({len(recorder)} records)")
 
 

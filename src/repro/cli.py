@@ -26,19 +26,36 @@ with::
 
     python -m repro trace-report PATH.jsonl
 
+Long runs can stream live progress — heartbeats plus one event per
+completed replicate — to stderr with ``--progress`` and/or to a durable
+JSONL file with ``--progress-jsonl PATH.jsonl`` (fsynced per event, so
+an interrupted run leaves a readable, ingestable prefix).
+
 Benchmark trajectories (``BENCH_<runid>.json`` files written by the
 benchmark harness; see docs/BENCHMARKING.md) have two verbs::
 
     python -m repro bench-report BENCH_RUN.json
-    python -m repro bench-compare OLD.json NEW.json --threshold 0.15
+    python -m repro bench-compare OLD.json [MID.json ...] NEW.json
 
-``bench-compare`` exits non-zero when a benchmark regressed beyond the
-threshold — the CI perf gate.
+``bench-compare`` takes two or more runs (shell globs welcome), orders
+them by creation time, judges each benchmark oldest-vs-newest, and exits
+non-zero when one regressed beyond the threshold — the CI perf gate.
+
+The run ledger (``repro obs``; see docs/OBSERVABILITY.md) turns loose
+artifacts into a persistent, queryable history::
+
+    python -m repro obs ingest benchmarks/results/*.json trace.jsonl
+    python -m repro obs runs
+    python -m repro obs show <run-id>
+    python -m repro obs history <bench-name>
+    python -m repro obs trend            # exit 1 on sustained regression
+    python -m repro obs span-tree <run-id>
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments.report import ascii_table, format_sweep_result, write_csv
@@ -377,22 +394,200 @@ def _cmd_bench_report(args) -> int:
     return 0
 
 
-def _cmd_bench_compare(args) -> int:
-    from repro.obs.bench import compare_runs, render_bench_compare
+def _expand_globs(patterns) -> list[str]:
+    """Expand any glob patterns among ``patterns`` (literal paths pass through).
 
-    old_run, error = _load_bench_file(args.old)
-    if error:
-        print(error, file=sys.stderr)
+    Covers shells that hand the pattern over unexpanded (quoted globs,
+    CI YAML); a pattern matching nothing is kept literally so the error
+    message names it.
+    """
+    import glob
+
+    paths: list[str] = []
+    for pattern in patterns:
+        if any(ch in pattern for ch in "*?["):
+            paths.extend(sorted(glob.glob(pattern)) or [pattern])
+        else:
+            paths.append(pattern)
+    return paths
+
+
+def _cmd_bench_compare(args) -> int:
+    from repro.obs.bench import compare_run_sequence, render_bench_compare
+
+    paths = _expand_globs(args.runs)
+    if len(paths) < 2:
+        print(
+            f"error: bench-compare needs at least two run files, got {len(paths)}",
+            file=sys.stderr,
+        )
         return 2
-    new_run, error = _load_bench_file(args.new)
-    if error:
-        print(error, file=sys.stderr)
-        return 2
-    comparison = compare_runs(
-        old_run, new_run, threshold=args.threshold, min_repeats=args.min_repeats
+    runs = []
+    for path in paths:
+        run, error = _load_bench_file(path)
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+        runs.append(run)
+    comparison = compare_run_sequence(
+        runs, threshold=args.threshold, min_repeats=args.min_repeats
     )
+    if len(paths) > 2:
+        print(f"comparing {len(paths)} runs, oldest -> newest per benchmark")
     print(render_bench_compare(comparison))
     return 0 if comparison.ok else 1
+
+
+def _open_ledger(args):
+    from repro.obs.ledger import RunLedger
+
+    return RunLedger(args.ledger)
+
+
+def _cmd_obs_ingest(args) -> int:
+    import json
+
+    ledger = _open_ledger(args)
+    paths = _expand_globs(args.paths)
+    failures = 0
+    with ledger:
+        for path in paths:
+            try:
+                result = ledger.ingest(path)
+            except FileNotFoundError:
+                print(f"error: no such file: {path}", file=sys.stderr)
+                failures += 1
+                continue
+            except (OSError, json.JSONDecodeError, ValueError) as exc:
+                print(f"error: cannot ingest {path}: {exc}", file=sys.stderr)
+                failures += 1
+                continue
+            verb = "replaced" if result.replaced else "ingested"
+            print(
+                f"{verb} {result.kind} run {result.run_id} "
+                f"({result.n_records} record(s), {result.status}) from {path}"
+            )
+    print(f"ledger: {args.ledger} ({len(paths) - failures}/{len(paths)} artifact(s) ok)")
+    return 0 if failures == 0 else 2
+
+
+def _cmd_obs_runs(args) -> int:
+    with _open_ledger(args) as ledger:
+        rows = ledger.runs(kind=args.kind)
+    if not rows:
+        print("ledger is empty (use 'repro obs ingest' first)")
+        return 0
+    import time as _time
+
+    table = [
+        [
+            row["run_id"],
+            row["kind"],
+            row["status"],
+            "-"
+            if not row["created_unix"]
+            else _time.strftime("%Y-%m-%d %H:%M", _time.gmtime(row["created_unix"])),
+            str(row["git_sha"] or "-")[:12],
+            row["env_digest"] or "-",
+            row["n_records"],
+        ]
+        for row in rows
+    ]
+    print(ascii_table(
+        ["run", "kind", "status", "created (UTC)", "git", "env", "records"], table
+    ))
+    return 0
+
+
+def _cmd_obs_show(args) -> int:
+    with _open_ledger(args) as ledger:
+        try:
+            detail = ledger.show(args.run_id)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    print(f"run {detail['run_id']}: {len(detail['artifacts'])} artifact(s)")
+    for entry in detail["artifacts"]:
+        env = entry.get("environment") or {}
+        print(
+            f"\n[{entry['kind']}] status={entry['status']} "
+            f"records={entry['n_records']} git={str(env.get('git_sha'))[:12]} "
+            f"source={entry.get('source_path')}"
+        )
+        if entry["kind"] == "bench" and entry.get("benchmarks"):
+            rows = [
+                [
+                    b["name"],
+                    b["repeats"],
+                    "-" if b["min_s"] is None else f"{b['min_s'] * 1e3:.4g}ms",
+                    "-" if b["peak_bytes"] is None else f"{b['peak_bytes'] / 1e6:.2f}",
+                    b["solves"] if b["solves"] is not None else "-",
+                ]
+                for b in entry["benchmarks"]
+            ]
+            print(ascii_table(["benchmark", "repeats", "min", "peak MB", "solves"], rows))
+        elif entry["kind"] == "metrics" and entry.get("metrics"):
+            print(f"{len(entry['metrics'])} metric(s): " + ", ".join(sorted(entry["metrics"])[:10]))
+        elif entry["kind"] == "trace":
+            print(f"{entry.get('span_count', 0)} span(s) (render: repro obs span-tree {detail['run_id']})")
+        elif entry["kind"] == "progress" and entry.get("tasks"):
+            rows = [
+                [
+                    t["task"],
+                    f"{t['completed'] or 0}/{t['total'] or '?'}",
+                    "-" if t["elapsed_s"] is None else f"{t['elapsed_s']:.1f}s",
+                    t["heartbeats"] or 0,
+                ]
+                for t in entry["tasks"]
+            ]
+            print(ascii_table(["task", "completed", "elapsed", "heartbeats"], rows))
+    return 0
+
+
+def _cmd_obs_history(args) -> int:
+    from repro.obs.trend import render_history
+
+    with _open_ledger(args) as ledger:
+        points = ledger.history(args.bench)
+        known = ledger.bench_names()
+    if not points:
+        hint = f" (known: {', '.join(known)})" if known else ""
+        print(f"error: no history for benchmark {args.bench!r}{hint}", file=sys.stderr)
+        return 2
+    print(render_history(args.bench, points))
+    return 0
+
+
+def _cmd_obs_trend(args) -> int:
+    from repro.obs.trend import render_trend_report, trend_runs
+
+    with _open_ledger(args) as ledger:
+        runs = ledger.bench_runs()
+    if not runs:
+        print("no bench runs in the ledger; nothing to gate")
+        return 0
+    report = trend_runs(
+        runs,
+        threshold=args.threshold,
+        min_repeats=args.min_repeats,
+        sustain=args.sustain,
+    )
+    print(f"trend over {len(runs)} bench run(s)")
+    print(render_trend_report(report))
+    return 0 if report.ok else 1
+
+
+def _cmd_obs_span_tree(args) -> int:
+    from repro.obs.ledger import render_span_tree
+
+    with _open_ledger(args) as ledger:
+        try:
+            records = ledger.span_records(args.run_id)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    print(render_span_tree(records, max_spans=args.max_spans))
+    return 0
 
 
 def _cmd_tuned_lambda(args) -> int:
@@ -444,6 +639,17 @@ def build_parser() -> argparse.ArgumentParser:
             "--metrics", type=str, default=None, metavar="PATH.json",
             help="dump the metrics-registry snapshot as JSON at exit "
             "(written even when the command fails)",
+        )
+        p.add_argument(
+            "--progress", action="store_true",
+            help="stream live progress (heartbeats + one event per "
+            "completed replicate) to stderr",
+        )
+        p.add_argument(
+            "--progress-jsonl", type=str, default=None, metavar="PATH.jsonl",
+            help="also append progress events to a durable JSONL file "
+            "(fsynced per event; an interrupted run leaves a readable, "
+            "ingestable prefix)",
         )
 
     def sweep_backend_flag(p):
@@ -546,10 +752,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench-compare",
-        help="compare two bench trajectories; exit 1 on timing regression",
+        help="compare two or more bench trajectories (oldest vs newest "
+        "per benchmark); exit 1 on timing regression",
     )
-    p.add_argument("old", help="baseline bench run (BENCH_*.json)")
-    p.add_argument("new", help="candidate bench run (BENCH_*.json)")
+    p.add_argument(
+        "runs", nargs="+", metavar="RUN.json",
+        help="two or more bench runs (BENCH_*.json; globs welcome) — "
+        "ordered by creation time, each benchmark is judged oldest "
+        "appearance vs newest",
+    )
     p.add_argument(
         "--threshold", type=float, default=0.15,
         help="relative min-timing tolerance before a delta counts as a "
@@ -561,6 +772,78 @@ def build_parser() -> argparse.ArgumentParser:
         "reported but never gate (default 3)",
     )
     p.set_defaults(handler=_cmd_bench_compare)
+
+    obs_parser = sub.add_parser(
+        "obs", help="run ledger: persistent, queryable history of runs"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    def ledger_flag(p):
+        p.add_argument(
+            "--ledger", type=str, default="repro_ledger.sqlite",
+            metavar="PATH.sqlite", help="ledger database (default: %(default)s)",
+        )
+
+    p = obs_sub.add_parser(
+        "ingest", help="ingest bench/trace/metrics/progress artifacts"
+    )
+    ledger_flag(p)
+    p.add_argument(
+        "paths", nargs="+", metavar="ARTIFACT",
+        help="BENCH_*.json, trace/progress .jsonl, or metrics .json files "
+        "(globs welcome); re-ingesting a run replaces it",
+    )
+    p.set_defaults(handler=_cmd_obs_ingest)
+
+    p = obs_sub.add_parser("runs", help="list every run in the ledger")
+    ledger_flag(p)
+    p.add_argument(
+        "--kind", choices=("bench", "trace", "metrics", "progress"),
+        default=None, help="only runs of this artifact kind",
+    )
+    p.set_defaults(handler=_cmd_obs_runs)
+
+    p = obs_sub.add_parser("show", help="all artifacts recorded for one run")
+    ledger_flag(p)
+    p.add_argument("run_id", help="run id (see 'repro obs runs')")
+    p.set_defaults(handler=_cmd_obs_show)
+
+    p = obs_sub.add_parser(
+        "history", help="one benchmark's timing trajectory across runs"
+    )
+    ledger_flag(p)
+    p.add_argument("bench", help="benchmark name (e.g. micro_solve_hard_n100)")
+    p.set_defaults(handler=_cmd_obs_history)
+
+    p = obs_sub.add_parser(
+        "trend",
+        help="multi-run regression gate; exit 1 on sustained regression",
+    )
+    ledger_flag(p)
+    p.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="relative min-timing tolerance (default 0.15 = 15%%)",
+    )
+    p.add_argument(
+        "--min-repeats", type=int, default=3,
+        help="benchmarks with fewer repeats never gate (default 3)",
+    )
+    p.add_argument(
+        "--sustain", type=int, default=2,
+        help="consecutive regressed runs required before gating "
+        "(default 2 — one noisy run never trips the gate)",
+    )
+    p.set_defaults(handler=_cmd_obs_trend)
+
+    p = obs_sub.add_parser(
+        "span-tree", help="span tree with memory attribution for one run"
+    )
+    ledger_flag(p)
+    p.add_argument("run_id", help="run id of an ingested trace")
+    p.add_argument(
+        "--max-spans", type=int, default=200, help="line cap (default 200)"
+    )
+    p.set_defaults(handler=_cmd_obs_span_tree)
 
     p = sub.add_parser(
         "diagnose", help="graph health report for a user NPZ problem"
@@ -609,10 +892,16 @@ def main(argv=None) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped to e.g. `head`; the reader got everything it
+        # wanted.  Detach stdout so interpreter shutdown doesn't retry.
+        devnull = open(os.devnull, "w")
+        os.dup2(devnull.fileno(), sys.stdout.fileno())
+        return 0
 
 
 def _dispatch(args) -> int:
-    """Run the selected handler, honoring ``--trace`` / ``--metrics``.
+    """Run the selected handler, honoring the observability flags.
 
     When the command carries ``--trace PATH.jsonl``, the handler runs
     under a recording tracer and the collected spans are written to the
@@ -620,10 +909,17 @@ def _dispatch(args) -> int:
     a fresh metrics registry and dumps the snapshot at exit.  Both
     artifacts are written even if the handler fails part-way, so a
     crashing experiment still leaves its evidence behind.
+
+    ``--progress`` / ``--progress-jsonl PATH.jsonl`` install a live
+    :class:`~repro.obs.progress.ProgressEmitter` as the ambient emitter;
+    the JSONL sink is fsynced per event, so an interrupted run leaves a
+    readable prefix the ledger ingests as a *partial* run.
     """
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
-    if not trace_path and not metrics_path:
+    progress_stderr = getattr(args, "progress", False)
+    progress_jsonl = getattr(args, "progress_jsonl", None)
+    if not any((trace_path, metrics_path, progress_stderr, progress_jsonl)):
         return args.handler(args)
 
     from contextlib import ExitStack
@@ -633,17 +929,29 @@ def _dispatch(args) -> int:
 
     tracer = obs.RecordingTracer() if trace_path else None
     registry = obs.MetricsRegistry() if metrics_path else None
+    emitter = None
+    if progress_stderr or progress_jsonl:
+        emitter = obs.ProgressEmitter(
+            stream=sys.stderr if progress_stderr else None,
+            jsonl_path=progress_jsonl,
+        )
     try:
         with ExitStack() as stack:
             if tracer is not None:
                 stack.enter_context(obs.use_tracer(tracer))
             if registry is not None:
                 stack.enter_context(obs.use_registry(registry))
+            if emitter is not None:
+                stack.enter_context(obs.use_progress(emitter))
             code = args.handler(args)
     finally:
         # Write both artifacts before printing anything: a dead stdout
         # (closed pipe) must not cost the evidence on disk.
         written = []
+        if emitter is not None:
+            emitter.close()
+            if progress_jsonl:
+                written.append(f"\nwrote progress: {progress_jsonl}")
         if tracer is not None:
             path = write_jsonl(tracer, trace_path)
             written.append(f"\nwrote trace: {path} ({len(tracer)} spans)")

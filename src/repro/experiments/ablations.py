@@ -68,10 +68,12 @@ def _ablation_sweep(
     seed,
     meta: dict,
     n_jobs: int = 1,
+    progress=None,
 ) -> SweepResult:
     """Aggregate a single-metric replicate function over named variants."""
     summary = run_replicates(
-        replicate_fn, n_replicates=n_replicates, seed=seed, n_jobs=n_jobs
+        replicate_fn, n_replicates=n_replicates, seed=seed, n_jobs=n_jobs,
+        label=name, progress=progress,
     )
     means = np.array([[summary.means[v] for v in variants]])
     stds = np.array([[summary.stds[v] for v in variants]])
@@ -118,6 +120,7 @@ def run_kernel_ablation(
     n_replicates: int = 50,
     seed=None,
     n_jobs: int = 1,
+    progress=None,
 ) -> SweepResult:
     """Hard-criterion RMSE under different kernel families.
 
@@ -140,7 +143,7 @@ def run_kernel_ablation(
         ),
         n_replicates=n_replicates, seed=seed,
         meta={"n": n_labeled, "m": n_unlabeled},
-        n_jobs=n_jobs,
+        n_jobs=n_jobs, progress=progress,
     )
 
 
@@ -183,6 +186,7 @@ def run_bandwidth_ablation(
     n_replicates: int = 50,
     seed=None,
     n_jobs: int = 1,
+    progress=None,
 ) -> SweepResult:
     """Hard-criterion RMSE under different bandwidth-selection rules."""
     unknown = [r for r in rules if r not in _DEFAULT_BANDWIDTH_RULES]
@@ -199,7 +203,7 @@ def run_bandwidth_ablation(
         ),
         n_replicates=n_replicates, seed=seed,
         meta={"n": n_labeled, "m": n_unlabeled},
-        n_jobs=n_jobs,
+        n_jobs=n_jobs, progress=progress,
     )
 
 
@@ -248,6 +252,7 @@ def run_graph_ablation(
     n_replicates: int = 50,
     seed=None,
     n_jobs: int = 1,
+    progress=None,
 ) -> SweepResult:
     """Hard-criterion RMSE under full vs sparsified graph constructions."""
     unknown = [c for c in constructions if c not in _DEFAULT_GRAPHS]
@@ -266,7 +271,7 @@ def run_graph_ablation(
         ),
         n_replicates=n_replicates, seed=seed,
         meta={"n": n_labeled, "m": n_unlabeled, "k": knn_k},
-        n_jobs=n_jobs,
+        n_jobs=n_jobs, progress=progress,
     )
 
 

@@ -24,6 +24,15 @@ the session registry (:meth:`MetricsRegistry.merge_state`), so
 ``trace-report`` and the :class:`~repro.obs.bench.BenchRecorder` solver
 health extraction keep working under ``n_jobs > 1``.
 
+**Progress.**  When a :class:`~repro.obs.progress.ProgressTask` is
+passed in, the parent emits one completion event per replicate as worker
+chunks finish (carrying the replicate's seed-stream index) and periodic
+heartbeats even while no chunk completes — so a stalled pool is
+distinguishable from a slow one.  Progress mode dispatches chunks as
+individual futures and reassembles outcomes by index, which preserves
+the bit-identical-aggregates contract: the caller still consumes
+outcomes in seed order.
+
 Parallelism is best-effort, never load-bearing: a callable that fails to
 pickle, or a platform where the process pool cannot start, degrades to
 serial execution with a :class:`ParallelFallbackWarning` — the caller
@@ -142,6 +151,44 @@ def _run_replicate_task(task) -> ReplicateOutcome:
     )
 
 
+def _run_replicate_chunk(tasks) -> list[ReplicateOutcome]:
+    """Worker entry point for progress mode: one chunk of replicate tasks."""
+    return [_run_replicate_task(task) for task in tasks]
+
+
+def _chunked(tasks, chunksize: int):
+    return [tasks[i:i + chunksize] for i in range(0, len(tasks), chunksize)]
+
+
+def _execute_with_progress(pool, tasks, chunksize, progress_task):
+    """Dispatch chunks as futures, emitting progress while they complete.
+
+    Returns outcomes reassembled in seed order.  Heartbeats fire from the
+    waiting loop at the emitter's interval even when nothing completes;
+    completion events fire in true completion order but carry the
+    replicate's seed-stream index, so consumers can reconstruct ordering.
+    """
+    from concurrent.futures import FIRST_COMPLETED, wait
+
+    interval = progress_task.heartbeat_interval
+    pending = {pool.submit(_run_replicate_chunk, chunk) for chunk in _chunked(tasks, chunksize)}
+    outcomes: list[ReplicateOutcome | None] = [None] * len(tasks)
+    try:
+        while pending:
+            done, pending = wait(pending, timeout=interval, return_when=FIRST_COMPLETED)
+            if not done:
+                progress_task.heartbeat()
+                continue
+            for future in done:
+                for outcome in future.result():
+                    outcomes[outcome.index] = outcome
+                    progress_task.replicate_done(outcome.index)
+    finally:
+        for future in pending:
+            future.cancel()
+    return outcomes
+
+
 def execute_replicates(
     replicate: Callable[[np.random.Generator], Mapping[str, float]],
     seeds: Sequence[np.random.SeedSequence],
@@ -149,6 +196,7 @@ def execute_replicates(
     n_jobs: int,
     chunksize: int | None = None,
     record_spans: bool | None = None,
+    progress_task=None,
 ) -> list[ReplicateOutcome] | None:
     """Run ``replicate`` over pre-spawned ``seeds`` in a worker pool.
 
@@ -175,6 +223,10 @@ def execute_replicates(
     record_spans:
         Whether workers should record span subtrees; defaults to the
         parent's :func:`repro.obs.tracing_enabled`.
+    progress_task:
+        An active :class:`~repro.obs.progress.ProgressTask` to stream
+        per-replicate completions and heartbeats through; ``None`` (or a
+        disabled task) keeps the plain ``pool.map`` path.
     """
     n_jobs = resolve_n_jobs(n_jobs)
     if n_jobs == 1 or not seeds:
@@ -201,8 +253,12 @@ def execute_replicates(
     ]
     if chunksize is None:
         chunksize = default_chunksize(len(tasks), n_jobs)
+    if progress_task is not None and not getattr(progress_task, "enabled", False):
+        progress_task = None
     try:
         with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
+            if progress_task is not None:
+                return _execute_with_progress(pool, tasks, chunksize, progress_task)
             return list(pool.map(_run_replicate_task, tasks, chunksize=chunksize))
     except (BrokenProcessPool, OSError) as exc:
         warnings.warn(

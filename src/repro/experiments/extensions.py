@@ -97,6 +97,7 @@ def run_metric_study(
     n_replicates: int = 50,
     seed=None,
     n_jobs: int = 1,
+    progress=None,
 ) -> SweepResult:
     """Hard vs soft under AUC / MCC / accuracy (future-work metric study).
 
@@ -118,7 +119,8 @@ def run_metric_study(
         model=model,
     )
     summary = run_replicates(
-        replicate, n_replicates=n_replicates, seed=seed, n_jobs=n_jobs
+        replicate, n_replicates=n_replicates, seed=seed, n_jobs=n_jobs,
+        label="metric_study", progress=progress,
     )
     means = np.array(
         [[summary.means[f"{metric}@lambda={lam:g}"] for lam in lambdas] for metric in metrics]
@@ -221,6 +223,7 @@ def run_m_growth_study(
     n_replicates: int = 30,
     seed=None,
     n_jobs: int = 1,
+    progress=None,
 ) -> MGrowthResult:
     """Trace RMSE with m coupled to n by ``m = round(coefficient * n^gamma)``."""
     if gamma <= 0:
@@ -249,6 +252,8 @@ def run_m_growth_study(
             n_replicates=n_replicates,
             seed=None if seed is None else (hash((seed, j)) % (2**32)),
             n_jobs=n_jobs,
+            label=f"m_growth[n={n}]",
+            progress=progress,
         )
         hard_means.append(summary.means["hard"])
         soft_means.append(summary.means["soft"])
@@ -335,6 +340,7 @@ def run_tuned_lambda_study(
     n_replicates: int = 20,
     seed=None,
     n_jobs: int = 1,
+    progress=None,
     sweep_backend: str = "direct",
 ) -> TunedLambdaResult:
     """Compare the untuned hard criterion with a CV-tuned soft criterion.
@@ -358,6 +364,8 @@ def run_tuned_lambda_study(
         n_replicates=n_replicates,
         seed=seed,
         n_jobs=n_jobs,
+        label="tuned_lambda",
+        progress=progress,
     )
     return TunedLambdaResult(
         hard_rmse=summary.means["hard"],

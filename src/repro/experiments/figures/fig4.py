@@ -24,6 +24,7 @@ def run_figure4(
     n_replicates: int = 200,
     seed=None,
     n_jobs: int = 1,
+    progress=None,
 ) -> SweepResult:
     """Regenerate Figure 4's series (defaults follow the paper's grid)."""
     return run_synthetic_sweep(
@@ -36,4 +37,5 @@ def run_figure4(
         n_replicates=n_replicates,
         seed=seed,
         n_jobs=n_jobs,
+        progress=progress,
     )

@@ -132,6 +132,7 @@ def run_lambda_curve(
     seed=None,
     n_jobs: int = 1,
     sweep_backend: str = "direct",
+    progress=None,
 ) -> LambdaCurve:
     """Trace mean RMSE along a dense lambda grid.
 
@@ -155,7 +156,8 @@ def run_lambda_curve(
         sweep_backend=sweep_backend,
     )
     summary = run_replicates(
-        replicate, n_replicates=n_replicates, seed=seed, n_jobs=n_jobs
+        replicate, n_replicates=n_replicates, seed=seed, n_jobs=n_jobs,
+        label="lambda_curve", progress=progress,
     )
     return LambdaCurve(
         lambdas=tuple(lambdas),

@@ -14,6 +14,14 @@ master seed the parallel :class:`ReplicateSummary` is bit-identical to
 the serial one.  Callables that cannot be pickled (closures, lambdas)
 degrade to serial execution with a warning rather than failing.
 
+Each ``run_replicates`` call is also one progress *task*
+(:mod:`repro.obs.progress`): when a progress emitter is active — passed
+explicitly or installed ambiently — the runner emits start/heartbeat,
+one completion event per replicate (carrying its seed-stream index), and
+an end event whose status distinguishes completed from interrupted runs.
+The null emitter is the default, so undriven code pays one attribute
+lookup per replicate.
+
 Non-finite replicate values are a correctness hazard — one NaN poisons
 every mean — so the runner validates them: under ``strict=True`` (the
 default, and what every experiment driver uses) a NaN/inf metric raises
@@ -132,6 +140,15 @@ def _ingest(
         values.setdefault(key, []).append(value)
 
 
+def _default_label(replicate) -> str:
+    """A human-readable task label for progress events."""
+    for candidate in (replicate, getattr(replicate, "func", None)):
+        name = getattr(candidate, "__name__", None)
+        if name:
+            return name
+    return "replicates"
+
+
 def run_replicates(
     replicate: Callable[[np.random.Generator], Mapping[str, float]],
     *,
@@ -139,6 +156,8 @@ def run_replicates(
     seed=None,
     n_jobs: int = 1,
     strict: bool = True,
+    label: str | None = None,
+    progress=None,
 ) -> ReplicateSummary:
     """Run ``replicate(rng)`` under independent streams and aggregate.
 
@@ -163,6 +182,17 @@ def run_replicates(
         :class:`~repro.exceptions.NonFiniteMetricError`; when False it
         warns, increments the ``replicates.nonfinite`` counter, and is
         aggregated as-is.
+    label:
+        Task name on emitted progress events (defaults to the replicate
+        callable's name).
+    progress:
+        A :class:`~repro.obs.progress.ProgressEmitter` to stream
+        heartbeat and per-replicate-completion events through; defaults
+        to the ambient emitter (:func:`repro.obs.get_progress`), which is
+        a no-op unless the caller installed one (e.g. via the CLI's
+        ``--progress`` flags).  Progress never affects results: for a
+        fixed seed the summary is bit-identical with or without it, at
+        every ``n_jobs``.
     """
     if n_replicates < 1:
         raise ConfigurationError(f"n_replicates must be >= 1, got {n_replicates}")
@@ -171,36 +201,44 @@ def run_replicates(
     values: dict[str, list[float]] = {}
     expected_keys: set[str] | None = None
     registry = obs.get_registry()
+    if progress is None:
+        progress = obs.get_progress()
 
-    outcomes = None
-    if n_jobs > 1:
-        outcomes = execute_replicates(replicate, seeds, n_jobs=n_jobs)
-
-    if outcomes is None:
-        for index, child in enumerate(seeds):
-            rng = np.random.default_rng(child)
-            with obs.span("repro.replicate", index=index) as span:
-                metrics = dict(replicate(rng))
-                expected_keys = _check_keys(metrics, expected_keys)
-                if span.recording:
-                    for key, value in metrics.items():
-                        span.set_attribute(f"metric.{key}", float(value))
-                _ingest(values, metrics, index, strict=strict, registry=registry)
-            registry.counter("replicates.completed").inc()
-    else:
-        tracer = obs.get_tracer()
-        adopt = getattr(tracer, "adopt_records", None)
-        for outcome in outcomes:
-            if outcome.span_records and adopt is not None:
-                adopt(outcome.span_records)
-            if outcome.metrics_state:
-                registry.merge_state(outcome.metrics_state)
-            expected_keys = _check_keys(outcome.metrics, expected_keys)
-            _ingest(
-                values, outcome.metrics, outcome.index,
-                strict=strict, registry=registry,
+    with progress.task(
+        label or _default_label(replicate), total=n_replicates, n_jobs=n_jobs
+    ) as progress_task:
+        outcomes = None
+        if n_jobs > 1:
+            outcomes = execute_replicates(
+                replicate, seeds, n_jobs=n_jobs, progress_task=progress_task
             )
-            registry.counter("replicates.completed").inc()
+
+        if outcomes is None:
+            for index, child in enumerate(seeds):
+                rng = np.random.default_rng(child)
+                with obs.span("repro.replicate", index=index) as span:
+                    metrics = dict(replicate(rng))
+                    expected_keys = _check_keys(metrics, expected_keys)
+                    if span.recording:
+                        for key, value in metrics.items():
+                            span.set_attribute(f"metric.{key}", float(value))
+                    _ingest(values, metrics, index, strict=strict, registry=registry)
+                registry.counter("replicates.completed").inc()
+                progress_task.replicate_done(index)
+        else:
+            tracer = obs.get_tracer()
+            adopt = getattr(tracer, "adopt_records", None)
+            for outcome in outcomes:
+                if outcome.span_records and adopt is not None:
+                    adopt(outcome.span_records)
+                if outcome.metrics_state:
+                    registry.merge_state(outcome.metrics_state)
+                expected_keys = _check_keys(outcome.metrics, expected_keys)
+                _ingest(
+                    values, outcome.metrics, outcome.index,
+                    strict=strict, registry=registry,
+                )
+                registry.counter("replicates.completed").inc()
 
     means = {key: float(np.mean(v)) for key, v in values.items()}
     if n_replicates > 1:

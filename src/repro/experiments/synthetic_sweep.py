@@ -88,6 +88,7 @@ def run_synthetic_sweep(
     n_replicates: int = 200,
     seed=None,
     n_jobs: int = 1,
+    progress=None,
 ) -> SweepResult:
     """Run one of Figures 1-4 (or a custom variant).
 
@@ -113,6 +114,10 @@ def run_synthetic_sweep(
     n_jobs:
         Worker processes for the replicate fan-out (``1`` = serial,
         ``-1`` = one per CPU); results are identical at every setting.
+    progress:
+        Optional :class:`~repro.obs.progress.ProgressEmitter`; each grid
+        point becomes one labelled progress task (``figure1[n=100]``).
+        Defaults to the ambient emitter.
     """
     if vary not in ("n", "m"):
         raise ConfigurationError(f"vary must be 'n' or 'm', got {vary!r}")
@@ -134,6 +139,8 @@ def run_synthetic_sweep(
             n_replicates=n_replicates,
             seed=None if seed is None else (hash((seed, j)) % (2**32)),
             n_jobs=n_jobs,
+            label=f"{name}[{vary}={value}]",
+            progress=progress,
         )
         for i, label in enumerate(labels):
             means[i, j] = summary.means[label]

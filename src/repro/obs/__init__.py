@@ -18,6 +18,14 @@ Layered so each piece is independently usable:
 * :mod:`repro.obs.bench` — structured benchmark capture
   (:class:`~repro.obs.bench.BenchRecorder`) and the noise-aware
   regression comparison behind ``python -m repro bench-compare``.
+* :mod:`repro.obs.progress` — live progress telemetry: heartbeat and
+  per-replicate-completion events streamed to stderr and/or an fsynced
+  JSONL sink while experiments run.
+* :mod:`repro.obs.ledger` — the SQLite run ledger ingesting every
+  provenance-carrying artifact into one queryable history (``repro obs``
+  CLI family).
+* :mod:`repro.obs.trend` — multi-run history series and the sustained
+  regression gate behind ``repro obs trend``.
 
 Typical use::
 
@@ -29,8 +37,17 @@ Typical use::
     print(obs.export.render_trace_report(tracer))
 """
 
-from repro.obs import bench, export, probes
-from repro.obs.environment import environment_fingerprint
+from repro.obs import bench, export, probes, progress, trend
+from repro.obs.environment import environment_fingerprint, fingerprint_digest
+from repro.obs.ledger import RunLedger
+from repro.obs.progress import (
+    NullProgress,
+    ProgressEmitter,
+    get_progress,
+    progress_enabled,
+    set_progress,
+    use_progress,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -56,7 +73,17 @@ __all__ = [
     "bench",
     "export",
     "probes",
+    "progress",
+    "trend",
     "environment_fingerprint",
+    "fingerprint_digest",
+    "RunLedger",
+    "ProgressEmitter",
+    "NullProgress",
+    "get_progress",
+    "set_progress",
+    "use_progress",
+    "progress_enabled",
     "Span",
     "NoopSpan",
     "NoopTracer",

@@ -42,6 +42,7 @@ __all__ = [
     "BenchComparison",
     "BenchDelta",
     "compare_runs",
+    "compare_run_sequence",
     "load_bench_run",
     "render_bench_report",
     "render_bench_compare",
@@ -132,11 +133,12 @@ class BenchRecord:
         )
 
     def write_json(self, path) -> Path:
-        """Write this record as one standalone JSON document."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
-        return path
+        """Write this record as one standalone JSON document (atomically)."""
+        from repro.obs.export import atomic_write_text
+
+        return atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
 
     def summary(self) -> str:
         """One-line human summary (the text twin for micro-benchmarks)."""
@@ -294,12 +296,13 @@ class BenchRecorder:
         }
 
     def write_run(self, directory) -> Path:
-        """Write ``BENCH_<run_id>.json`` under ``directory``."""
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        path = directory / f"BENCH_{self.run_id}.json"
-        path.write_text(json.dumps(self.to_run(), indent=2, sort_keys=True) + "\n")
-        return path
+        """Write ``BENCH_<run_id>.json`` under ``directory`` (atomically)."""
+        from repro.obs.export import atomic_write_text
+
+        path = Path(directory) / f"BENCH_{self.run_id}.json"
+        return atomic_write_text(
+            path, json.dumps(self.to_run(), indent=2, sort_keys=True) + "\n"
+        )
 
 
 def load_bench_run(path) -> dict:
@@ -409,6 +412,44 @@ def compare_runs(old_run: dict, new_run: dict, *, threshold: float = 0.15,
                 status=status,
             )
         )
+    return comparison
+
+
+def compare_run_sequence(runs, *, threshold: float = 0.15,
+                         min_repeats: int = 3) -> BenchComparison:
+    """Compare ``>= 2`` bench runs, oldest against newest per benchmark.
+
+    Runs are ordered by ``created_unix``.  For every benchmark the delta
+    is judged between its *earliest* and *latest* appearance in the
+    sequence (intermediate runs contribute nothing to the verdict — use
+    ``repro obs trend`` for sustained-regression analysis over the full
+    series).  Benchmarks seen in only one run are listed as ``added``
+    when that run is the newest overall and ``removed`` otherwise.  With
+    exactly two runs this reduces to :func:`compare_runs`.
+    """
+    runs = sorted(runs, key=lambda run: float(run.get("created_unix", 0.0)))
+    if len(runs) < 2:
+        raise ValueError(f"need at least 2 bench runs to compare, got {len(runs)}")
+    earliest: dict[str, dict] = {}
+    latest: dict[str, dict] = {}
+    seen_in: dict[str, int] = {}
+    for run in runs:
+        for record in run.get("benchmarks", ()):
+            name = record["name"]
+            earliest.setdefault(name, record)
+            latest[name] = record
+            seen_in[name] = seen_in.get(name, 0) + 1
+    newest_names = {r["name"] for r in runs[-1].get("benchmarks", ())}
+    shared = {name for name, count in seen_in.items() if count >= 2}
+    comparison = compare_runs(
+        {"benchmarks": [earliest[name] for name in shared]},
+        {"benchmarks": [latest[name] for name in shared]},
+        threshold=threshold,
+        min_repeats=min_repeats,
+    )
+    singles = set(seen_in) - shared
+    comparison.added = sorted(singles & newest_names)
+    comparison.removed = sorted(singles - newest_names)
     return comparison
 
 

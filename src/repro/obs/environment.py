@@ -20,7 +20,7 @@ import sys
 from functools import lru_cache
 from pathlib import Path
 
-__all__ = ["environment_fingerprint", "git_revision"]
+__all__ = ["environment_fingerprint", "fingerprint_digest", "git_revision"]
 
 #: Schema tag embedded in every fingerprint, so readers can evolve.
 FINGERPRINT_SCHEMA = "repro.env/v1"
@@ -75,3 +75,22 @@ def environment_fingerprint() -> dict:
     returned dict cannot poison later artifacts.
     """
     return dict(_cached_fingerprint())
+
+
+def fingerprint_digest(environment: dict | None = None) -> str:
+    """A short stable key identifying one runtime environment.
+
+    The run ledger groups runs by this digest so "same machine and
+    toolchain" is a single indexed column rather than a dict comparison.
+    ``git_sha`` is excluded — the code version is keyed separately, and
+    two commits benchmarked on one machine must share an environment key
+    to be comparable at all.
+    """
+    import hashlib
+    import json
+
+    if environment is None:
+        environment = environment_fingerprint()
+    identity = {k: v for k, v in sorted(environment.items()) if k != "git_sha"}
+    blob = json.dumps(identity, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]

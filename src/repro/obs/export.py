@@ -16,17 +16,31 @@ and :func:`load_header` retrieves the provenance when present.
 :func:`render_trace_report` aggregates records by span name into an
 aligned table (count / total / mean / max durations) plus per-name
 numeric-attribute summaries — this backs ``python -m repro trace-report``.
+
+Durability: whole-file dumps (:func:`write_jsonl`,
+:func:`dump_metrics_json`) go through :func:`atomic_write_text` —
+written to a temp file in the target directory, fsynced, then renamed —
+so a crash mid-write never leaves a truncated artifact under the final
+name.  Streaming writers use :class:`JsonlSink`, which flushes and
+fsyncs every record, so an interrupted process leaves a readable prefix;
+:func:`load_jsonl` correspondingly tolerates (with a
+:class:`PartialArtifactWarning`) a trailing half-written line.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 import time
+import warnings
 from pathlib import Path
 
 __all__ = [
+    "PartialArtifactWarning",
     "to_records",
+    "atomic_write_text",
+    "JsonlSink",
     "write_jsonl",
     "load_jsonl",
     "load_header",
@@ -35,6 +49,11 @@ __all__ = [
     "render_tree",
     "render_trace_report",
 ]
+
+
+class PartialArtifactWarning(UserWarning):
+    """A JSONL artifact ended mid-record (interrupted writer); the readable
+    prefix was loaded and the partial trailing line skipped."""
 
 #: Schema tag on the JSONL header line.
 TRACE_SCHEMA = "repro.trace/v1"
@@ -52,6 +71,65 @@ def _json_default(value):
     return str(value)
 
 
+def atomic_write_text(path, text: str) -> Path:
+    """Write ``text`` to ``path`` via temp-file + fsync + rename.
+
+    The temp file lives in the destination directory so the rename is
+    atomic on POSIX; readers either see the old file or the complete new
+    one, never a truncated intermediate.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}"
+    try:
+        with tmp.open("w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(path)
+    finally:
+        if tmp.exists():  # rename failed; don't litter
+            tmp.unlink(missing_ok=True)
+    return path
+
+
+class JsonlSink:
+    """Append-structured JSONL writer that survives being killed.
+
+    Every :meth:`write` serialises one record, flushes, and fsyncs, so
+    the file on disk is always a readable prefix of the stream — the
+    durability contract progress telemetry and the run ledger's
+    partial-run detection rely on.  Not for hot paths: an fsync per
+    record is deliberate (progress events are seconds apart).
+    """
+
+    def __init__(self, path, *, fsync: bool = True):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self._handle = self.path.open("w")
+
+    def write(self, record: dict) -> None:
+        if self._handle is None:
+            raise ValueError(f"JsonlSink({self.path}) is closed")
+        self._handle.write(json.dumps(record, default=_json_default))
+        self._handle.write("\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 def to_records(trace) -> list[dict]:
     """Normalize a tracer, span iterable, or record list to record dicts."""
     if hasattr(trace, "to_records"):
@@ -67,26 +145,24 @@ def write_jsonl(trace, path, *, header: bool = True) -> Path:
 
     Unless ``header=False``, the first line is a provenance header with
     the environment fingerprint — the same dict benchmark records embed,
-    so traces and bench artifacts share one provenance format.
+    so traces and bench artifacts share one provenance format.  The file
+    lands atomically (temp + rename): a crash mid-export cannot leave a
+    truncated trace under the final name.
     """
     from repro.obs.environment import environment_fingerprint
 
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as handle:
-        if header:
-            head = {
-                "type": "header",
-                "schema": TRACE_SCHEMA,
-                "created_unix": time.time(),
-                "environment": environment_fingerprint(),
-            }
-            handle.write(json.dumps(head, default=_json_default))
-            handle.write("\n")
-        for record in to_records(trace):
-            handle.write(json.dumps(record, default=_json_default))
-            handle.write("\n")
-    return path
+    lines = []
+    if header:
+        head = {
+            "type": "header",
+            "schema": TRACE_SCHEMA,
+            "created_unix": time.time(),
+            "environment": environment_fingerprint(),
+        }
+        lines.append(json.dumps(head, default=_json_default))
+    for record in to_records(trace):
+        lines.append(json.dumps(record, default=_json_default))
+    return atomic_write_text(path, "\n".join(lines) + ("\n" if lines else ""))
 
 
 def load_jsonl(path) -> list[dict]:
@@ -95,16 +171,36 @@ def load_jsonl(path) -> list[dict]:
     Header lines are skipped, so files from before the header existed and
     files carrying one load to the same span-record list; use
     :func:`load_header` for the provenance record itself.
+
+    A file whose *last* line does not parse — after at least one line
+    that did — is treated as the readable prefix of an interrupted
+    streaming writer: the partial line is skipped with a
+    :class:`PartialArtifactWarning`.  An unparseable line followed by
+    further content, or a file whose very first line is unparseable, is
+    real corruption and still raises.
     """
     path = Path(path)
+    lines = [
+        (number, line.strip())
+        for number, line in enumerate(path.open(), start=1)
+        if line.strip()
+    ]
     records = []
-    with path.open() as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                record = json.loads(line)
-                if not (isinstance(record, dict) and _is_header(record)):
-                    records.append(record)
+    for position, (number, line) in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if position == len(lines) - 1 and position > 0:
+                warnings.warn(
+                    f"{path}:{number}: skipping partial trailing line "
+                    f"(interrupted writer)",
+                    PartialArtifactWarning,
+                    stacklevel=2,
+                )
+                break
+            raise
+        if not (isinstance(record, dict) and _is_header(record)):
+            records.append(record)
     return records
 
 
@@ -138,10 +234,9 @@ def dump_metrics_json(registry, path, *, command: str | None = None) -> Path:
         "environment": environment_fingerprint(),
         "metrics": registry.snapshot(),
     }
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=_json_default) + "\n")
-    return path
+    return atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True, default=_json_default) + "\n"
+    )
 
 
 class InMemoryExporter:

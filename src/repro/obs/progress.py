@@ -1,0 +1,332 @@
+"""Live progress telemetry for long-running experiment drivers.
+
+A multi-hour sweep that prints nothing until it finishes is
+indistinguishable from a hung one.  This module adds a lightweight event
+stream alongside the existing span/metric instrumentation: a
+:class:`ProgressEmitter` scopes work into *tasks* (one per
+:func:`~repro.experiments.runner.run_replicates` call) and emits four
+event types:
+
+``start``
+    A task began: label, total replicate count, worker count.
+``replicate``
+    One replicate completed: its seed-stream ``index`` (the position in
+    every aggregate), running ``completed`` count, elapsed seconds, and
+    an ETA extrapolated from the mean per-replicate rate.
+``heartbeat``
+    Periodic liveness signal (default every 5 s, plus one immediately
+    after ``start`` so even an instant task proves the stream works).
+``end``
+    The task finished: final counts and a ``status`` of ``complete`` or
+    ``interrupted`` (the task exited with replicates outstanding).
+
+Events go to any combination of two sinks: a human-readable line stream
+(typically stderr) and an append-only JSONL file whose records are
+flushed and fsynced as written — an interrupted run leaves a readable
+prefix, which is how the run ledger (:mod:`repro.obs.ledger`) recognises
+partial runs.  The JSONL file opens with the same provenance header as
+span traces (run id, creation time, environment fingerprint), so ledger
+ingestion can key progress streams exactly like every other artifact.
+
+Like the tracer and the metrics registry, the emitter is ambient: the
+module-level default is a :class:`NullProgress` whose per-event cost is
+one attribute lookup, and :func:`use_progress` temporarily installs a
+real emitter for the duration of a driver run.  Under ``n_jobs > 1`` the
+*parent* emits every event (workers only ship their results back via the
+executor's record-shipping path), so the stream is ordered and complete
+regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "PROGRESS_SCHEMA",
+    "ProgressEmitter",
+    "NullProgress",
+    "NullProgressTask",
+    "get_progress",
+    "set_progress",
+    "use_progress",
+    "progress_enabled",
+]
+
+#: Schema tag on the JSONL header line of a progress stream.
+PROGRESS_SCHEMA = "repro.progress/v1"
+
+
+def _default_run_id() -> str:
+    import os
+
+    return time.strftime("%Y%m%dT%H%M%S", time.gmtime()) + f"-{os.getpid()}"
+
+
+class NullProgressTask:
+    """Do-nothing task handle returned while progress is disabled."""
+
+    __slots__ = ()
+
+    enabled = False
+    heartbeat_interval = None
+
+    def replicate_done(self, index: int) -> None:
+        pass
+
+    def heartbeat(self) -> None:
+        pass
+
+    def maybe_heartbeat(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullProgressTask":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_TASK = NullProgressTask()
+
+
+class NullProgress:
+    """Default emitter: produces nothing, costs (almost) nothing."""
+
+    enabled = False
+    heartbeat_interval = None
+
+    def task(self, label: str, *, total: int, n_jobs: int = 1) -> NullProgressTask:
+        return _NULL_TASK
+
+    def close(self) -> None:
+        pass
+
+
+class ProgressTask:
+    """One scoped unit of work (a ``run_replicates`` call) being tracked.
+
+    Use as a context manager; entering emits ``start`` plus an initial
+    heartbeat, :meth:`replicate_done` emits one ``replicate`` event per
+    completed replicate, and exiting emits ``end`` — with
+    ``status="interrupted"`` when replicates are outstanding (exception,
+    Ctrl-C) so partial runs are distinguishable in the stream.
+    """
+
+    enabled = True
+
+    def __init__(self, emitter: "ProgressEmitter", label: str, total: int, n_jobs: int):
+        self._emitter = emitter
+        self.label = label
+        self.total = int(total)
+        self.n_jobs = int(n_jobs)
+        self.completed = 0
+        self._t0 = 0.0
+        self._last_heartbeat = 0.0
+
+    @property
+    def heartbeat_interval(self) -> float | None:
+        return self._emitter.heartbeat_interval
+
+    def _elapsed(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _eta(self, elapsed: float) -> float | None:
+        if self.completed <= 0 or self.total <= self.completed:
+            return 0.0 if self.total <= self.completed else None
+        return elapsed / self.completed * (self.total - self.completed)
+
+    def __enter__(self) -> "ProgressTask":
+        self._t0 = time.perf_counter()
+        self._emitter._emit(
+            {
+                "type": "start",
+                "task": self.label,
+                "total": self.total,
+                "n_jobs": self.n_jobs,
+                "elapsed_s": 0.0,
+            }
+        )
+        self.heartbeat()
+        return self
+
+    def replicate_done(self, index: int) -> None:
+        """Record one completed replicate by its seed-stream position."""
+        self.completed += 1
+        elapsed = self._elapsed()
+        self._emitter._emit(
+            {
+                "type": "replicate",
+                "task": self.label,
+                "index": int(index),
+                "completed": self.completed,
+                "total": self.total,
+                "elapsed_s": elapsed,
+                "eta_s": self._eta(elapsed),
+            }
+        )
+        self.maybe_heartbeat()
+
+    def heartbeat(self) -> None:
+        """Emit a liveness event unconditionally."""
+        elapsed = self._elapsed()
+        self._last_heartbeat = time.perf_counter()
+        self._emitter._emit(
+            {
+                "type": "heartbeat",
+                "task": self.label,
+                "completed": self.completed,
+                "total": self.total,
+                "elapsed_s": elapsed,
+                "eta_s": self._eta(elapsed),
+            }
+        )
+
+    def maybe_heartbeat(self) -> None:
+        """Emit a heartbeat when the configured interval has elapsed."""
+        interval = self._emitter.heartbeat_interval
+        if interval is not None and time.perf_counter() - self._last_heartbeat >= interval:
+            self.heartbeat()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        status = "complete" if exc_type is None and self.completed >= self.total else "interrupted"
+        event = {
+            "type": "end",
+            "task": self.label,
+            "completed": self.completed,
+            "total": self.total,
+            "elapsed_s": self._elapsed(),
+            "status": status,
+        }
+        if exc_type is not None:
+            event["error"] = exc_type.__name__
+        self._emitter._emit(event)
+
+
+class ProgressEmitter:
+    """Streams progress events to stderr-style text and/or fsynced JSONL.
+
+    Parameters
+    ----------
+    stream:
+        Writable text stream for human-readable lines (``sys.stderr``
+        typically); ``None`` disables the text sink.
+    jsonl_path:
+        Path for the machine-readable event stream; opened immediately
+        with a provenance header, each event flushed and fsynced so an
+        interrupted run leaves a readable prefix.  ``None`` disables it.
+    heartbeat_interval:
+        Seconds between periodic heartbeats (``None`` = only the initial
+        per-task heartbeat).
+    run_id:
+        Identity of this progress stream in the run ledger; defaults to
+        the same ``<utc-timestamp>-<pid>`` shape bench runs use.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        stream=None,
+        jsonl_path=None,
+        heartbeat_interval: float | None = 5.0,
+        run_id: str | None = None,
+    ):
+        if stream is None and jsonl_path is None:
+            raise ValueError("ProgressEmitter needs at least one sink (stream or jsonl_path)")
+        self.stream = stream
+        self.run_id = run_id or _default_run_id()
+        self.heartbeat_interval = heartbeat_interval
+        self._seq = 0
+        self._sink = None
+        if jsonl_path is not None:
+            from repro.obs.environment import environment_fingerprint
+            from repro.obs.export import JsonlSink
+
+            self._sink = JsonlSink(jsonl_path)
+            self._sink.write(
+                {
+                    "type": "header",
+                    "schema": PROGRESS_SCHEMA,
+                    "run_id": self.run_id,
+                    "created_unix": time.time(),
+                    "environment": environment_fingerprint(),
+                }
+            )
+
+    @property
+    def jsonl_path(self):
+        return None if self._sink is None else self._sink.path
+
+    def task(self, label: str, *, total: int, n_jobs: int = 1) -> ProgressTask:
+        """Scope one replicate loop; use the returned object as a context manager."""
+        return ProgressTask(self, label, total, n_jobs)
+
+    def _emit(self, event: dict) -> None:
+        self._seq += 1
+        event = {"seq": self._seq, "run_id": self.run_id, **event}
+        if self._sink is not None:
+            self._sink.write(event)
+        if self.stream is not None:
+            self.stream.write(self._format_line(event) + "\n")
+            self.stream.flush()
+
+    @staticmethod
+    def _format_line(event: dict) -> str:
+        label = event.get("task", "?")
+        kind = event["type"]
+        completed, total = event.get("completed"), event.get("total")
+        elapsed = event.get("elapsed_s")
+        eta = event.get("eta_s")
+        eta_text = "" if eta is None else f" eta {eta:.1f}s"
+        if kind == "start":
+            return f"[{label}] start: {total} replicate(s), {event.get('n_jobs', 1)} job(s)"
+        if kind == "replicate":
+            return (
+                f"[{label}] replicate {completed}/{total} "
+                f"(index {event.get('index')}) elapsed {elapsed:.1f}s{eta_text}"
+            )
+        if kind == "heartbeat":
+            return f"[{label}] heartbeat {completed}/{total} elapsed {elapsed:.1f}s{eta_text}"
+        if kind == "end":
+            return (
+                f"[{label}] {event.get('status', '?')}: {completed}/{total} "
+                f"in {elapsed:.1f}s"
+            )
+        return f"[{label}] {kind}"
+
+    def close(self) -> None:
+        """Close the JSONL sink (idempotent); the text stream is not owned."""
+        if self._sink is not None:
+            self._sink.close()
+
+
+_ACTIVE: NullProgress | ProgressEmitter = NullProgress()
+
+
+def get_progress() -> NullProgress | ProgressEmitter:
+    """The process-global active progress emitter (null by default)."""
+    return _ACTIVE
+
+
+def set_progress(emitter) -> None:
+    """Install ``emitter`` as the process-global progress emitter."""
+    global _ACTIVE
+    _ACTIVE = emitter
+
+
+@contextmanager
+def use_progress(emitter):
+    """Temporarily install ``emitter``, restoring the previous one on exit."""
+    previous = _ACTIVE
+    set_progress(emitter)
+    try:
+        yield emitter
+    finally:
+        set_progress(previous)
+
+
+def progress_enabled() -> bool:
+    """True when the active emitter produces events."""
+    return _ACTIVE.enabled

@@ -104,6 +104,7 @@ def run_consistency_curve(
     n_replicates: int = 100,
     seed=None,
     n_jobs: int = 1,
+    progress=None,
 ) -> ConsistencyCurve:
     """Trace empirical consistency of the hard criterion along growing n."""
     if len(n_values) < 2:
@@ -126,6 +127,8 @@ def run_consistency_curve(
             n_replicates=n_replicates,
             seed=None if seed is None else (hash((seed, j)) % (2**32)),
             n_jobs=n_jobs,
+            label=f"consistency[n={n}]",
+            progress=progress,
         )
         hard_rmse.append(summary.means["hard_rmse"])
         nw_rmse.append(summary.means["nw_rmse"])

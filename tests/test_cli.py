@@ -349,3 +349,128 @@ class TestMetricsFlag:
         data = json.loads(path.read_text())
         assert data["schema"] == "repro.metrics/v1"
         capsys.readouterr()
+
+
+class TestBenchCompareMultiRun:
+    def _pin_created(self, path, created):
+        data = json.loads(path.read_text())
+        data["created_unix"] = created
+        for record in data["benchmarks"]:
+            record["created_unix"] = created
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_three_runs_judged_oldest_vs_newest(self, capsys, tmp_path):
+        runs = []
+        for i, base in enumerate([0.100, 0.120, 0.150]):
+            path = _write_run(
+                tmp_path / f"run{i}", f"r{i}",
+                {"solve": [base, base * 1.01, base * 1.02]},
+            )
+            runs.append(str(self._pin_created(path, 100.0 * (i + 1))))
+        code = main(["bench-compare", *runs, "--threshold", "0.15"])
+        out = capsys.readouterr().out
+        assert code == 1  # 0.150 vs 0.100 regressed even though no adjacent pair did badly
+        assert "comparing 3 runs" in out
+        assert "regression" in out
+
+    def test_glob_pattern_expanded(self, capsys, tmp_path):
+        for i in range(2):
+            path = _write_run(
+                tmp_path / f"run{i}", f"r{i}", {"solve": [0.1, 0.101, 0.102]}
+            )
+            self._pin_created(path, 100.0 * (i + 1))
+        pattern = str(tmp_path) + "/*/BENCH_*.json"
+        code = main(["bench-compare", pattern])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 regression(s)" in out
+
+    def test_single_file_exits_two(self, capsys, tmp_path):
+        path = _write_run(tmp_path, "r1", {"solve": [0.1]})
+        assert main(["bench-compare", str(path)]) == 2
+        assert "at least two" in capsys.readouterr().err
+
+    def test_benchmark_in_one_run_only_never_gates(self, capsys, tmp_path):
+        old = _write_run(tmp_path / "old", "r1", {"solve": [0.1, 0.101, 0.102]})
+        new = _write_run(
+            tmp_path / "new", "r2",
+            {"solve": [0.1, 0.101, 0.102], "extra": [0.5, 0.51, 0.52]},
+        )
+        self._pin_created(old, 100.0)
+        self._pin_created(new, 200.0)
+        code = main(["bench-compare", str(old), str(new)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "extra" in out
+
+
+class TestTraceReportMergedMemory:
+    def test_cross_process_merged_memory_trace(self, capsys, tmp_path):
+        """trace-report over a parent trace that adopted worker memory spans.
+
+        This is the artifact shape a ``--jobs N --trace`` run produces:
+        worker tracers record with ``track_memory=True``, ship their
+        records across the process boundary, and the parent adopts them.
+        """
+        from repro import obs
+        from repro.obs.export import write_jsonl
+
+        parent = obs.RecordingTracer(track_memory=True)
+        worker = obs.RecordingTracer(track_memory=True)
+        with obs.use_tracer(worker):
+            with obs.span("repro.replicate", index=1):
+                _ = [0.0] * 50_000
+        worker.close()
+        with obs.use_tracer(parent):
+            with obs.span("repro.replicate", index=0):
+                _ = [0.0] * 50_000
+        parent.adopt_records(worker.to_records())
+        parent.close()
+        path = write_jsonl(parent, tmp_path / "merged.jsonl")
+
+        code = main(["trace-report", str(path), "--tree"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # both the locally-recorded and the adopted replicate spans render
+        assert out.count("repro.replicate") >= 2
+        # and the memory attribution survived the merge
+        assert "memory.peak_bytes" in out
+
+
+class TestProgressFlags:
+    def test_parallel_figure_emits_progress(self, capsys, tmp_path):
+        jsonl = tmp_path / "progress.jsonl"
+        code = main([
+            "figure1", "--replicates", "2", "--seed", "0", "--jobs", "2",
+            "--progress", "--progress-jsonl", str(jsonl),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "heartbeat" in captured.err
+        assert "replicate 1/2" in captured.err
+        events = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert events[0]["type"] == "header"
+        assert events[0]["schema"] == "repro.progress/v1"
+        heartbeats = [e for e in events if e.get("type") == "heartbeat"]
+        assert len(heartbeats) >= 1
+        done = [e for e in events if e.get("type") == "replicate"]
+        # every task covers replicate indices 0..1 exactly once
+        by_task = {}
+        for event in done:
+            by_task.setdefault(event["task"], []).append(event["index"])
+        assert by_task and all(sorted(v) == [0, 1] for v in by_task.values())
+        ends = [e for e in events if e.get("type") == "end"]
+        assert ends and all(e["status"] == "complete" for e in ends)
+
+    def test_progress_preserves_aggregates_bit_identically(self, capsys, tmp_path):
+        plain = tmp_path / "plain.csv"
+        with_progress = tmp_path / "progress.csv"
+        args = ["consistency", "--replicates", "2", "--seed", "0"]
+        assert main([*args, "--csv", str(plain)]) == 0
+        assert main([
+            *args, "--csv", str(with_progress), "--jobs", "2",
+            "--progress-jsonl", str(tmp_path / "p.jsonl"),
+        ]) == 0
+        capsys.readouterr()
+        assert with_progress.read_text() == plain.read_text()

@@ -223,6 +223,51 @@ class TestExporters:
         assert "parent" in report and "child" in report
 
 
+class TestDurableWrites:
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        from repro.obs.export import atomic_write_text
+
+        path = atomic_write_text(tmp_path / "out.json", '{"a": 1}\n')
+        assert path.read_text() == '{"a": 1}\n'
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_jsonl_sink_records_readable_before_close(self, tmp_path):
+        from repro.obs.export import JsonlSink
+
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write({"type": "start"})
+            sink.write({"type": "end"})
+            # durable before close: each write flushed + fsynced
+            lines = path.read_text().splitlines()
+            assert [json.loads(line)["type"] for line in lines] == ["start", "end"]
+
+    def test_load_jsonl_skips_trailing_partial_line(self, tmp_path):
+        from repro.obs.export import PartialArtifactWarning
+
+        path = write_jsonl(self._record_trace(), tmp_path / "trace.jsonl")
+        # simulate a process killed mid-write: truncate the last line
+        text = path.read_text()
+        path.write_text(text[: len(text) - 20])
+        with pytest.warns(PartialArtifactWarning, match="partial"):
+            records = load_jsonl(path)
+        assert [r["name"] for r in records] == ["parent"]
+
+    def test_load_jsonl_still_raises_on_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "a"}\nnot json\n{"name": "b"}\n')
+        with pytest.raises(json.JSONDecodeError):
+            load_jsonl(path)
+
+    def _record_trace(self):
+        tracer = obs.RecordingTracer()
+        with obs.use_tracer(tracer):
+            with obs.span("parent", n=3):
+                with obs.span("child", residual=1e-9):
+                    pass
+        return tracer
+
+
 class TestMemorySpans:
     def test_disabled_tracking_never_touches_tracemalloc(self):
         # Neither the no-op path nor a plain RecordingTracer may import

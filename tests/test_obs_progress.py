@@ -1,0 +1,193 @@
+"""Tests for live progress telemetry (repro.obs.progress)."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.experiments.runner import run_replicates
+from repro.obs.export import load_jsonl
+from repro.obs.progress import (
+    PROGRESS_SCHEMA,
+    NullProgress,
+    ProgressEmitter,
+    get_progress,
+    progress_enabled,
+    use_progress,
+)
+
+
+def _metric(rng):
+    return {"value": float(rng.normal())}
+
+
+def _events(path):
+    return [r for r in load_jsonl(path) if "type" in r]
+
+
+class TestEmitterBasics:
+    def test_requires_a_sink(self):
+        with pytest.raises(ValueError, match="sink"):
+            ProgressEmitter()
+
+    def test_header_carries_provenance(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        emitter = ProgressEmitter(jsonl_path=path, run_id="r1")
+        emitter.close()
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["type"] == "header"
+        assert header["schema"] == PROGRESS_SCHEMA
+        assert header["run_id"] == "r1"
+        assert header["environment"]["schema"] == "repro.env/v1"
+
+    def test_task_lifecycle_event_stream(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        emitter = ProgressEmitter(jsonl_path=path, run_id="r1")
+        with emitter.task("work", total=2) as task:
+            task.replicate_done(0)
+            task.replicate_done(1)
+        emitter.close()
+        events = _events(path)
+        assert [e["type"] for e in events] == [
+            "start", "heartbeat", "replicate", "replicate", "end",
+        ]
+        assert events[0]["total"] == 2
+        assert [e["index"] for e in events if e["type"] == "replicate"] == [0, 1]
+        assert events[-1]["status"] == "complete"
+        # seq is monotone so interleaved sinks stay ordered
+        assert [e["seq"] for e in events] == sorted(e["seq"] for e in events)
+
+    def test_at_least_one_heartbeat_even_for_instant_tasks(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        emitter = ProgressEmitter(jsonl_path=path, heartbeat_interval=None)
+        with emitter.task("instant", total=1) as task:
+            task.replicate_done(0)
+        emitter.close()
+        assert sum(e["type"] == "heartbeat" for e in _events(path)) >= 1
+
+    def test_interrupted_task_marked(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        emitter = ProgressEmitter(jsonl_path=path)
+        with pytest.raises(KeyboardInterrupt):
+            with emitter.task("work", total=5) as task:
+                task.replicate_done(0)
+                raise KeyboardInterrupt
+        emitter.close()
+        end = _events(path)[-1]
+        assert end["type"] == "end"
+        assert end["status"] == "interrupted"
+        assert end["error"] == "KeyboardInterrupt"
+        assert end["completed"] == 1
+
+    def test_stderr_lines_human_readable(self):
+        stream = io.StringIO()
+        emitter = ProgressEmitter(stream=stream, run_id="r1")
+        with emitter.task("fig", total=1, n_jobs=2) as task:
+            task.replicate_done(0)
+        emitter.close()
+        text = stream.getvalue()
+        assert "[fig] start: 1 replicate(s), 2 job(s)" in text
+        assert "replicate 1/1 (index 0)" in text
+        assert "complete: 1/1" in text
+
+    def test_stream_readable_before_close(self, tmp_path):
+        """Every event is fsynced: a killed process leaves a parseable file."""
+        path = tmp_path / "p.jsonl"
+        emitter = ProgressEmitter(jsonl_path=path)
+        with emitter.task("work", total=3) as task:
+            task.replicate_done(0)
+            # read back mid-run, before close(): all events must be durable
+            events = _events(path)
+        assert [e["type"] for e in events] == ["start", "heartbeat", "replicate"]
+        emitter.close()
+
+
+class TestAmbientEmitter:
+    def test_default_is_null(self):
+        assert isinstance(get_progress(), NullProgress)
+        assert not progress_enabled()
+
+    def test_use_progress_installs_and_restores(self, tmp_path):
+        emitter = ProgressEmitter(jsonl_path=tmp_path / "p.jsonl")
+        with use_progress(emitter):
+            assert get_progress() is emitter
+            assert progress_enabled()
+        assert isinstance(get_progress(), NullProgress)
+        emitter.close()
+
+    def test_exported_from_obs_namespace(self):
+        for name in ("ProgressEmitter", "NullProgress", "use_progress",
+                     "get_progress", "set_progress", "progress_enabled"):
+            assert hasattr(obs, name)
+
+
+class TestRunnerIntegration:
+    def test_serial_run_emits_per_replicate_events(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        emitter = ProgressEmitter(jsonl_path=path)
+        run_replicates(
+            _metric, n_replicates=4, seed=0, label="serial", progress=emitter
+        )
+        emitter.close()
+        events = _events(path)
+        done = [e for e in events if e["type"] == "replicate"]
+        assert [e["index"] for e in done] == [0, 1, 2, 3]
+        assert all(e["task"] == "serial" for e in done)
+        assert events[-1]["status"] == "complete"
+
+    def test_parallel_run_covers_every_index(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        emitter = ProgressEmitter(jsonl_path=path)
+        run_replicates(
+            _metric, n_replicates=6, seed=0, n_jobs=2, label="par",
+            progress=emitter,
+        )
+        emitter.close()
+        done = [e for e in _events(path) if e["type"] == "replicate"]
+        # parallel completion order is nondeterministic but coverage is total
+        assert sorted(e["index"] for e in done) == [0, 1, 2, 3, 4, 5]
+        assert done[-1]["completed"] == 6
+
+    def test_ambient_emitter_picked_up(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        emitter = ProgressEmitter(jsonl_path=path)
+        with use_progress(emitter):
+            run_replicates(_metric, n_replicates=2, seed=0)
+        emitter.close()
+        events = _events(path)
+        assert sum(e["type"] == "replicate" for e in events) == 2
+        # label defaults to the replicate callable's name
+        assert events[0]["task"] == "_metric"
+
+    def test_progress_never_changes_aggregates(self, tmp_path):
+        bare = run_replicates(_metric, n_replicates=8, seed=42)
+        emitter = ProgressEmitter(jsonl_path=tmp_path / "s.jsonl")
+        serial = run_replicates(
+            _metric, n_replicates=8, seed=42, progress=emitter
+        )
+        emitter.close()
+        emitter = ProgressEmitter(jsonl_path=tmp_path / "p.jsonl")
+        parallel = run_replicates(
+            _metric, n_replicates=8, seed=42, n_jobs=2, progress=emitter
+        )
+        emitter.close()
+        assert serial.values == bare.values
+        assert parallel.values == bare.values
+        assert parallel.means == bare.means
+
+    def test_null_progress_costs_nothing_and_works(self):
+        summary = run_replicates(_metric, n_replicates=3, seed=1)
+        assert summary.n_replicates == 3
+
+    def test_driver_threads_progress_through(self, tmp_path):
+        from repro.experiments.figures import run_figure1
+
+        path = tmp_path / "fig1.jsonl"
+        emitter = ProgressEmitter(jsonl_path=path)
+        run_figure1(
+            n_values=(10, 30), n_replicates=2, seed=0, progress=emitter
+        )
+        emitter.close()
+        tasks = {e["task"] for e in _events(path) if e["type"] == "start"}
+        assert tasks == {"figure1[n=10]", "figure1[n=30]"}
