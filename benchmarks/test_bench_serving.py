@@ -1,0 +1,109 @@
+"""Bench: serving throughput — single-query loop vs micro-batched server.
+
+Fits one knn reference graph at N = 10,000 (the serving scale story:
+per-query attachment is a kd-tree lookup, never an O(N^2) rebuild) and
+serves the same fresh-query workload two ways:
+
+* ``serving_single_query_n10000`` — a loop of one-point ``predict``
+  calls: the per-request cost an unbatched caller pays (validation,
+  span, extraction dispatch per query);
+* ``serving_batched_n10000`` — the identical workload streamed through
+  :class:`~repro.serving.server.ModelServer`, which amortizes all of
+  that across ``BATCH_SIZE``-query flushes.
+
+Both timings land in the session :class:`BenchRecorder` (so ``obs
+trend`` gates them run-over-run) and in per-bench JSON twins next to the
+``.txt`` table.  Acceptance: batched throughput must be at least 5x the
+single-query path — batching is the serving layer's whole performance
+thesis, so its erosion is a hard failure, not a trend note.
+
+The determinism contract (batched == looped, bitwise) is asserted here
+on the real N=10^4 workload too; see tests/test_serving_determinism.py
+for the exhaustive small-scale matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import REPEATS, publish
+
+from repro.datasets.synthetic import make_regression_dataset, truncated_mvn_inputs
+from repro.experiments.report import ascii_table
+from repro.serving import GraphSSLModel, ModelServer
+
+N_REFERENCE = 10_000
+N_LABELED = 500
+K_NEIGHBOURS = 10
+BATCH_SIZE = 256
+#: Full workload streamed through the server per timed pass.
+N_QUERIES = 2048
+#: Queries in the single-call loop per timed pass (kept modest so one
+#: pass stays in seconds; qps normalizes the comparison).
+N_SINGLE = 128
+
+REQUIRED_SPEEDUP = 5.0
+
+
+def test_bench_serving_throughput(bench, results_dir):
+    rng = np.random.default_rng(42)
+    data = make_regression_dataset(N_LABELED, N_REFERENCE - N_LABELED, seed=rng)
+    queries = truncated_mvn_inputs(N_QUERIES, seed=rng)
+
+    model = GraphSSLModel(graph="knn", graph_params={"k": K_NEIGHBOURS})
+    _, fit_record = bench.measure(
+        "serving_fit_n10000", lambda: model.fit(
+            data.x_labeled, data.y_labeled, data.x_unlabeled
+        ),
+        repeats=1,
+    )
+
+    single_values, single_record = bench.measure(
+        "serving_single_query_n10000",
+        lambda: np.asarray(
+            [
+                model.predict(queries[i : i + 1])[0]
+                for i in range(N_SINGLE)
+            ]
+        ),
+        repeats=REPEATS,
+    )
+
+    def batched_pass() -> np.ndarray:
+        server = ModelServer(model, max_batch_size=BATCH_SIZE)
+        return server.predict_many(queries)
+
+    batched_values, batched_record = bench.measure(
+        "serving_batched_n10000", batched_pass, repeats=REPEATS
+    )
+
+    # Determinism at scale: the batched stream answers the loop's
+    # queries with the loop's exact bits.
+    assert np.array_equal(batched_values[:N_SINGLE], single_values)
+
+    single_qps = N_SINGLE / single_record.min_s
+    batched_qps = N_QUERIES / batched_record.min_s
+    speedup = batched_qps / single_qps
+
+    rows = [
+        ["fit (once)", "-", f"{fit_record.min_s:.2f}s", "-"],
+        ["single predict()", N_SINGLE, f"{single_qps:,.0f} q/s", "1.00x"],
+        [
+            f"batched (batch={BATCH_SIZE})",
+            N_QUERIES,
+            f"{batched_qps:,.0f} q/s",
+            f"{speedup:.2f}x",
+        ],
+    ]
+    table = ascii_table(["path", "queries/pass", "throughput", "speedup"], rows)
+    text = (
+        f"serving throughput: N={N_REFERENCE:,} knn(k={K_NEIGHBOURS}) "
+        f"reference graph, method=nw\n{table}\n"
+        f"acceptance: batched >= {REQUIRED_SPEEDUP:g}x single-query"
+    )
+    publish(results_dir, "serving_throughput", text, record=batched_record)
+    single_record.write_json(results_dir / "serving_single_query.json")
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batched serving is only {speedup:.2f}x the single-query path "
+        f"(gate: {REQUIRED_SPEEDUP:g}x)"
+    )

@@ -37,6 +37,7 @@ from repro.core import (
     solve_soft_criterion,
 )
 from repro.exceptions import ReproError
+from repro.serving import GraphSSLModel, ModelServer
 
 __version__ = "1.0.0"
 
@@ -54,4 +55,6 @@ __all__ = [
     "GraphSSLClassifier",
     "NadarayaWatsonRegressor",
     "NadarayaWatsonClassifier",
+    "GraphSSLModel",
+    "ModelServer",
 ]

@@ -13,6 +13,7 @@ Usage::
     python -m repro metric-study
     python -m repro m-growth --gamma 1.5
     python -m repro tuned-lambda
+    python -m repro serve-eval --n-ref 2000 --queries 256
 
 Each command prints the regenerated series as an aligned table and,
 with ``--csv PATH``, also writes it as CSV.
@@ -610,6 +611,33 @@ def _cmd_tuned_lambda(args) -> int:
     return 0
 
 
+def _cmd_serve_eval(args) -> int:
+    from repro.serving.evaluate import run_serve_eval
+
+    result = run_serve_eval(
+        n_reference=args.n_ref,
+        n_labeled=args.n_labeled,
+        n_queries=args.queries,
+        batch_size=args.batch_size,
+        methods=args.method,
+        graph=args.graph,
+        k=args.k,
+        lam=args.lam,
+        parity_sample=args.parity_sample,
+        seed=args.seed,
+        n_jobs=args.jobs,
+    )
+    _print_rows(
+        f"serving evaluation (N={result.n_reference}, "
+        f"{result.n_queries} queries, batch={result.batch_size}, "
+        f"graph={result.graph})",
+        result.headers(),
+        result.to_rows(),
+        args.csv,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -729,6 +757,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="which design axis to ablate",
     )
     p.set_defaults(handler=_cmd_ablation)
+
+    p = sub.add_parser(
+        "serve-eval",
+        help="inductive serving: throughput + exact-parity per method",
+    )
+    # serve-eval has no replicate grid, so it takes the observability
+    # flags directly instead of via common().
+    p.add_argument("--seed", type=_seed_int, default=None, help="master RNG seed")
+    p.add_argument("--csv", type=str, default=None, help="also write CSV here")
+    p.add_argument(
+        "--jobs", type=_jobs_int, default=1, metavar="N",
+        help="worker processes for the batched path's query fan-out "
+        "(1 = serial, -1 = one per CPU); predictions are identical at "
+        "every setting",
+    )
+    p.add_argument(
+        "--n-ref", type=_positive_int, default=2000, metavar="N",
+        help="reference graph size, labeled + unlabeled (default 2000)",
+    )
+    p.add_argument(
+        "--n-labeled", type=_positive_int, default=200, metavar="M",
+        help="labeled vertices among the reference points (default 200)",
+    )
+    p.add_argument(
+        "--queries", type=_positive_int, default=256, metavar="Q",
+        help="fresh query points in the workload (default 256)",
+    )
+    p.add_argument(
+        "--batch-size", type=_positive_int, default=64,
+        help="ModelServer auto-flush threshold (default 64)",
+    )
+    p.add_argument(
+        "--method", choices=("nw", "nystrom", "exact", "all"), default="all",
+        help="serving method to evaluate (default: all three)",
+    )
+    p.add_argument(
+        "--graph", choices=("full", "knn", "epsilon"), default="knn",
+        help="reference graph family (default knn — the serving scale story)",
+    )
+    p.add_argument("--k", type=_positive_int, default=10, help="neighbours for knn")
+    p.add_argument(
+        "--lam", type=float, default=0.0,
+        help="criterion: 0 = hard (default), > 0 = soft",
+    )
+    p.add_argument(
+        "--parity-sample", type=int, default=16, metavar="P",
+        help="queries re-answered by exact insertion for the deviation "
+        "column (default 16; 0 disables)",
+    )
+    p.add_argument(
+        "--trace", type=str, default=None, metavar="PATH.jsonl",
+        help="record a span trace as JSONL",
+    )
+    p.add_argument(
+        "--metrics", type=str, default=None, metavar="PATH.json",
+        help="dump the metrics-registry snapshot as JSON at exit",
+    )
+    p.add_argument(
+        "--progress", action="store_true",
+        help="stream live progress to stderr",
+    )
+    p.add_argument(
+        "--progress-jsonl", type=str, default=None, metavar="PATH.jsonl",
+        help="also append progress events to a durable JSONL file",
+    )
+    p.set_defaults(handler=_cmd_serve_eval)
 
     p = sub.add_parser(
         "trace-report", help="render a JSONL span trace as aligned tables"

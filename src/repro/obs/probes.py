@@ -24,6 +24,7 @@ __all__ = [
     "record_solve_info",
     "record_schur_blocks",
     "record_workspace_stats",
+    "record_serving_stats",
 ]
 
 #: Systems at or below this size get an exact 2-norm condition number.
@@ -173,6 +174,23 @@ def record_workspace_stats(span, stats) -> None:
     if traffic:
         span.set_attribute(
             "workspace.factor_hit_rate", stats.factor_hits / traffic
+        )
+
+
+def record_serving_stats(span, stats) -> None:
+    """Attach a :class:`~repro.serving.model.ServingStats` snapshot.
+
+    Counters land under ``serving.*`` keys, plus a derived
+    ``serving.mean_batch_size`` when any batches were served, so traces
+    show how much amortization request batching achieved.
+    """
+    if not span.recording or stats is None:
+        return
+    for key, value in stats._asdict().items():
+        span.set_attribute(f"serving.{key}", int(value))
+    if stats.batches:
+        span.set_attribute(
+            "serving.mean_batch_size", stats.queries / stats.batches
         )
 
 

@@ -1,0 +1,174 @@
+"""`ModelServer`: request batching in front of a fitted `GraphSSLModel`.
+
+Production query traffic arrives one point at a time, but the model is
+fastest when queries are served in batches (one vectorized extraction
+plus amortized validation/dispatch).  ``ModelServer`` is the micro-
+batching layer between the two: :meth:`~ModelServer.submit` enqueues a
+single point and returns a :class:`PredictionTicket` immediately; the
+queue is flushed through :meth:`GraphSSLModel.predict_batch` whenever it
+reaches ``max_batch_size``, when :meth:`~ModelServer.flush` is called,
+or lazily when any pending ticket's ``result()`` is read.
+
+Because the model's per-query math is batch-independent (see
+:mod:`repro.serving.model`), batching is *only* a latency/throughput
+trade: every ticket resolves to exactly the value a standalone
+``predict`` call would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro import obs
+from repro.exceptions import ConfigurationError
+from repro.serving.model import GraphSSLModel
+
+__all__ = ["ModelServer", "PredictionTicket", "ServerStats"]
+
+
+class ServerStats(NamedTuple):
+    """Cumulative request-batching counters for one server."""
+
+    submitted: int
+    answered: int
+    flushes: int
+    full_batches: int
+
+    @property
+    def pending(self) -> int:
+        return self.submitted - self.answered
+
+
+class PredictionTicket:
+    """A handle for one submitted query; resolves when its batch flushes."""
+
+    __slots__ = ("_server", "_value", "_done")
+
+    def __init__(self, server: "ModelServer") -> None:
+        self._server = server
+        self._value = None
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> float:
+        """The prediction, flushing the server's queue if still pending."""
+        if not self._done:
+            self._server.flush()
+        return self._value
+
+    def _resolve(self, value: float) -> None:
+        self._value = value
+        self._done = True
+
+
+class ModelServer:
+    """Micro-batching front end for a fitted :class:`GraphSSLModel`.
+
+    Parameters
+    ----------
+    model:
+        A fitted model (``fit()`` must already have run).
+    method:
+        Serving method for every flushed batch (``"nw"``, ``"nystrom"``
+        or ``"exact"``).
+    max_batch_size:
+        Auto-flush threshold: submitting the point that fills the queue
+        to this size triggers a flush.
+    n_jobs:
+        Forwarded to :meth:`GraphSSLModel.predict_batch` on each flush.
+    """
+
+    def __init__(
+        self,
+        model: GraphSSLModel,
+        *,
+        method: str = "nw",
+        max_batch_size: int = 64,
+        n_jobs: int | None = 1,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        model._require_fitted()
+        self.model = model
+        self.method = model._validate_method(method)
+        self.max_batch_size = int(max_batch_size)
+        self.n_jobs = n_jobs
+        self._queue: list[np.ndarray] = []
+        self._tickets: list[PredictionTicket] = []
+        self._counters = {
+            "submitted": 0,
+            "answered": 0,
+            "flushes": 0,
+            "full_batches": 0,
+        }
+
+    def submit(self, x_point) -> PredictionTicket:
+        """Enqueue one query point (``(d,)`` or ``(1, d)``)."""
+        point = np.asarray(x_point, dtype=np.float64)
+        if point.ndim == 1:
+            point = point[None, :]
+        # Full validation happens at flush time through the model's
+        # serving boundary; this only normalizes the shape so the queue
+        # can stack.
+        if point.ndim != 2 or point.shape[0] != 1:
+            raise ConfigurationError(
+                f"submit() takes a single query point of shape (d,) or "
+                f"(1, d); got shape {np.shape(x_point)}"
+            )
+        ticket = PredictionTicket(self)
+        self._queue.append(point[0])
+        self._tickets.append(ticket)
+        self._counters["submitted"] += 1
+        if len(self._queue) >= self.max_batch_size:
+            self._counters["full_batches"] += 1
+            self.flush()
+        return ticket
+
+    def flush(self) -> int:
+        """Serve every pending query; returns how many were answered."""
+        if not self._queue:
+            return 0
+        queue, tickets = self._queue, self._tickets
+        self._queue, self._tickets = [], []
+        batch = np.vstack(queue)
+        with obs.span(
+            "repro.serving.flush",
+            method=self.method,
+            n_queries=int(batch.shape[0]),
+        ):
+            predictions = self.model.predict_batch(
+                batch, method=self.method, n_jobs=self.n_jobs
+            )
+        for ticket, value in zip(tickets, predictions):
+            ticket._resolve(float(value))
+        self._counters["answered"] += len(tickets)
+        self._counters["flushes"] += 1
+        obs.get_registry().counter("serving.server.flushes").inc()
+        return len(tickets)
+
+    def predict_many(self, x) -> np.ndarray:
+        """Submit a whole workload point by point and return all results.
+
+        Convenience driver (and the load-bench's batched path): the
+        workload streams through the micro-batcher exactly as live
+        traffic would, auto-flushing every ``max_batch_size`` points.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ConfigurationError(
+                f"predict_many takes a 2-d workload, got shape {x.shape}"
+            )
+        tickets = [self.submit(row) for row in x]
+        self.flush()
+        return np.asarray([ticket.result() for ticket in tickets])
+
+    def stats(self) -> ServerStats:
+        """Cumulative batching counters since construction."""
+        return ServerStats(**self._counters)
