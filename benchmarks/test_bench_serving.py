@@ -107,3 +107,70 @@ def test_bench_serving_throughput(bench, results_dir):
         f"batched serving is only {speedup:.2f}x the single-query path "
         f"(gate: {REQUIRED_SPEEDUP:g}x)"
     )
+
+
+#: Telemetry may cost at most this fraction of batched throughput.
+MAX_TELEMETRY_OVERHEAD = 0.05
+
+
+def test_bench_serving_telemetry_overhead(bench, results_dir):
+    """PR 8's hot-path budget: full request telemetry (latency/queue-wait
+    histograms, phase timings, drift watchdog) must stay under
+    ``MAX_TELEMETRY_OVERHEAD`` of batched throughput at N=10^4.
+
+    Two identical workloads, one with ``telemetry="full"`` (the default)
+    and one with the opt-out (``telemetry="off"`` server + untelemetered
+    model); the gate compares min-of-repeats timings so scheduler noise
+    cancels.  Predictions are asserted bitwise identical — telemetry is
+    observation, never behavior.
+    """
+    rng = np.random.default_rng(42)
+    data = make_regression_dataset(N_LABELED, N_REFERENCE - N_LABELED, seed=rng)
+    queries = truncated_mvn_inputs(N_QUERIES, seed=rng)
+
+    instrumented = GraphSSLModel(graph="knn", graph_params={"k": K_NEIGHBOURS})
+    instrumented.fit(data.x_labeled, data.y_labeled, data.x_unlabeled)
+    bare = GraphSSLModel(
+        graph="knn", graph_params={"k": K_NEIGHBOURS}, telemetry=False
+    )
+    bare.fit(data.x_labeled, data.y_labeled, data.x_unlabeled)
+
+    def full_pass() -> np.ndarray:
+        server = ModelServer(instrumented, max_batch_size=BATCH_SIZE)
+        return server.predict_many(queries)
+
+    def off_pass() -> np.ndarray:
+        server = ModelServer(bare, max_batch_size=BATCH_SIZE, telemetry="off")
+        return server.predict_many(queries)
+
+    off_values, off_record = bench.measure(
+        "serving_batched_telemetry_off_n10000", off_pass, repeats=REPEATS
+    )
+    full_values, full_record = bench.measure(
+        "serving_batched_telemetry_full_n10000", full_pass, repeats=REPEATS
+    )
+
+    assert np.array_equal(full_values, off_values)
+
+    overhead = full_record.min_s / off_record.min_s - 1.0
+    off_qps = N_QUERIES / off_record.min_s
+    full_qps = N_QUERIES / full_record.min_s
+    rows = [
+        ["telemetry off", f"{off_qps:,.0f} q/s", "-"],
+        ["telemetry full", f"{full_qps:,.0f} q/s", f"{100 * overhead:+.2f}%"],
+    ]
+    table = ascii_table(["mode", "throughput", "overhead"], rows)
+    text = (
+        f"serving telemetry overhead: N={N_REFERENCE:,} "
+        f"knn(k={K_NEIGHBOURS}), batch={BATCH_SIZE}, "
+        f"{N_QUERIES} queries/pass\n{table}\n"
+        f"acceptance: overhead < {100 * MAX_TELEMETRY_OVERHEAD:g}% "
+        f"(min over {REPEATS} repeats)"
+    )
+    publish(results_dir, "serving_telemetry_overhead", text, record=full_record)
+    off_record.write_json(results_dir / "serving_batched_telemetry_off.json")
+
+    assert overhead < MAX_TELEMETRY_OVERHEAD, (
+        f"full serving telemetry costs {100 * overhead:.2f}% of batched "
+        f"throughput (budget: {100 * MAX_TELEMETRY_OVERHEAD:g}%)"
+    )

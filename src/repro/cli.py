@@ -440,9 +440,72 @@ def _cmd_bench_compare(args) -> int:
 
 
 def _open_ledger(args):
+    import sqlite3
+
+    from repro.exceptions import ConfigurationError
     from repro.obs.ledger import RunLedger
 
-    return RunLedger(args.ledger)
+    try:
+        return RunLedger(args.ledger)
+    except (sqlite3.Error, ValueError) as exc:
+        # A corrupt or non-SQLite --ledger file is a configuration
+        # problem, not a crash: surface it as the usual one-line
+        # ``error:`` + exit 2, for every obs verb at once.
+        raise ConfigurationError(
+            f"cannot open ledger {args.ledger}: {exc}"
+        ) from exc
+
+
+def _load_metrics_source(args) -> tuple[dict, str]:
+    """Resolve ``{name: snapshot}`` metrics for obs slo/export-metrics.
+
+    Exactly one source must be given: ``--metrics-dump PATH.json`` (a
+    ``repro.metrics/v1`` document) or ``--ledger PATH.sqlite`` with an
+    optional ``--run ID`` (default: the most recently created metrics
+    run).  Returns ``(metrics, source_label)``.
+    """
+    import json
+
+    from repro.exceptions import ConfigurationError
+
+    dump = getattr(args, "metrics_dump", None)
+    ledger_path = getattr(args, "ledger", None)
+    if (dump is None) == (ledger_path is None):
+        raise ConfigurationError(
+            "provide exactly one metrics source: a metrics dump "
+            "(--metrics-dump PATH.json) or a ledger run "
+            "(--ledger PATH.sqlite [--run ID])"
+        )
+    if dump is not None:
+        try:
+            with open(dump) as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read metrics dump {dump}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"{dump} is not valid JSON: {exc}") from exc
+        metrics = payload.get("metrics") if isinstance(payload, dict) else None
+        if not isinstance(metrics, dict):
+            raise ConfigurationError(
+                f"{dump} is not a repro.metrics/v1 dump (no 'metrics' object)"
+            )
+        return metrics, str(dump)
+    with _open_ledger(args) as ledger:
+        run_id = getattr(args, "run", None)
+        if run_id is None:
+            runs = ledger.runs(kind="metrics")
+            if not runs:
+                raise ConfigurationError(
+                    f"ledger {ledger_path} has no ingested metrics runs"
+                )
+            run_id = runs[-1]["run_id"]
+        try:
+            metrics = ledger.metric_values(run_id)
+        except KeyError as exc:
+            raise ConfigurationError(str(exc.args[0])) from exc
+    return metrics, f"{ledger_path}:{run_id}"
 
 
 def _cmd_obs_ingest(args) -> int:
@@ -591,6 +654,72 @@ def _cmd_obs_span_tree(args) -> int:
     return 0
 
 
+def _cmd_obs_slo(args) -> int:
+    from repro.obs.slo import evaluate_slo, load_slo_spec
+
+    spec = load_slo_spec(args.spec)
+    metrics, source = _load_metrics_source(args)
+    report = evaluate_slo(spec, metrics)
+    print(f"SLO spec {args.spec} vs {source}")
+    print(report.render())
+    return 1 if report.breached else 0
+
+
+def _cmd_obs_export_metrics(args) -> int:
+    from repro.obs.export import atomic_write_text
+    from repro.obs.openmetrics import parse_openmetrics, render_openmetrics
+
+    metrics, source = _load_metrics_source(args)
+    try:
+        text = render_openmetrics(metrics)
+    except ValueError as exc:
+        print(f"error: cannot expose {source}: {exc}", file=sys.stderr)
+        return 2
+    # Self-lint before anything is written: the exporter must never
+    # produce text our own parser (or a Prometheus scraper) rejects.
+    parse_openmetrics(text)
+    if args.output is not None:
+        path = atomic_write_text(args.output, text)
+        print(f"wrote OpenMetrics exposition: {path} ({len(metrics)} metric(s))")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_obs_lint_metrics(args) -> int:
+    from repro.obs.openmetrics import OpenMetricsError, parse_openmetrics
+
+    try:
+        text = open(args.path).read()
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        families = parse_openmetrics(text)
+    except OpenMetricsError as exc:
+        print(f"{args.path}: INVALID — {exc}", file=sys.stderr)
+        return 1
+    n_samples = sum(len(family.samples) for family in families.values())
+    print(f"{args.path}: OK ({len(families)} family(ies), {n_samples} sample(s))")
+    return 0
+
+
+def _cmd_obs_top(args) -> int:
+    from repro.obs.dashboard import run_top
+
+    try:
+        return run_top(
+            args.progress,
+            args.metrics_dump,
+            interval=args.interval,
+            max_refreshes=args.refreshes,
+        )
+    except KeyboardInterrupt:
+        # Ctrl-C is how a live dashboard normally ends.
+        print()
+        return 0
+
+
 def _cmd_tuned_lambda(args) -> int:
     from repro.experiments.extensions import run_tuned_lambda_study
 
@@ -626,6 +755,7 @@ def _cmd_serve_eval(args) -> int:
         parity_sample=args.parity_sample,
         seed=args.seed,
         n_jobs=args.jobs,
+        telemetry=not args.no_telemetry,
     )
     _print_rows(
         f"serving evaluation (N={result.n_reference}, "
@@ -822,6 +952,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress-jsonl", type=str, default=None, metavar="PATH.jsonl",
         help="also append progress events to a durable JSONL file",
     )
+    p.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable per-request serving telemetry (latency histograms, "
+        "phase timings, drift watchdog) — the low-overhead mode the "
+        "serving bench gates against",
+    )
     p.set_defaults(handler=_cmd_serve_eval)
 
     p = sub.add_parser(
@@ -938,6 +1074,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-spans", type=int, default=200, help="line cap (default 200)"
     )
     p.set_defaults(handler=_cmd_obs_span_tree)
+
+    def metrics_source_flags(p):
+        # slo / export-metrics accept exactly one metrics source; --ledger
+        # defaults to None here (unlike ledger_flag) so "was it given" is
+        # detectable.
+        p.add_argument(
+            "--metrics-dump", type=str, default=None, metavar="PATH.json",
+            help="metrics dump written by --metrics PATH.json",
+        )
+        p.add_argument(
+            "--ledger", type=str, default=None, metavar="PATH.sqlite",
+            help="read metric values from an ingested ledger run instead",
+        )
+        p.add_argument(
+            "--run", type=str, default=None, metavar="ID",
+            help="ledger run id (default: newest ingested metrics run)",
+        )
+
+    p = obs_sub.add_parser(
+        "slo",
+        help="evaluate a latency/error/throughput/drift SLO spec; "
+        "exit 1 on breach",
+    )
+    p.add_argument("spec", help="SLO spec file (TOML or JSON)")
+    metrics_source_flags(p)
+    p.set_defaults(handler=_cmd_obs_slo)
+
+    p = obs_sub.add_parser(
+        "export-metrics",
+        help="render a metrics dump or ledger run as OpenMetrics text",
+    )
+    p.add_argument(
+        "metrics_dump", nargs="?", default=None, metavar="PATH.json",
+        help="metrics dump to export (or use --ledger/--run)",
+    )
+    p.add_argument(
+        "--ledger", type=str, default=None, metavar="PATH.sqlite",
+        help="read metric values from an ingested ledger run instead",
+    )
+    p.add_argument(
+        "--run", type=str, default=None, metavar="ID",
+        help="ledger run id (default: newest ingested metrics run)",
+    )
+    p.add_argument(
+        "-o", "--output", type=str, default=None, metavar="PATH.prom",
+        help="write the exposition here instead of stdout",
+    )
+    p.set_defaults(handler=_cmd_obs_export_metrics)
+
+    p = obs_sub.add_parser(
+        "lint-metrics",
+        help="validate an OpenMetrics exposition file; exit 1 if invalid",
+    )
+    p.add_argument("path", metavar="PATH.prom", help="exposition file to check")
+    p.set_defaults(handler=_cmd_obs_lint_metrics)
+
+    p = obs_sub.add_parser(
+        "top", help="live dashboard over a run's progress/metrics files"
+    )
+    p.add_argument(
+        "progress", metavar="PROGRESS.jsonl",
+        help="progress stream written by --progress-jsonl (may not exist yet)",
+    )
+    p.add_argument(
+        "--metrics-dump", type=str, default=None, metavar="PATH.json",
+        help="also tail a metrics dump for the serving panel",
+    )
+    p.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between refreshes (default 1.0)",
+    )
+    p.add_argument(
+        "--refreshes", type=int, default=None, metavar="N",
+        help="stop after N frames (default: run until every task ends)",
+    )
+    p.set_defaults(handler=_cmd_obs_top)
 
     p = sub.add_parser(
         "diagnose", help="graph health report for a user NPZ problem"

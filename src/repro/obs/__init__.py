@@ -26,6 +26,14 @@ Layered so each piece is independently usable:
   CLI family).
 * :mod:`repro.obs.trend` — multi-run history series and the sustained
   regression gate behind ``repro obs trend``.
+* :mod:`repro.obs.serving_telemetry` — per-request serving telemetry:
+  vectorized latency recording and the query-drift watchdog.
+* :mod:`repro.obs.slo` — declarative service-level objectives evaluated
+  against metrics dumps or ledger runs (``repro obs slo``).
+* :mod:`repro.obs.openmetrics` — OpenMetrics/Prometheus text exposition
+  (``repro obs export-metrics``) plus a validating parser.
+* :mod:`repro.obs.dashboard` — the live ``repro obs top`` terminal view
+  over a running run's progress/metrics files.
 
 Typical use::
 
@@ -37,9 +45,25 @@ Typical use::
     print(obs.export.render_trace_report(tracer))
 """
 
-from repro.obs import bench, export, probes, progress, trend
+from repro.obs import (
+    bench,
+    dashboard,
+    export,
+    openmetrics,
+    probes,
+    progress,
+    serving_telemetry,
+    slo,
+    trend,
+)
 from repro.obs.environment import environment_fingerprint, fingerprint_digest
 from repro.obs.ledger import RunLedger
+from repro.obs.serving_telemetry import (
+    DriftBaseline,
+    DriftWatchdog,
+    ServingTelemetry,
+    fit_drift_baseline,
+)
 from repro.obs.progress import (
     NullProgress,
     ProgressEmitter,
@@ -52,6 +76,7 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LogBucketHistogram,
     MetricsRegistry,
     get_registry,
     set_registry,
@@ -71,13 +96,21 @@ from repro.obs.trace import (
 
 __all__ = [
     "bench",
+    "dashboard",
     "export",
+    "openmetrics",
     "probes",
     "progress",
+    "serving_telemetry",
+    "slo",
     "trend",
     "environment_fingerprint",
     "fingerprint_digest",
     "RunLedger",
+    "ServingTelemetry",
+    "DriftBaseline",
+    "DriftWatchdog",
+    "fit_drift_baseline",
     "ProgressEmitter",
     "NullProgress",
     "get_progress",
@@ -96,6 +129,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LogBucketHistogram",
     "MetricsRegistry",
     "get_registry",
     "set_registry",

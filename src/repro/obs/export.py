@@ -45,6 +45,7 @@ __all__ = [
     "load_jsonl",
     "load_header",
     "dump_metrics_json",
+    "dump_metrics_openmetrics",
     "InMemoryExporter",
     "render_tree",
     "render_trace_report",
@@ -180,11 +181,12 @@ def load_jsonl(path) -> list[dict]:
     real corruption and still raises.
     """
     path = Path(path)
-    lines = [
-        (number, line.strip())
-        for number, line in enumerate(path.open(), start=1)
-        if line.strip()
-    ]
+    with path.open() as handle:
+        lines = [
+            (number, line.strip())
+            for number, line in enumerate(handle, start=1)
+            if line.strip()
+        ]
     records = []
     for position, (number, line) in enumerate(lines):
         try:
@@ -237,6 +239,19 @@ def dump_metrics_json(registry, path, *, command: str | None = None) -> Path:
     return atomic_write_text(
         path, json.dumps(payload, indent=2, sort_keys=True, default=_json_default) + "\n"
     )
+
+
+def dump_metrics_openmetrics(registry, path) -> Path:
+    """Write a registry snapshot as OpenMetrics text exposition.
+
+    The Prometheus-scrapeable sibling of :func:`dump_metrics_json`
+    (``repro obs export-metrics`` converts between the two).  The output
+    always passes our own :func:`~repro.obs.openmetrics.parse_openmetrics`
+    validator; rendering details live in :mod:`repro.obs.openmetrics`.
+    """
+    from repro.obs.openmetrics import render_openmetrics
+
+    return atomic_write_text(path, render_openmetrics(registry.snapshot()))
 
 
 class InMemoryExporter:

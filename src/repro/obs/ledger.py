@@ -428,6 +428,23 @@ class RunLedger:
             raise KeyError(f"no ingested run with id {run_id!r}")
         return rows[0]
 
+    def metric_values(self, run_id: str) -> dict[str, dict]:
+        """One run's ingested metrics, as ``{name: snapshot dict}``.
+
+        The snapshots are exactly what the run's ``repro.metrics/v1``
+        dump carried, so they feed :func:`repro.obs.slo.evaluate_slo`
+        and the OpenMetrics exporter the same way a dump file does.
+        Raises ``KeyError`` if the run id has no ingested metrics.
+        """
+        row = self._run_key(run_id, "metrics")
+        return {
+            r["name"]: json.loads(r["value_json"])
+            for r in self._conn.execute(
+                "SELECT name, value_json FROM metric_values WHERE run_key = ?",
+                (row["run_key"],),
+            )
+        }
+
     def show(self, run_id: str) -> dict:
         """Everything stored about one run id (possibly several kinds)."""
         rows = self._conn.execute(

@@ -16,12 +16,15 @@ float update — so instrumented paths record unconditionally.
 from __future__ import annotations
 
 import math
+import random
+import zlib
 from contextlib import contextmanager
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LogBucketHistogram",
     "MetricsRegistry",
     "get_registry",
     "set_registry",
@@ -138,6 +141,8 @@ class Histogram:
             "mean": self.mean,
             "p50": self.quantile(0.5),
             "p90": self.quantile(0.9),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
     def to_state(self) -> dict:
@@ -153,10 +158,302 @@ class Histogram:
     def merge_state(self, state: dict) -> None:
         """Fold another histogram's full state into this one.
 
-        count/sum/min/max merge exactly; retained samples are appended
-        up to ``max_samples`` (beyond the cap quantiles are approximate,
-        just as with the ring-buffer overwrite on the hot path).
+        count/sum/min/max merge exactly.  Retained samples are pooled
+        and, when the pool exceeds ``max_samples``, subsampled *weighted
+        by the observation count each retained sample stands for* —
+        a state whose buffer summarizes 10x the observations keeps 10x
+        the representation, so merged quantiles stay unbiased even when
+        the two sides are badly imbalanced.  The subsample is drawn with
+        a deterministic RNG seeded by the metric name, so merging the
+        same worker states always produces the same buffer.
         """
+        count = int(state.get("count", 0))
+        if count == 0:
+            return
+        incoming = [float(value) for value in state.get("samples", ())]
+        own = len(self.samples)
+        # Per-sample observation weights, computed before the counters
+        # merge: each retained sample stands for count/len(samples)
+        # observations of its side.
+        own_weight = (self.count / own) if own else 0.0
+        incoming_weight = (count / len(incoming)) if incoming else 0.0
+        self.count += count
+        self.total += float(state.get("total", 0.0))
+        self.min = min(self.min, float(state.get("min", math.inf)))
+        self.max = max(self.max, float(state.get("max", -math.inf)))
+        pool = self.samples + incoming
+        if len(pool) <= self.max_samples:
+            self.samples = pool
+            return
+        # Weighted subsample without replacement (Efraimidis-Spirakis
+        # exponential keys), deterministic per metric name.
+        weights = [own_weight] * own + [incoming_weight] * len(incoming)
+        rng = random.Random(zlib.crc32(self.name.encode("utf-8")))
+        keyed = []
+        for position, weight in enumerate(weights):
+            u = rng.random()
+            key = u ** (1.0 / weight) if weight > 0 else -1.0
+            keyed.append((key, position))
+        keyed.sort(reverse=True)
+        keep = sorted(position for _, position in keyed[: self.max_samples])
+        self.samples = [pool[position] for position in keep]
+
+
+class LogBucketHistogram:
+    """Log-bucketed distribution with relative-error-bounded quantiles.
+
+    The reservoir :class:`Histogram` keeps raw samples, which is right
+    for *value* metrics (RMSE, iteration counts) but wrong for
+    per-request latency: a long-lived server observes millions of
+    latencies, and subsampled quantiles drift.  This histogram instead
+    counts observations into geometric buckets — bucket ``i`` covers
+    ``(gamma^(i-1), gamma^i]`` with ``gamma = (1 + a) / (1 - a)`` for
+    the configured relative accuracy ``a`` — so:
+
+    * memory is bounded by the *dynamic range* of the values, never the
+      observation count (~490 buckets span 1 ns to 10^12 s at the
+      default 5% accuracy);
+    * :meth:`quantile` answers with guaranteed relative error ``<= a``:
+      the estimate for a bucket is ``2 * gamma^i / (gamma + 1)``, whose
+      worst-case relative deviation from any true value in the bucket is
+      exactly ``a``;
+    * :meth:`merge_state` is *exact* — bucket counts add — so grafting
+      worker registries (:meth:`MetricsRegistry.merge_state`) loses
+      nothing, unlike reservoir merging.
+
+    Non-positive observations (a clock that went backwards, a zero-cost
+    path) land in a dedicated zero bucket reported as ``0.0``.
+    """
+
+    __slots__ = (
+        "name",
+        "relative_error",
+        "count",
+        "total",
+        "min",
+        "max",
+        "zero_count",
+        "_buckets",
+        "_log_gamma",
+        "_pending",
+        "_n_pending",
+    )
+
+    kind = "log_histogram"
+
+    #: Default quantile relative-error bound (see class docstring).
+    DEFAULT_RELATIVE_ERROR = 0.05
+
+    #: Bucket indexes are clamped to this range so adversarial values
+    #: (denormals, 1e300) cannot grow the table without bound.
+    MIN_INDEX = -1000
+    MAX_INDEX = 1000
+
+    #: Deferred-bucketing buffer cap (values, not bytes): batches queue
+    #: here and fold into buckets in one vectorized pass once the pool
+    #: reaches this size (or on any read), so memory stays bounded while
+    #: the serving hot path pays only the exact scalar aggregates.
+    PENDING_LIMIT = 8192
+
+    def __init__(self, name: str, *, relative_error: float | None = None):
+        if relative_error is None:
+            relative_error = self.DEFAULT_RELATIVE_ERROR
+        if not 0.0 < relative_error < 1.0:
+            raise ValueError(
+                f"relative_error must be in (0, 1), got {relative_error}"
+            )
+        self.name = name
+        self.relative_error = float(relative_error)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.zero_count = 0
+        self._buckets: dict[int, int] = {}
+        self._log_gamma = math.log(self.gamma)
+        self._pending: list = []
+        self._n_pending = 0
+
+    @property
+    def gamma(self) -> float:
+        return (1.0 + self.relative_error) / (1.0 - self.relative_error)
+
+    @property
+    def buckets(self) -> dict[int, int]:
+        """The bucket table, with any deferred batches folded in."""
+        self._drain()
+        return self._buckets
+
+    def _index(self, value: float) -> int:
+        index = math.ceil(math.log(value) / self._log_gamma)
+        return min(self.MAX_INDEX, max(self.MIN_INDEX, index))
+
+    def _representative(self, index: int) -> float:
+        gamma = self.gamma
+        return 2.0 * gamma**index / (gamma + 1.0)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0 or not math.isfinite(value):
+            self.zero_count += 1
+            return
+        index = self._index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def observe_many(self, values) -> None:
+        """Vectorized :meth:`observe` for a whole batch of values.
+
+        This is the serving hot path, so the expensive part — log,
+        clamp, unique, dict updates — is *deferred*: only the exact
+        scalar aggregates (count/sum/min/max/zero) are paid here, and
+        the batch queues for one big vectorized bucketing pass at the
+        next read (or when :data:`PENDING_LIMIT` values accumulate).
+        Every query method drains first, so deferral is unobservable.
+        """
+        import numpy as np
+
+        raw = values
+        values = np.asarray(raw, dtype=np.float64)
+        if values.ndim != 1:
+            values = values.ravel()
+        n = int(values.size)
+        if n == 0:
+            return
+        self.count += n
+        total = float(values.sum())
+        self.total += total
+        vmin = float(values.min())
+        vmax = float(values.max())
+        if vmin < self.min:
+            self.min = vmin
+        if vmax > self.max:
+            self.max = vmax
+        if vmin > 0.0 and math.isfinite(total):
+            # All-positive fast path (the serving case).  Copy when the
+            # buffer would alias caller memory that may mutate before
+            # the deferred drain runs.
+            positive = values.copy() if values is raw or values.base is not None else values
+        else:
+            positive = values[(values > 0.0) & np.isfinite(values)]
+            self.zero_count += n - int(positive.size)
+            if positive.size == 0:
+                return
+        self._pending.append(positive)
+        self._n_pending += int(positive.size)
+        if self._n_pending >= self.PENDING_LIMIT:
+            self._drain()
+
+    def _drain(self) -> None:
+        """Fold every queued batch into the bucket table (vectorized)."""
+        if not self._pending:
+            return
+        import numpy as np
+
+        if len(self._pending) == 1:
+            positive = self._pending[0]
+        else:
+            positive = np.concatenate(self._pending)
+        self._pending.clear()
+        self._n_pending = 0
+        indexes = np.ceil(np.log(positive) / self._log_gamma).astype(np.int64)
+        np.clip(indexes, self.MIN_INDEX, self.MAX_INDEX, out=indexes)
+        unique, counts = np.unique(indexes, return_counts=True)
+        buckets = self._buckets
+        for index, bucket_count in zip(unique.tolist(), counts.tolist()):
+            buckets[index] = buckets.get(index, 0) + bucket_count
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile, within ``relative_error`` of exact.
+
+        Uses the same nearest-rank convention as sorting the raw
+        observations and taking ``sorted[ceil(q * count) - 1]``; the
+        returned value is the flagged bucket's representative, which is
+        within the documented relative error of that exact observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = max(1, math.ceil(q * self.count))
+        if rank <= self.zero_count:
+            return 0.0
+        cumulative = self.zero_count
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= rank:
+                return self._representative(index)
+        return self.max  # only reachable through float edge cases
+
+    def bucket_bounds(self) -> list[tuple[float, int]]:
+        """``(upper_bound, count)`` per occupied bucket, ascending.
+
+        The zero bucket (when occupied) is reported first with an upper
+        bound of ``0.0`` — this feeds the OpenMetrics exposition's
+        cumulative ``le`` series.
+        """
+        bounds = []
+        if self.zero_count:
+            bounds.append((0.0, self.zero_count))
+        gamma = self.gamma
+        for index in sorted(self.buckets):
+            bounds.append((gamma**index, self.buckets[index]))
+        return bounds
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else math.nan,
+            "max": self.max if self.count else math.nan,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "relative_error": self.relative_error,
+            "zero_count": self.zero_count,
+            # JSON object keys must be strings; ingesting code converts
+            # back with int().
+            "buckets": {str(index): count for index, count in sorted(self.buckets.items())},
+        }
+
+    def to_state(self) -> dict:
+        return {
+            "kind": self.kind,
+            "relative_error": self.relative_error,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "zero_count": self.zero_count,
+            "buckets": {str(index): count for index, count in self.buckets.items()},
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another log-bucket histogram's state in — exactly.
+
+        Bucket counts add, so cross-process grafting via
+        :meth:`MetricsRegistry.merge_state` preserves every quantile
+        guarantee.  Merging states recorded at a different
+        ``relative_error`` raises: their buckets are incommensurable.
+        """
+        other_error = float(state.get("relative_error", self.relative_error))
+        if not math.isclose(other_error, self.relative_error):
+            raise ValueError(
+                f"log histogram {self.name!r} uses relative_error="
+                f"{self.relative_error}, cannot merge state recorded at "
+                f"{other_error}"
+            )
         count = int(state.get("count", 0))
         if count == 0:
             return
@@ -164,9 +461,10 @@ class Histogram:
         self.total += float(state.get("total", 0.0))
         self.min = min(self.min, float(state.get("min", math.inf)))
         self.max = max(self.max, float(state.get("max", -math.inf)))
-        for value in state.get("samples", ()):
-            if len(self.samples) < self.max_samples:
-                self.samples.append(float(value))
+        self.zero_count += int(state.get("zero_count", 0))
+        for key, bucket_count in (state.get("buckets") or {}).items():
+            index = int(key)
+            self.buckets[index] = self.buckets.get(index, 0) + int(bucket_count)
 
 
 class MetricsRegistry:
@@ -177,7 +475,7 @@ class MetricsRegistry:
     """
 
     def __init__(self):
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[str, Counter | Gauge | Histogram | LogBucketHistogram] = {}
 
     def _get_or_create(self, name: str, cls):
         metric = self._metrics.get(name)
@@ -199,6 +497,9 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Histogram:
         return self._get_or_create(name, Histogram)
+
+    def log_histogram(self, name: str) -> LogBucketHistogram:
+        return self._get_or_create(name, LogBucketHistogram)
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
@@ -236,7 +537,9 @@ class MetricsRegistry:
         Merging a name that exists here under a different kind raises
         ``TypeError``, same as mixed-kind access does.
         """
-        kinds = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+        kinds = {
+            cls.kind: cls for cls in (Counter, Gauge, Histogram, LogBucketHistogram)
+        }
         for name, metric_state in state.items():
             cls = kinds.get(metric_state.get("kind"))
             if cls is None:

@@ -178,20 +178,32 @@ def record_workspace_stats(span, stats) -> None:
 
 
 def record_serving_stats(span, stats) -> None:
-    """Attach a :class:`~repro.serving.model.ServingStats` snapshot.
+    """Attach a serving stats snapshot under ``serving.*`` keys.
 
-    Counters land under ``serving.*`` keys, plus a derived
-    ``serving.mean_batch_size`` when any batches were served, so traces
-    show how much amortization request batching achieved.
+    Works with both counter tuples of the serving stack — a model's
+    :class:`~repro.serving.model.ServingStats` (adds a derived
+    ``serving.mean_batch_size``) and a server's
+    :class:`~repro.serving.server.ServerStats` (adds
+    ``serving.mean_flush_size`` and ``serving.pending``, and carries
+    the error/flush-reason counters) — so traces show how much
+    amortization request batching achieved and how the queue behaved.
     """
     if not span.recording or stats is None:
         return
     for key, value in stats._asdict().items():
         span.set_attribute(f"serving.{key}", int(value))
-    if stats.batches:
+    batches = getattr(stats, "batches", None)
+    if batches:
         span.set_attribute(
-            "serving.mean_batch_size", stats.queries / stats.batches
+            "serving.mean_batch_size", stats.queries / batches
         )
+    flushes = getattr(stats, "flushes", None)
+    if flushes is not None:
+        span.set_attribute("serving.pending", int(stats.pending))
+        if flushes:
+            span.set_attribute(
+                "serving.mean_flush_size", stats.answered / flushes
+            )
 
 
 def record_schur_blocks(span, n: int, m: int) -> None:

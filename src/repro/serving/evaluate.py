@@ -111,6 +111,7 @@ def run_serve_eval(
     single_sample: int | None = None,
     seed=None,
     n_jobs: int | None = 1,
+    telemetry: bool = True,
 ) -> ServeEvalResult:
     """Fit one reference graph and measure serving throughput + parity.
 
@@ -142,6 +143,12 @@ def run_serve_eval(
         Master seed for the dataset and query draw.
     n_jobs:
         Worker processes for the batched path's fan-out.
+    telemetry:
+        ``True`` (default) records per-request latency/queue-wait
+        distributions, phase timings, and drift statistics under
+        ``serving.request.*``/``serving.phase.*``/``serving.drift.*``
+        (dump them with ``--metrics`` and gate them with
+        ``repro obs slo``); ``False`` measures the uninstrumented path.
     """
     from repro.datasets.synthetic import make_regression_dataset, truncated_mvn_inputs
     from repro.utils.rng import as_rng
@@ -179,7 +186,9 @@ def run_serve_eval(
         batch_size=batch_size,
         graph=graph,
     ):
-        model = GraphSSLModel(lam=lam, graph=graph, graph_params=graph_params)
+        model = GraphSSLModel(
+            lam=lam, graph=graph, graph_params=graph_params, telemetry=telemetry
+        )
         model.fit(data.x_labeled, data.y_labeled, data.x_unlabeled)
 
         exact_reference = None
@@ -211,6 +220,7 @@ def run_serve_eval(
                     method=method,
                     max_batch_size=batch_size,
                     n_jobs=jobs,
+                    telemetry="full" if telemetry else "off",
                 )
                 t0 = time.perf_counter()
                 batched = server.predict_many(queries)

@@ -39,6 +39,7 @@ library.
 
 from __future__ import annotations
 
+import time
 import warnings
 from typing import NamedTuple
 
@@ -51,6 +52,11 @@ from repro.graph.similarity import build_similarity_graph
 from repro.kernels.base import RadialKernel
 from repro.kernels.library import GaussianKernel
 from repro.linalg.workspace import SolveWorkspace
+from repro.obs.serving_telemetry import (
+    DriftWatchdog,
+    ServingTelemetry,
+    fit_drift_baseline,
+)
 from repro.serving.extension import nw_extend, nystrom_extend
 from repro.serving.insertion import ExactInserter
 from repro.serving.queries import QueryExtractor
@@ -121,6 +127,12 @@ class GraphSSLModel:
         workspace's — full basis on dense graphs, 256 on sparse).
     field_scale:
         Gaussian-field sigma used by credible intervals.
+    telemetry:
+        ``True`` (default) records per-batch phase timings
+        (``serving.phase.*``) and query-drift statistics
+        (``serving.drift.*``) on the serial serving paths; ``False`` is
+        the low-overhead mode — no clocks, no drift math (the serving
+        bench gates full-mode overhead at <5% of batched throughput).
     """
 
     def __init__(
@@ -133,6 +145,7 @@ class GraphSSLModel:
         graph_params: dict | None = None,
         n_components: int | None = None,
         field_scale: float = 1.0,
+        telemetry: bool = True,
     ) -> None:
         if lam < 0:
             raise ConfigurationError(f"lam must be >= 0, got {lam}")
@@ -145,6 +158,7 @@ class GraphSSLModel:
         self.graph_params = dict(graph_params or {})
         self.n_components = n_components
         self.field_scale = float(field_scale)
+        self.telemetry = ServingTelemetry(enabled=telemetry)
 
         self.graph_ = None
         self.bandwidth_: float | None = None
@@ -152,6 +166,8 @@ class GraphSSLModel:
         self.scores_: np.ndarray | None = None
         self.n_labeled_: int | None = None
         self._y: np.ndarray | None = None
+        self.drift_baseline_ = None
+        self.drift_watchdog_: DriftWatchdog | None = None
         self._workspace: SolveWorkspace | None = None
         self._extractor: QueryExtractor | None = None
         self._inserter: ExactInserter | None = None
@@ -247,6 +263,11 @@ class GraphSSLModel:
             )
             self._inserter = None
             self._nystrom_cache = None
+            # Freeze the drift band from the same degree vector the
+            # Nystrom stability cut quantiles, so "in regime" means the
+            # same thing to serving and to the watchdog.
+            self.drift_baseline_ = fit_drift_baseline(self._workspace.degrees)
+            self.drift_watchdog_ = DriftWatchdog(self.drift_baseline_)
         return self
 
     @property
@@ -372,6 +393,59 @@ class GraphSSLModel:
                 self._counters["exact_iterations"] += result.iterations
         return out
 
+    def _observe_drift(self, rows, method: str) -> None:
+        """Feed one extracted batch's degrees to the drift watchdog.
+
+        The observed quantity is ``QueryRow.degree()`` — self weight
+        plus attachment mass, exactly what the serving math divides by.
+        ``mu_max`` is supplied only when the Nystrom cache exists, so
+        margin erosion is tracked for the method it endangers.
+        """
+        if self.drift_watchdog_ is None or not rows:
+            return
+        degrees = self._extractor.last_degrees
+        if degrees is None or len(degrees) != len(rows):
+            # Not the batch the extractor just produced (defensive):
+            # re-derive per row.
+            degrees = np.fromiter(
+                (row.self_weight + row.total for row in rows),
+                dtype=np.float64,
+                count=len(rows),
+            )
+        mu_max = None
+        if method == "nystrom" and self._nystrom_cache is not None:
+            values = self._nystrom_cache[0]
+            if values.size:
+                mu_max = float(values[-1])
+        self.drift_watchdog_.observe(degrees, mu_max=mu_max)
+
+    def _serve_chunk(self, chunk: np.ndarray, method: str):
+        """Extract + predict one chunk on the serial path, instrumented.
+
+        Returns ``(rows, predictions)``.  The telemetry cost is
+        batch-granular — two clock reads, two histogram observations,
+        and one vectorized drift pass per chunk — so per-request
+        overhead vanishes as chunks grow.
+        """
+        if not self.telemetry.enabled:
+            rows = self._extractor.extract(chunk)
+            return rows, self._predict_rows(rows, method)
+        t_start = time.perf_counter()
+        rows = self._extractor.extract(chunk)
+        t_extracted = time.perf_counter()
+        predictions = self._predict_rows(rows, method)
+        t_predicted = time.perf_counter()
+        self.telemetry.record_phase("extract", t_extracted - t_start)
+        self.telemetry.record_phase("predict", t_predicted - t_extracted)
+        self._observe_drift(rows, method)
+        return rows, predictions
+
+    def _timed_variances(self, rows, method: str) -> np.ndarray:
+        t_start = time.perf_counter()
+        variances = self._variances(rows, method)
+        self.telemetry.record_phase("interval", time.perf_counter() - t_start)
+        return variances
+
     def _variances(self, rows, method: str) -> np.ndarray:
         inserter = self._ensure_inserter()
         out = np.empty(len(rows))
@@ -424,15 +498,14 @@ class GraphSSLModel:
             method=method,
             n_queries=int(queries.shape[0]),
         ) as span:
-            rows = self._extractor.extract(queries)
-            predictions = self._predict_rows(rows, method)
+            rows, predictions = self._serve_chunk(queries, method)
             self._count(
                 method, len(rows), batches=1, intervals=return_interval
             )
             self._record_stats(span)
             if not return_interval:
                 return predictions
-            sd = np.sqrt(self._variances(rows, method))
+            sd = np.sqrt(self._timed_variances(rows, method))
             return predictions, predictions - z * sd, predictions + z * sd
 
     def predict_batch(
@@ -477,11 +550,13 @@ class GraphSSLModel:
             n_jobs=workers,
         ) as span:
             if workers > 1 and len(chunks) > 1:
+                # Phase timings and drift are serial-path features: the
+                # workers' registries are private and their chunk rows
+                # never return to this process.
                 parts = self._predict_parallel(chunks, method, workers)
             else:
                 parts = [
-                    self._predict_rows(self._extractor.extract(chunk), method)
-                    for chunk in chunks
+                    self._serve_chunk(chunk, method)[1] for chunk in chunks
                 ]
             predictions = np.concatenate(parts)
             self._count(
@@ -498,7 +573,7 @@ class GraphSSLModel:
                 raise ConfigurationError(f"z must be > 0, got {z}")
             variances = np.concatenate(
                 [
-                    self._variances(self._extractor.extract(chunk), method)
+                    self._timed_variances(self._extractor.extract(chunk), method)
                     for chunk in chunks
                 ]
             )

@@ -117,6 +117,12 @@ class QueryExtractor:
         self.bandwidth = float(bandwidth)
         self.construction = construction
         self.self_weight = float(kernel.profile(np.zeros(1))[0])
+        #: Extended-graph degrees ``self_weight + total`` of the most
+        #: recent :meth:`extract` batch, as one vector.  The drift
+        #: watchdog reads this instead of re-deriving degrees row by
+        #: row — the totals are already a vectorized axis-1 reduction
+        #: here, so the per-row Python loop would be pure overhead.
+        self.last_degrees: np.ndarray | None = None
         self._tree = None
         if construction == "full":
             self.k = None
@@ -154,6 +160,7 @@ class QueryExtractor:
         sq = cross_sq_distances(queries, self.x_reference)
         weights = self.kernel.profile(np.sqrt(sq) / self.bandwidth)
         totals = weights.sum(axis=1)
+        self.last_degrees = self.self_weight + totals
         indices = np.arange(self.x_reference.shape[0])
         return [
             QueryRow(indices, weights[i], self.self_weight, float(totals[i]))
@@ -178,6 +185,7 @@ class QueryExtractor:
             np.take_along_axis(dist, order, axis=1) / self.bandwidth
         )
         totals = weights.sum(axis=1)
+        self.last_degrees = self.self_weight + totals
         return [
             QueryRow(indices[i], weights[i], self.self_weight, float(totals[i]))
             for i in range(queries.shape[0])
@@ -201,4 +209,7 @@ class QueryExtractor:
             rows.append(
                 QueryRow(indices, weights, self.self_weight, float(weights.sum()))
             )
+        self.last_degrees = self.self_weight + np.asarray(
+            [row.total for row in rows], dtype=np.float64
+        )
         return rows

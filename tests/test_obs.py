@@ -135,6 +135,66 @@ class TestMetrics:
         assert hist.min == 0.0 and hist.max == 99.0
         assert hist.mean == pytest.approx(49.5)
 
+    def test_merge_state_respects_sample_cap(self):
+        """Regression: merging two near-full histograms used to let the
+        sample buffer grow unboundedly past ``max_samples``."""
+        from repro.obs.metrics import Histogram
+
+        left = Histogram("h", max_samples=100)
+        right = Histogram("h", max_samples=100)
+        for value in range(90):
+            left.observe(float(value))
+        for value in range(90):
+            right.observe(float(1000 + value))
+        left.merge_state(right.to_state())
+        assert left.count == 180
+        assert len(left.samples) == 100
+        assert left.min == 0.0 and left.max == 1089.0
+        assert left.total == pytest.approx(sum(range(90)) + sum(range(1000, 1090)))
+
+    def test_merge_subsample_is_deterministic_and_balanced(self):
+        """The capped subsample is seeded by metric name (reproducible)
+        and weighted, so an imbalanced merge keeps both sides roughly in
+        proportion instead of drowning the small side."""
+        from repro.obs.metrics import Histogram
+
+        def merged():
+            left = Histogram("imbalanced", max_samples=200)
+            right = Histogram("imbalanced", max_samples=200)
+            for value in range(190):
+                left.observe(0.0)
+            for value in range(19_000):
+                right.observe(1.0)
+            left.merge_state(right.to_state())
+            return left
+
+        first, second = merged(), merged()
+        assert first.samples == second.samples  # deterministic
+        assert len(first.samples) == 200
+        small_side = first.samples.count(0.0)
+        # left holds 1% of the mass (190 of 19190); its representation
+        # in the capped buffer must be of that order, not 50% (the old
+        # truncate-left bug) nor 0%
+        assert 0 < small_side < 30
+
+    def test_merge_preserves_quantiles_approximately(self):
+        from repro.obs.metrics import Histogram
+
+        rng = np.random.default_rng(0)
+        left = Histogram("q", max_samples=500)
+        right = Histogram("q", max_samples=500)
+        a = rng.exponential(size=450)
+        b = rng.exponential(size=450)
+        for value in a:
+            left.observe(float(value))
+        for value in b:
+            right.observe(float(value))
+        left.merge_state(right.to_state())
+        pooled = np.concatenate([a, b])
+        assert left.snapshot()["p50"] == pytest.approx(
+            float(np.quantile(pooled, 0.5)), rel=0.25
+        )
+
     def test_use_registry_isolates_tests(self):
         default = obs.get_registry()
         with obs.use_registry() as registry:

@@ -251,6 +251,13 @@ class TestPropertyBased:
             np.float64,
             shape=(11, 2),
             elements=st.floats(-2.0, 2.0, allow_nan=False, width=64),
+            # Distinct coordinates: duplicate reference points create
+            # twin vertices whose extended grounded system is
+            # near-singular, and the iterative-vs-dense gap degrades to
+            # the conditioning rather than the method (hypothesis's
+            # value-reuse bias makes exact stacks the common draw, so
+            # filtering them with assume() trips filter_too_much).
+            unique=True,
         ),
         query=hnp.arrays(
             np.float64,
@@ -264,6 +271,11 @@ class TestPropertyBased:
 
         spread = pdist(points)
         assume(np.median(spread) > 1e-2)
+        # Duplicate (or near-duplicate) reference points create twin
+        # vertices: the extended grounded system turns near-singular and
+        # iterative-vs-dense agreement degrades to the conditioning, not
+        # the method — again no well-posed parity question at 1e-8.
+        assume(float(np.min(spread)) > 1e-2)
         bandwidth = float(np.median(spread))
         # The query must be within kernel reach of the reference set:
         # many bandwidths out, its coupling mass underflows toward zero
