@@ -813,13 +813,15 @@ def build_parser() -> argparse.ArgumentParser:
     def sweep_backend_flag(p):
         p.add_argument(
             "--sweep-backend",
-            choices=("direct", "exact", "factored", "spectral"),
+            choices=("direct", "exact", "factored", "spectral", "multigrid"),
             default="direct",
             help="how lambda sweeps are solved: 'direct' refactorizes "
             "per grid point (bit-identical historical path); 'exact' "
             "caches factorizations; 'factored' reuses one anchored "
             "factorization with warm-started PCG; 'spectral' sweeps "
-            "through the Laplacian eigenbasis",
+            "through the Laplacian eigenbasis; 'multigrid' uses "
+            "coarsening-preconditioned CG, the N>=1e5 choice (see "
+            "docs/SCALING.md)",
         )
 
     for name in ("figure1", "figure2", "figure3", "figure4"):
@@ -1173,8 +1175,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--radius", type=float, default=None, help="radius for --graph epsilon"
     )
     p.add_argument(
-        "--construction", choices=("auto", "dense", "neighbors"), default="auto",
-        help="sparsifier route: dense O(N^2) or kd-tree neighbor queries",
+        "--construction",
+        choices=("auto", "dense", "neighbors", "approx"), default="auto",
+        help="sparsifier route: dense O(N^2), exact kd-tree neighbor "
+        "queries, or approximate random-projection-tree queries "
+        "('approx', knn only; see docs/SCALING.md)",
     )
     p.set_defaults(handler=_cmd_diagnose)
 

@@ -18,7 +18,7 @@ from repro.exceptions import ConfigurationError
 
 __all__ = ["SWEEP_BACKEND_CHOICES", "check_sweep_backend", "make_workspace"]
 
-SWEEP_BACKEND_CHOICES = ("direct", "exact", "factored", "spectral")
+SWEEP_BACKEND_CHOICES = ("direct", "exact", "factored", "spectral", "multigrid")
 
 
 def check_sweep_backend(sweep_backend: str) -> str:

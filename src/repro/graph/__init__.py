@@ -12,6 +12,7 @@ from repro.graph.laplacian import (
     normalized_laplacian,
     random_walk_laplacian,
 )
+from repro.graph.approx import approx_knn_graph, knn_recall, rp_tree_knn
 from repro.graph.similarity import (
     SimilarityGraph,
     build_similarity_graph,
@@ -35,6 +36,9 @@ __all__ = [
     "knn_graph",
     "epsilon_graph",
     "local_scaling_graph",
+    "approx_knn_graph",
+    "knn_recall",
+    "rp_tree_knn",
     "degree_vector",
     "laplacian",
     "normalized_laplacian",

@@ -20,11 +20,20 @@ Both sparsifiers support two construction routes:
 * ``construction="auto"`` (default) — ``"dense"`` for small inputs where
   the dense BLAS route is fastest, ``"neighbors"`` beyond
   :data:`DENSE_CONSTRUCTION_MAX` vertices.
+* ``construction="approx"`` (knn only) — random-projection-tree
+  approximate neighbour lists (:mod:`repro.graph.approx`) with default
+  knobs; call :func:`repro.graph.approx.approx_knn_graph` directly to
+  tune the recall/speed trade-off.
 
-The two routes produce the same graph (verified to floating-point
+The exact routes produce the same graph (verified to floating-point
 agreement by the parity and property suites in
 ``tests/test_sparse_dense_parity.py`` and
-``tests/test_property_based_sparse_graph.py``).
+``tests/test_property_based_sparse_graph.py``), including under tied
+distances: both break ties deterministically toward the *smallest
+vertex index*.  The dense route uses a stable argsort; the kd-tree
+route detects rows whose k-th-neighbour distance is tied across the
+query boundary (``cKDTree`` returns an arbitrary member of a tie set)
+and re-resolves exactly those rows with an exact ball query.
 """
 
 from __future__ import annotations
@@ -59,15 +68,26 @@ __all__ = [
 DENSE_CONSTRUCTION_MAX = 512
 
 
-def _resolve_construction(construction: str, n: int) -> str:
+def _resolve_construction(
+    construction: str, n: int, *, allowed: tuple = ("dense", "neighbors")
+) -> str:
     if construction == "auto":
         return "dense" if n <= DENSE_CONSTRUCTION_MAX else "neighbors"
-    if construction in ("dense", "neighbors"):
+    if construction in allowed:
         return construction
+    known = ", ".join(repr(name) for name in ("auto",) + allowed)
     raise ConfigurationError(
-        f"construction must be 'auto', 'dense' or 'neighbors', "
-        f"got {construction!r}"
+        f"construction must be one of {known}, got {construction!r}"
     )
+
+
+def _format_vertices(indices, limit: int = 10) -> str:
+    """Render offending vertex indices for error messages (first few)."""
+    indices = np.asarray(indices).ravel()
+    shown = ", ".join(str(int(i)) for i in indices[:limit])
+    if indices.size > limit:
+        shown += f", ... ({indices.size} total)"
+    return f"[{shown}]"
 
 
 def _resolve_knn_mode(mode: str) -> str:
@@ -267,14 +287,20 @@ def full_kernel_graph(
 
 
 def _knn_dense(x, k, kernel, bandwidth, mode) -> sparse.csr_matrix:
-    """Historical O(N^2) route: full kernel matrix, then prune."""
+    """Historical O(N^2) route: full kernel matrix, then prune.
+
+    Neighbour selection uses a *stable* argsort so tied distances break
+    deterministically toward the smallest vertex index — matching the
+    neighbour route's tie handling (exact duplicates previously selected
+    an arbitrary member of the tie set via ``argpartition``).
+    """
     n = x.shape[0]
     sq = pairwise_sq_distances(x)
     weights = kernel.profile(np.sqrt(sq) / bandwidth)
 
     with_self_inf = sq.copy()
     np.fill_diagonal(with_self_inf, np.inf)
-    neighbour_idx = np.argpartition(with_self_inf, kth=k - 1, axis=1)[:, :k]
+    neighbour_idx = np.argsort(with_self_inf, axis=1, kind="stable")[:, :k]
     selected = np.zeros((n, n), dtype=bool)
     rows = np.repeat(np.arange(n), k)
     selected[rows, neighbour_idx.ravel()] = True
@@ -286,22 +312,73 @@ def _knn_dense(x, k, kernel, bandwidth, mode) -> sparse.csr_matrix:
     return sparse.csr_matrix(np.where(keep, weights, 0.0))
 
 
-def _knn_neighbors(x, k, kernel, bandwidth, mode) -> sparse.csr_matrix:
-    """Densification-free route: kd-tree neighbour queries straight to CSR."""
+def _knn_neighbor_lists(x, k) -> tuple[np.ndarray, np.ndarray]:
+    """Exact k-nearest-neighbour lists with deterministic tie handling.
+
+    Returns ``(dist, idx)`` of shape ``(n, k)``, each row sorted by
+    ``(distance, index)`` and excluding the vertex itself.  ``cKDTree``
+    returns an *arbitrary* member of a tie set at the query boundary
+    (so a true neighbour could silently be dropped under exact
+    duplicates); this queries one extra neighbour to detect boundary
+    ties and re-resolves exactly the affected rows with a ball query,
+    keeping the smallest-index member of every tie — the same rule as
+    the dense route's stable argsort.
+    """
     n = x.shape[0]
     tree = cKDTree(x)
-    dist, idx = tree.query(x, k=k + 1)
+    m = min(n, k + 2)
+    dist, idx = tree.query(x, k=m)
+    rows = np.arange(n)
+    # Canonical (distance, index) order within the returned candidates.
+    order = np.lexsort((idx, dist))
+    dist = np.take_along_axis(dist, order, axis=1)
+    idx = np.take_along_axis(idx, order, axis=1)
 
-    # Drop each row's self entry.  Under exact duplicates the self index
-    # may land anywhere in the k+1 results (or not at all); drop it where
-    # present and the farthest entry otherwise, leaving k true neighbours.
-    is_self = idx == np.arange(n)[:, None]
-    drop = np.where(is_self.any(axis=1), np.argmax(is_self, axis=1), k)
-    keep = np.ones((n, k + 1), dtype=bool)
-    keep[np.arange(n), drop] = False
-    neighbour_idx = idx[keep].reshape(n, k)
-    neighbour_dist = dist[keep].reshape(n, k)
+    # Drop each row's self entry (under exact duplicates it can land
+    # anywhere in the tie group, or be crowded out entirely).
+    is_self = idx == rows[:, None]
+    has_self = is_self.any(axis=1)
+    drop = np.where(has_self, np.argmax(is_self, axis=1), m - 1)
+    keep = np.ones((n, m), dtype=bool)
+    keep[rows, drop] = False
+    candidate_idx = idx[keep].reshape(n, m - 1)
+    candidate_dist = dist[keep].reshape(n, m - 1)
+    neighbour_idx = np.ascontiguousarray(candidate_idx[:, :k])
+    neighbour_dist = np.ascontiguousarray(candidate_dist[:, :k])
 
+    if m - 1 > k:
+        # A row is ambiguous when the first *excluded* candidate ties the
+        # k-th kept distance (the tree's choice among the tied set was
+        # arbitrary) or when self was crowded out of the results (a
+        # >= k+2-way duplicate tie).  Those rows are re-resolved exactly.
+        ambiguous = (candidate_dist[:, k] == neighbour_dist[:, k - 1]) | ~has_self
+        for i in np.flatnonzero(ambiguous):
+            # Inflate the radius by a few ulps: a tied point sitting
+            # exactly at the k-th distance must not be rounded out of
+            # the ball.
+            radius = float(neighbour_dist[i, -1]) * (1.0 + 1e-9) + 1e-300
+            ball = np.asarray(
+                tree.query_ball_point(x[i], radius), dtype=np.intp
+            )
+            ball = ball[ball != i]
+            if ball.size < k:  # pragma: no cover - extreme rounding
+                ball = np.delete(np.arange(n, dtype=np.intp), i)
+            exact = np.sqrt(
+                pairwise_sq_distances(x[i : i + 1], x[ball])
+            ).ravel()
+            best = np.lexsort((ball, exact))[:k]
+            neighbour_idx[i] = ball[best]
+            neighbour_dist[i] = exact[best]
+    return neighbour_dist, neighbour_idx
+
+
+def _assemble_knn_csr(
+    n, neighbour_idx, neighbour_dist, kernel, bandwidth, mode
+) -> sparse.csr_matrix:
+    """CSR weight matrix from directed neighbour lists (shared by the
+    exact kd-tree route, the approximate route, and the bandwidth
+    search's sparse path)."""
+    k = neighbour_idx.shape[1]
     data = kernel.profile(neighbour_dist.ravel() / bandwidth)
     rows = np.repeat(np.arange(n), k)
     directed = sparse.csr_matrix(
@@ -323,6 +400,58 @@ def _knn_neighbors(x, k, kernel, bandwidth, mode) -> sparse.csr_matrix:
     return out
 
 
+def _validate_knn_rows(
+    weights: sparse.csr_matrix, k: int, *, mode: str = "union"
+) -> None:
+    """Fail fast on degenerate rows instead of deep inside a solver.
+
+    Duplicate-heavy inputs with large ``k``, overflowing coordinates, or
+    compactly-supported kernels whose support excludes every neighbour
+    can produce non-finite weights or vertices with no usable edges;
+    both only surface later as cryptic solver errors, so they are
+    rejected here with the offending vertices named.
+
+    The zero-degree check only applies to union symmetrization: under
+    ``mode="intersection"`` a vertex whose selections are never mutual
+    is legitimately isolated, and connectivity is the reachability
+    layer's concern (:mod:`repro.graph.components`), not this one's.
+    """
+    data = weights.data
+    if data.size and not np.isfinite(data).all():
+        counts = np.diff(weights.indptr)
+        bad_rows = np.unique(
+            np.repeat(np.arange(weights.shape[0]), counts)[~np.isfinite(data)]
+        )
+        raise DataValidationError(
+            f"knn graph has non-finite weights on rows "
+            f"{_format_vertices(bad_rows)}; check the kernel profile and "
+            f"the input coordinates of those vertices"
+        )
+    if mode != "union":
+        return
+    off_degree = (
+        np.asarray(weights.sum(axis=1)).ravel() - weights.diagonal()
+    )
+    isolated = np.flatnonzero(off_degree <= 0)
+    if isolated.size:
+        raise DataValidationError(
+            f"knn graph (k={k}) left vertices {_format_vertices(isolated)} "
+            f"with zero total neighbour weight (only a self-loop): every "
+            f"selected neighbour got weight 0 — typically a "
+            f"compactly-supported kernel whose support excludes the k-th "
+            f"neighbour, or duplicate-heavy data with k too large.  "
+            f"Increase the bandwidth, reduce k, or deduplicate the inputs"
+        )
+
+
+def _knn_neighbors(x, k, kernel, bandwidth, mode) -> sparse.csr_matrix:
+    """Densification-free route: kd-tree neighbour queries straight to CSR."""
+    neighbour_dist, neighbour_idx = _knn_neighbor_lists(x, k)
+    return _assemble_knn_csr(
+        x.shape[0], neighbour_idx, neighbour_dist, kernel, bandwidth, mode
+    )
+
+
 def knn_graph(
     x: np.ndarray,
     *,
@@ -330,7 +459,7 @@ def knn_graph(
     kernel: RadialKernel | None = None,
     bandwidth: float,
     mode: Literal["union", "intersection", "mutual"] = "union",
-    construction: Literal["auto", "dense", "neighbors"] = "auto",
+    construction: Literal["auto", "dense", "neighbors", "approx"] = "auto",
 ) -> SimilarityGraph:
     """Sparse k-nearest-neighbour graph with kernel edge weights.
 
@@ -353,8 +482,12 @@ def knn_graph(
     convention.  ``construction`` picks the dense (``O(N^2)`` memory) or
     kd-tree neighbour route (``O(N k)``, never allocating an ``(N, N)``
     array); ``"auto"`` switches to neighbours above
-    :data:`DENSE_CONSTRUCTION_MAX` vertices.  Both routes build the same
-    graph.
+    :data:`DENSE_CONSTRUCTION_MAX` vertices.  Both exact routes build the
+    same graph, with ties broken deterministically toward the smallest
+    vertex index.  ``construction="approx"`` uses random-projection-tree
+    approximate neighbour lists (:mod:`repro.graph.approx`) at the
+    default recall knob — see :func:`~repro.graph.approx.approx_knn_graph`
+    to tune it.
     """
     x = check_matrix_2d(x, "x")
     n = x.shape[0]
@@ -363,7 +496,9 @@ def knn_graph(
     kernel = kernel or GaussianKernel()
     bandwidth = check_positive_scalar(bandwidth, "bandwidth")
     mode = _resolve_knn_mode(mode)
-    route = _resolve_construction(construction, n)
+    route = _resolve_construction(
+        construction, n, allowed=("dense", "neighbors", "approx")
+    )
 
     with obs.span(
         "repro.graph.knn",
@@ -375,8 +510,16 @@ def knn_graph(
     ) as span:
         if route == "dense":
             sparse_weights = _knn_dense(x, k, kernel, bandwidth, mode)
+        elif route == "approx":
+            from repro.graph.approx import rp_tree_knn
+
+            neighbour_dist, neighbour_idx = rp_tree_knn(x, k)
+            sparse_weights = _assemble_knn_csr(
+                n, neighbour_idx, neighbour_dist, kernel, bandwidth, mode
+            )
         else:
             sparse_weights = _knn_neighbors(x, k, kernel, bandwidth, mode)
+        _validate_knn_rows(sparse_weights, k, mode=mode)
         probes.record_graph_stats(span, sparse_weights)
         return SimilarityGraph(
             weights=sparse_weights,
@@ -485,10 +628,16 @@ def local_scaling_graph(
     np.fill_diagonal(with_self_inf, np.inf)
     kth_sq = np.partition(with_self_inf, kth=k - 1, axis=1)[:, k - 1]
     sigma = np.sqrt(kth_sq)
-    if np.any(sigma <= 0):
+    degenerate = np.flatnonzero(sigma <= 0)
+    if degenerate.size:
+        # sigma_i = 0 would put 0/0 = NaN on every duplicate pair and
+        # collapse w_ij for the whole row — fail here, naming the rows,
+        # instead of deep inside the solver.
         raise DataValidationError(
-            "local scaling undefined: some vertex has k identical neighbours; "
-            "deduplicate the inputs or raise k"
+            f"local scaling (k={k}) is undefined for vertices "
+            f"{_format_vertices(degenerate)}: each one's k-th nearest "
+            f"neighbour is at distance 0 (at least k identical duplicates).  "
+            f"Deduplicate the inputs or raise k above the duplicate count"
         )
     weights = np.exp(-sq / (sigma[:, None] * sigma[None, :]))
     return SimilarityGraph(
@@ -506,17 +655,18 @@ def build_similarity_graph(
     construction: Literal["full", "knn", "epsilon"] = "full",
     kernel: RadialKernel | None = None,
     bandwidth: float,
-    construction_method: Literal["auto", "dense", "neighbors"] | None = None,
+    construction_method: Literal["auto", "dense", "neighbors", "approx"] | None = None,
     **params,
 ) -> SimilarityGraph:
     """Dispatch to one of the graph constructions by name.
 
     ``params`` are forwarded (``k``/``mode`` for knn, ``radius`` for
     epsilon).  ``construction_method`` forwards to the sparsifiers'
-    ``construction=`` switch (``"dense"``/``"neighbors"``/``"auto"``) —
-    the name differs only because ``construction`` here already selects
-    the graph *family* — so estimator ``graph_params`` can pin a route,
-    e.g. ``graph_params={"k": 10, "construction_method": "neighbors"}``.
+    ``construction=`` switch (``"dense"``/``"neighbors"``/``"auto"``,
+    plus ``"approx"`` for knn graphs) — the name differs only because
+    ``construction`` here already selects the graph *family* — so
+    estimator ``graph_params`` can pin a route, e.g.
+    ``graph_params={"k": 10, "construction_method": "neighbors"}``.
     This is the single entry point the estimators use.
     """
     builders = {

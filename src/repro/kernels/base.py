@@ -11,10 +11,48 @@ import numpy as np
 from repro.exceptions import DataValidationError
 from repro.utils.validation import check_matrix_2d, check_positive_scalar
 
-__all__ = ["RadialKernel", "KernelConditionReport", "pairwise_sq_distances"]
+__all__ = [
+    "RadialKernel",
+    "KernelConditionReport",
+    "pairwise_sq_distances",
+    "CHUNK_AUTO_ELEMENTS",
+]
+
+#: ``pairwise_sq_distances`` switches from the one-shot expression to
+#: row-blocked computation once the output exceeds this many elements
+#: (4M doubles = 32 MB): beyond it the one-shot path's *temporaries*
+#: (``x @ y.T``, the broadcast sum) would triple the peak footprint.
+#: Below it the historical expression runs unchanged (bit-identical).
+CHUNK_AUTO_ELEMENTS = 2**22
 
 
-def pairwise_sq_distances(x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+def _fill_sq_blocked(x, y, x_norms, y_norms, out, block_rows: int) -> None:
+    """Row-blocked ``||x_i - y_j||^2`` into ``out``, no (n, m) temporaries.
+
+    One scratch buffer of ``(block_rows, m)`` is reused across blocks;
+    each block costs a GEMM plus three in-place element passes.
+    """
+    n, m = out.shape
+    y_t = y.T
+    scratch = np.empty((min(block_rows, n), m))
+    for start in range(0, n, block_rows):
+        stop = min(start + block_rows, n)
+        block = scratch[: stop - start]
+        np.matmul(x[start:stop], y_t, out=block)
+        block *= -2.0
+        block += x_norms[start:stop, None]
+        block += y_norms[None, :]
+        np.maximum(block, 0.0, out=block)
+        out[start:stop] = block
+
+
+def pairwise_sq_distances(
+    x: np.ndarray,
+    y: np.ndarray | None = None,
+    *,
+    chunk_size: int | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Squared Euclidean distances between rows of ``x`` and rows of ``y``.
 
     Parameters
@@ -23,6 +61,17 @@ def pairwise_sq_distances(x: np.ndarray, y: np.ndarray | None = None) -> np.ndar
         Array of shape ``(n, d)``.
     y:
         Optional array of shape ``(m, d)``; defaults to ``x``.
+    chunk_size:
+        Rows per computation block.  ``None`` (default) picks
+        automatically: outputs up to :data:`CHUNK_AUTO_ELEMENTS` elements
+        use the historical one-shot expression (bit-identical to previous
+        releases); larger outputs are computed in row blocks sized to
+        keep temporaries near 32 MB, avoiding the 3x peak-memory spike of
+        the one-shot temporaries.  An explicit positive integer forces
+        blocked computation with that many rows per block.
+    out:
+        Optional preallocated ``(n, m)`` float64 output array, for
+        callers that reuse one buffer across repeated computations.
 
     Returns
     -------
@@ -39,10 +88,35 @@ def pairwise_sq_distances(x: np.ndarray, y: np.ndarray | None = None) -> np.ndar
                 f"x and y must have the same number of columns; "
                 f"got {x.shape[1]} and {y.shape[1]}"
             )
+    n, m = x.shape[0], y.shape[0]
+    if chunk_size is not None and (int(chunk_size) != chunk_size or chunk_size < 1):
+        raise DataValidationError(
+            f"chunk_size must be a positive integer, got {chunk_size!r}"
+        )
+    if out is not None:
+        if out.shape != (n, m) or out.dtype != np.float64:
+            raise DataValidationError(
+                f"out must be a float64 array of shape {(n, m)}, "
+                f"got shape {out.shape} dtype {out.dtype}"
+            )
     x_norms = np.einsum("ij,ij->i", x, x)
     y_norms = np.einsum("ij,ij->i", y, y)
-    sq = x_norms[:, None] + y_norms[None, :] - 2.0 * (x @ y.T)
-    np.maximum(sq, 0.0, out=sq)
+    if chunk_size is None and n * m <= CHUNK_AUTO_ELEMENTS:
+        sq = x_norms[:, None] + y_norms[None, :] - 2.0 * (x @ y.T)
+        np.maximum(sq, 0.0, out=sq)
+        if out is not None:
+            out[...] = sq
+            sq = out
+    else:
+        if out is None:
+            out = np.empty((n, m))
+        block_rows = (
+            int(chunk_size)
+            if chunk_size is not None
+            else max(1, CHUNK_AUTO_ELEMENTS // max(1, m))
+        )
+        _fill_sq_blocked(x, y, x_norms, y_norms, out, block_rows)
+        sq = out
     if y is x:
         np.fill_diagonal(sq, 0.0)
     return sq

@@ -6,6 +6,14 @@ from repro.linalg.advanced import (
     sor,
 )
 from repro.linalg.block import BlockMatrix, block_inverse, schur_complement
+from repro.linalg.coarsen import (
+    CoarseningHierarchy,
+    MultigridPreconditioner,
+    build_hierarchy,
+    coarsen_weights,
+    heavy_edge_matching,
+    solve_multigrid,
+)
 from repro.linalg.iterative import (
     IterativeResult,
     conjugate_gradient,
@@ -50,4 +58,10 @@ __all__ = [
     "SolveWorkspace",
     "WorkspaceStats",
     "SWEEP_BACKENDS",
+    "CoarseningHierarchy",
+    "MultigridPreconditioner",
+    "build_hierarchy",
+    "coarsen_weights",
+    "heavy_edge_matching",
+    "solve_multigrid",
 ]

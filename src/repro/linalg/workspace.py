@@ -33,6 +33,17 @@ shared across the sweep:
   ``f = U_k a``.  With the *full* basis this is exact up to roundoff
   (cf. Hoffmann et al.'s probit/one-hot computations in the Laplacian
   eigenbasis); truncation trades accuracy for speed.
+* **multigrid** — no large factorization at any point: a λ-independent
+  graph-coarsening hierarchy (:mod:`repro.linalg.coarsen`, heavy-edge
+  matching) is built once per workspace, and each λ is solved by
+  warm-started PCG preconditioned with a damped-Jacobi V-cycle whose
+  level systems ``diag(v_l) + λ L_l`` re-assemble in O(nnz) per grid
+  point (the Galerkin coarse operator of a graph Laplacian is the
+  Laplacian of the coarsened graph, and aggregation keeps ``V``
+  diagonal).  This is the backend that scales past the splu fill-in
+  wall (N ≈ 10⁴ in d ≥ 3) to N = 10⁵⁺; solutions match direct solves
+  to the CG tolerance, with an exact-factorization fallback if the
+  V-cycle ever stalls.
 
 Iterative backends (``"cg"``, ``"jacobi"``, ``"gauss_seidel"``) are also
 supported and warm-started from the previous solution in the sweep, with
@@ -67,6 +78,11 @@ from repro.exceptions import (
     WorkspaceInvalidatedError,
 )
 from repro.linalg.advanced import preconditioned_conjugate_gradient
+from repro.linalg.coarsen import (
+    CoarseningHierarchy,
+    MultigridPreconditioner,
+    build_hierarchy,
+)
 from repro.linalg.solvers import SolveInfo, SPDFactorization, factorize_spd, solve_spd
 from repro.utils.validation import (
     check_labels,
@@ -78,7 +94,7 @@ __all__ = ["SolveWorkspace", "WorkspaceStats", "SWEEP_BACKENDS"]
 
 #: Sweep backends a workspace can solve through (``"direct"`` means "no
 #: workspace" and is handled by the callers that expose ``--sweep-backend``).
-SWEEP_BACKENDS = ("exact", "factored", "spectral")
+SWEEP_BACKENDS = ("exact", "factored", "spectral", "multigrid")
 
 _ITERATIVE_BACKENDS = ("cg", "jacobi", "gauss_seidel")
 
@@ -97,6 +113,17 @@ DEFAULT_SPARSE_COMPONENTS = 256
 #: capacitance solve (O(n_labeled^3) per λ) and the ``N x n_labeled``
 #: basis stay cheap: n_labeled at most this cap AND at most N/4.
 WOODBURY_MAX_LABELED = 512
+
+#: V-cycle-preconditioned PCG budget per grid point.  A healthy V-cycle
+#: converges in tens of iterations even at λ = 10²; exceeding this
+#: budget falls back to an exact factorization (counted as a reanchor).
+MULTIGRID_MAX_ITER = 300
+
+#: The multigrid hierarchy coarsens until a level is at most this large
+#: (but never below 512 vertices) — small enough that the coarsest
+#: factorization is trivial, large enough that the coarse grid still
+#: resolves the graph's cluster structure.
+MULTIGRID_COARSE_DIVISOR = 64
 
 
 class WorkspaceStats(NamedTuple):
@@ -124,6 +151,12 @@ class WorkspaceStats(NamedTuple):
     woodbury_solves:
         Direct low-rank continuation solves on the factored path (each
         λ after the anchor costs one capacitance solve, no iterations).
+    coarsen_builds:
+        Coarsening hierarchies built (at most one per workspace until
+        invalidation).
+    multigrid_solves:
+        V-cycle-preconditioned PCG solves on the multigrid path (their
+        iteration counts accumulate into ``pcg_iterations``).
     """
 
     factor_hits: int = 0
@@ -136,6 +169,8 @@ class WorkspaceStats(NamedTuple):
     warm_starts: int = 0
     iterations_saved: int = 0
     woodbury_solves: int = 0
+    coarsen_builds: int = 0
+    multigrid_solves: int = 0
 
 
 def _fingerprint(weights):
@@ -218,8 +253,10 @@ class SolveWorkspace:
     backend:
         Default solve backend: ``"factored"`` (anchored PCG
         continuation), ``"exact"`` (cached true factorizations,
-        bit-compatible with direct solves), or ``"spectral"``
-        (eigenbasis Galerkin).
+        bit-compatible with direct solves), ``"spectral"``
+        (eigenbasis Galerkin), or ``"multigrid"`` (coarsening V-cycle
+        preconditioned PCG — no large factorization, the large-N
+        backend).
     exact:
         Strict mode: force the ``"exact"`` backend for every solve
         regardless of the requested backend, so sweeps stay
@@ -292,6 +329,8 @@ class SolveWorkspace:
         self._galerkin: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
         self._continuations: dict[tuple, _Continuation] = {}
         self._woodbury: dict[int, _WoodburyState] = {}
+        self._hierarchy: CoarseningHierarchy | None = None
+        self._coarse_masks: dict[int, list[np.ndarray]] = {}
         self._counters = {field: 0 for field in WorkspaceStats._fields}
 
     # ------------------------------------------------------------------
@@ -327,6 +366,8 @@ class SolveWorkspace:
         self._galerkin.clear()
         self._continuations.clear()
         self._woodbury.clear()
+        self._hierarchy = None
+        self._coarse_masks.clear()
 
     # ------------------------------------------------------------------
     # Shared assembly
@@ -655,6 +696,91 @@ class SolveWorkspace:
         return result.x, info, {"anchor_lam": state.anchor_lam}
 
     # ------------------------------------------------------------------
+    # Multigrid (coarsening V-cycle preconditioned PCG)
+    # ------------------------------------------------------------------
+
+    def hierarchy(self) -> CoarseningHierarchy:
+        """The graph's coarsening hierarchy, built once per workspace.
+
+        λ- and mask-independent: the Galerkin coarse operator of a graph
+        Laplacian is the Laplacian of the coarsened graph, so the
+        hierarchy caches each level's prolongation and coarse Laplacian
+        and the per-λ systems re-assemble in O(nnz).
+        """
+        self.check_current()
+        if self._hierarchy is None:
+            self._hierarchy = build_hierarchy(
+                self.weights,
+                min_coarse_size=max(
+                    512, self.n_total // MULTIGRID_COARSE_DIVISOR
+                ),
+            )
+            self._counters["coarsen_builds"] += 1
+            obs.get_registry().counter("workspace.coarsen.builds").inc()
+        return self._hierarchy
+
+    def _coarse_mask_diagonals(self, n: int) -> list[np.ndarray]:
+        """Per-level Galerkin diagonals of the labeled-mask ``V`` (cached)."""
+        cached = self._coarse_masks.get(n)
+        if cached is None:
+            indicator = np.zeros(self.n_total)
+            indicator[:n] = 1.0
+            cached = self.hierarchy().coarsen_diagonal(indicator)
+            self._coarse_masks[n] = cached
+        return cached
+
+    def _multigrid_preconditioner(self, lam: float, n: int) -> MultigridPreconditioner:
+        hierarchy = self.hierarchy()
+        systems = [self.soft_system(lam, n)]
+        for level, mask in zip(hierarchy.levels, self._coarse_mask_diagonals(n)):
+            systems.append(
+                (lam * level.laplacian + sparse.diags(mask, format="csr")).tocsr()
+            )
+        prolongations = [level.prolongation for level in hierarchy.levels]
+        return MultigridPreconditioner(systems, prolongations)
+
+    def _solve_multigrid(self, y: np.ndarray, lam: float, n: int):
+        state = self._continuation("soft", n)
+        system = self.soft_system(lam, n)
+        rhs = self._rhs_soft(y)
+        registry = obs.get_registry()
+        preconditioner = self._multigrid_preconditioner(lam, n)
+        x0 = state.last_solution
+        warm = x0 is not None
+        try:
+            result = preconditioned_conjugate_gradient(
+                system,
+                rhs,
+                preconditioner=preconditioner,
+                x0=x0,
+                tol=self.pcg_tol,
+                max_iter=MULTIGRID_MAX_ITER,
+            )
+        except ConvergenceError:
+            # A stalled V-cycle (pathological graph) falls back to an
+            # exact factorization at this λ, like a factored re-anchor.
+            self._counters["reanchors"] += 1
+            registry.counter("workspace.reanchors").inc()
+            factor = self.factorization("soft", lam, n)
+            return factor.solve(rhs), factor.info(), {"fallback": "exact"}
+        self._counters["multigrid_solves"] += 1
+        self._counters["pcg_iterations"] += result.iterations
+        registry.counter("workspace.multigrid_solves").inc()
+        if warm:
+            self._counters["warm_starts"] += 1
+            registry.counter("workspace.warm_starts").inc()
+        registry.histogram("workspace.pcg.iterations").observe(result.iterations)
+        info = SolveInfo(
+            method="multigrid_pcg",
+            size=self.n_total,
+            iterations=result.iterations,
+            final_residual=result.final_residual,
+            converged=result.converged,
+            warm_started=warm,
+        )
+        return result.x, info, {"n_levels": preconditioner.n_levels}
+
+    # ------------------------------------------------------------------
     # Warm-started classic iterative backends
     # ------------------------------------------------------------------
 
@@ -741,6 +867,8 @@ class SolveWorkspace:
                 scores, info, details = self._solve_spectral(y, lam, n)
             elif resolved == "factored":
                 scores, info, details = self._solve_factored(y, lam, n)
+            elif resolved == "multigrid":
+                scores, info, details = self._solve_multigrid(y, lam, n)
             else:
                 scores, info, details = self._solve_iterative(y, lam, n, resolved)
             self._continuation("soft", n).last_solution = scores

@@ -47,7 +47,7 @@ __all__ = [
 #: Backends accepted by the grid searches: ``"direct"`` is the historical
 #: per-point solve (bit-identical to previous releases); the rest route
 #: through a per-fold :class:`~repro.linalg.workspace.SolveWorkspace`.
-CV_SWEEP_BACKENDS = ("direct", "exact", "factored", "spectral")
+CV_SWEEP_BACKENDS = ("direct", "exact", "factored", "spectral", "multigrid")
 
 
 def _check_sweep_backend(sweep_backend: str) -> str:
@@ -248,6 +248,61 @@ def select_lambda(
     )
 
 
+def _knn_candidate_weights(x_all, kernel, graph_params):
+    """One neighbour-list computation, one sparse reweighting per bandwidth.
+
+    Distances don't depend on the bandwidth, so the (exact or
+    approximate) kNN lists are computed once and each candidate only
+    pays a ``profile``-on-``nk``-entries rescale plus a CSR assembly —
+    never an ``(N, N)`` allocation.
+    """
+    from repro.graph.similarity import (
+        _assemble_knn_csr,
+        _knn_neighbor_lists,
+        _resolve_knn_mode,
+        _validate_knn_rows,
+    )
+
+    params = dict(graph_params or {})
+    k = int(params.pop("k", 10))
+    mode = _resolve_knn_mode(params.pop("mode", "union"))
+    construction = params.pop("construction", "neighbors")
+    if construction == "approx":
+        from repro.graph.approx import rp_tree_knn
+
+        approx_kwargs = {
+            key: params.pop(key)
+            for key in ("n_trees", "leaf_size", "seed")
+            if key in params
+        }
+        if params:
+            raise ConfigurationError(
+                f"unknown graph_params keys: {sorted(params)}"
+            )
+        neighbour_dist, neighbour_idx = rp_tree_knn(x_all, k, **approx_kwargs)
+    elif construction == "neighbors":
+        if params:
+            raise ConfigurationError(
+                f"unknown graph_params keys: {sorted(params)}"
+            )
+        neighbour_dist, neighbour_idx = _knn_neighbor_lists(x_all, k)
+    else:
+        raise ConfigurationError(
+            f"graph_params construction must be 'neighbors' or 'approx', "
+            f"got {construction!r}"
+        )
+    n = x_all.shape[0]
+
+    def candidate_weights(bandwidth):
+        weights = _assemble_knn_csr(
+            n, neighbour_idx, neighbour_dist, kernel, bandwidth, mode
+        )
+        _validate_knn_rows(weights, k, mode=mode)
+        return weights
+
+    return candidate_weights
+
+
 def select_bandwidth(
     x_labeled,
     y_labeled,
@@ -259,14 +314,32 @@ def select_bandwidth(
     kernel=None,
     seed=None,
     sweep_backend: str = "direct",
+    graph: str = "full",
+    graph_params: dict | None = None,
 ) -> GridSearchResult:
     """Pick the kernel bandwidth by transductive cross-validation.
 
-    The pairwise distance matrix is computed once and rescaled per
-    candidate bandwidth — bit-identical to rebuilding the full kernel
-    graph per candidate (``profile(sqrt(sq)/h)`` either way), without the
-    repeated ``O(N^2 d)`` distance computations.  Each candidate is then
-    scored with :func:`cross_validate_lambda` at a fixed ``lam``.
+    With ``graph="full"`` (the default, bit-identical to previous
+    releases) the pairwise distance matrix is computed once — chunked
+    past ~4M entries so no 3x-sized temporaries spike the peak memory —
+    and rescaled per candidate bandwidth: the same weights as rebuilding
+    the full kernel graph per candidate (``profile(sqrt(sq)/h)`` either
+    way) without the repeated ``O(N^2 d)`` distance computations.
+
+    With ``graph="knn"`` the ``(N, N)`` matrix is never materialised:
+    the k-nearest-neighbour lists are computed once (exact kd-tree, or
+    RP-tree approximate via ``graph_params={"construction": "approx"}``)
+    and reweighted per candidate into a sparse CSR graph — this is the
+    large-N route.  ``graph_params`` accepts ``k`` (default 10), ``mode``
+    (``"union"``/``"intersection"``, default ``"union"``),
+    ``construction`` (``"neighbors"`` exact, default, or ``"approx"``),
+    and for the approximate route ``n_trees``/``leaf_size``/``seed``.
+    Pair it with a workspace ``sweep_backend`` (``"exact"``,
+    ``"factored"``, ``"spectral"``, ``"multigrid"``), which keep sparse
+    graphs sparse; the historical ``"direct"`` backend densifies them.
+
+    Each candidate is scored with :func:`cross_validate_lambda` at a
+    fixed ``lam``.
     """
     from repro.kernels.base import pairwise_sq_distances
     from repro.kernels.library import GaussianKernel
@@ -277,19 +350,34 @@ def select_bandwidth(
     if any(h <= 0 for h in grid):
         raise ConfigurationError("bandwidth grid values must be > 0")
     _check_sweep_backend(sweep_backend)
+    if graph not in ("full", "knn"):
+        raise ConfigurationError(
+            f"graph must be 'full' or 'knn', got {graph!r}"
+        )
+    if graph_params is not None and graph == "full":
+        raise ConfigurationError("graph_params requires graph='knn'")
     x_labeled = check_matrix_2d(x_labeled, "x_labeled")
     x_unlabeled = check_matrix_2d(x_unlabeled, "x_unlabeled")
     kernel = kernel or GaussianKernel()
     x_all = np.vstack([x_labeled, x_unlabeled])
-    base_radii = np.sqrt(pairwise_sq_distances(x_all))
+
+    if graph == "knn":
+        candidate_weights = _knn_candidate_weights(x_all, kernel, graph_params)
+    else:
+        base_radii = np.sqrt(pairwise_sq_distances(x_all))
+
+        def candidate_weights(bandwidth):
+            return kernel.profile(base_radii / bandwidth)
 
     scores = []
     for bandwidth in grid:
-        weights = kernel.profile(base_radii / bandwidth)
+        # Construction inside the guard: a degenerate candidate (e.g. a
+        # tiny bandwidth underflowing every knn weight to zero) scores
+        # inf instead of crashing the whole search.
         scores.append(
             _score_or_inf(
-                lambda weights=weights: cross_validate_lambda(
-                    weights,
+                lambda bandwidth=bandwidth: cross_validate_lambda(
+                    candidate_weights(bandwidth),
                     y_labeled,
                     lam,
                     n_folds=n_folds,

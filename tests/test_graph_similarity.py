@@ -287,3 +287,71 @@ class TestSimilarityGraphContainer:
         w = np.array([[0.0, 1.0], [1.0, 0.0]])
         graph = SimilarityGraph(weights=sparse.csr_matrix(w))
         np.testing.assert_array_equal(graph.dense_weights(), w)
+
+
+class TestKnnTieDeterminism:
+    """Regression tests for the kd-tree neighbour-drop bug: under
+    duplicated rows or tied distances, the kd-tree route could keep an
+    arbitrary member of the tied set and disagree with the dense route.
+    Both routes now break ties deterministically by smallest index."""
+
+    def _duplicated_cloud(self, seed=0, n_unique=40, n_copies=3):
+        rng = np.random.default_rng(seed)
+        unique = rng.normal(size=(n_unique, 2))
+        return np.vstack([unique] * n_copies)
+
+    def test_dense_and_neighbors_agree_on_duplicates(self):
+        x = self._duplicated_cloud()
+        for k in (2, 3, 5):
+            dense = knn_graph(x, k=k, bandwidth=0.7, construction="dense")
+            neigh = knn_graph(x, k=k, bandwidth=0.7, construction="neighbors")
+            np.testing.assert_allclose(
+                dense.dense_weights(), neigh.dense_weights(), atol=1e-12
+            )
+
+    def test_duplicate_never_drops_a_zero_distance_twin(self):
+        # 3 copies of each point: with k=2, both twins (distance 0) must
+        # be selected ahead of any strictly-positive neighbour
+        x = self._duplicated_cloud(n_unique=20, n_copies=3)
+        n_unique = 20
+        graph = knn_graph(x, k=2, bandwidth=0.7, construction="neighbors")
+        w = graph.weights
+        unit = float(GaussianKernel().profile(np.zeros(1))[0])
+        for i in range(x.shape[0]):
+            twins = [j for j in range(x.shape[0])
+                     if j != i and j % n_unique == i % n_unique]
+            for j in twins:
+                assert w[i, j] == pytest.approx(unit)
+
+    def test_tied_but_distinct_points_break_toward_smallest_index(self):
+        # vertices 1, 2, 3 are all at distance 1 from vertex 0; k=2 must
+        # keep {1, 2} on both routes
+        x = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [-1.0, 0.0],
+                      [5.0, 5.0], [6.0, 5.0], [5.0, 6.0]])
+        dense = knn_graph(x, k=2, bandwidth=1.0, construction="dense")
+        neigh = knn_graph(x, k=2, bandwidth=1.0, construction="neighbors")
+        np.testing.assert_allclose(
+            dense.dense_weights(), neigh.dense_weights(), atol=1e-12
+        )
+
+    def test_support_excluding_kernel_rejected_with_vertices_named(self):
+        # distinct points all farther apart than the boxcar support:
+        # every neighbour weight is exactly 0, leaving each vertex with
+        # only its self-loop — the validation names the rows instead of
+        # letting a disconnected system reach the solver
+        from repro.exceptions import DataValidationError
+
+        x = np.arange(6, dtype=float)[:, None] * np.array([[1.0, 0.0]])
+        with pytest.raises(DataValidationError, match=r"vertices \[0, 1, 2"):
+            knn_graph(
+                x, k=3, bandwidth=0.001, kernel=BoxcarKernel(),
+                construction="neighbors",
+            )
+
+    def test_local_scaling_duplicate_error_names_vertices(self):
+        from repro.exceptions import DataValidationError
+        from repro.graph.similarity import local_scaling_graph
+
+        x = np.vstack([np.zeros((3, 2)), np.random.default_rng(0).normal(size=(5, 2))])
+        with pytest.raises(DataValidationError, match=r"vertices \[0, 1, 2\]"):
+            local_scaling_graph(x, k=2)

@@ -89,3 +89,90 @@ class TestRadialKernelApi:
     def test_condition_summary_mentions_failures(self):
         text = GaussianKernel().theorem_conditions().summary()
         assert "NO" in text and "compact" in text
+
+
+class TestChunkedDistances:
+    """The blocked large-output path must agree with the one-shot
+    expression, allocate no (n, m)-sized temporaries beyond the output,
+    and honour caller-supplied buffers."""
+
+    def test_explicit_chunk_matches_one_shot(self, rng):
+        x = rng.normal(size=(57, 4))
+        y = rng.normal(size=(23, 4))
+        reference = pairwise_sq_distances(x, y)
+        for chunk in (1, 7, 57, 100):
+            np.testing.assert_allclose(
+                pairwise_sq_distances(x, y, chunk_size=chunk),
+                reference,
+                atol=1e-12,
+            )
+
+    def test_chunked_self_distances_zero_diagonal(self, rng):
+        x = rng.normal(size=(40, 3))
+        sq = pairwise_sq_distances(x, chunk_size=11)
+        np.testing.assert_array_equal(np.diagonal(sq), np.zeros(40))
+        np.testing.assert_allclose(sq, pairwise_sq_distances(x), atol=1e-12)
+
+    def test_small_outputs_keep_historical_expression_bitwise(self, rng):
+        # the auto path below CHUNK_AUTO_ELEMENTS must stay bit-identical
+        # to previous releases (golden tests depend on it)
+        from repro.kernels.base import CHUNK_AUTO_ELEMENTS
+
+        x = rng.normal(size=(64, 5))
+        y = rng.normal(size=(48, 5))
+        assert 64 * 48 <= CHUNK_AUTO_ELEMENTS
+        x_norms = np.einsum("ij,ij->i", x, x)
+        y_norms = np.einsum("ij,ij->i", y, y)
+        legacy = x_norms[:, None] + y_norms[None, :] - 2.0 * (x @ y.T)
+        np.maximum(legacy, 0.0, out=legacy)
+        np.testing.assert_array_equal(pairwise_sq_distances(x, y), legacy)
+
+    def test_out_buffer_reused(self, rng):
+        x = rng.normal(size=(30, 2))
+        out = np.empty((30, 30))
+        result = pairwise_sq_distances(x, out=out)
+        assert result is out
+        result_chunked = pairwise_sq_distances(x, chunk_size=8, out=out)
+        assert result_chunked is out
+
+    def test_invalid_arguments_rejected(self, rng):
+        x = rng.normal(size=(10, 2))
+        with pytest.raises(DataValidationError, match="chunk_size"):
+            pairwise_sq_distances(x, chunk_size=0)
+        with pytest.raises(DataValidationError, match="chunk_size"):
+            pairwise_sq_distances(x, chunk_size=2.5)
+        with pytest.raises(DataValidationError, match="out"):
+            pairwise_sq_distances(x, out=np.empty((3, 3)))
+        with pytest.raises(DataValidationError, match="out"):
+            pairwise_sq_distances(x, out=np.empty((10, 10), dtype=np.float32))
+
+    def test_auto_chunking_bounds_temporaries(self, rng, monkeypatch):
+        """Above the auto threshold, no allocation besides the output may
+        reach (n * m) elements."""
+        import repro.kernels.base as base
+
+        monkeypatch.setattr(base, "CHUNK_AUTO_ELEMENTS", 2**10)
+        n, m = 96, 64
+        budget = n * m  # the output itself is allocated before guarding
+        x = rng.normal(size=(n, 3))
+        y = rng.normal(size=(m, 3))
+        reference = x.copy(), y.copy()
+        out = np.empty((n, m))
+
+        def guarded(allocator):
+            def wrapper(shape, *args, **kwargs):
+                size = int(np.prod(np.atleast_1d(shape)))
+                assert size < budget, (
+                    f"allocation of shape {shape} on the chunked path"
+                )
+                return allocator(shape, *args, **kwargs)
+
+            return wrapper
+
+        monkeypatch.setattr(np, "empty", guarded(np.empty))
+        monkeypatch.setattr(np, "zeros", guarded(np.zeros))
+        sq = pairwise_sq_distances(x, y, out=out)
+        np.testing.assert_array_equal(x, reference[0])
+        np.testing.assert_array_equal(y, reference[1])
+        expected = ((x[:, None, :] - y[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(sq, expected, atol=1e-10)

@@ -106,3 +106,97 @@ class TestSelectBandwidth:
             select_bandwidth(
                 data.x_labeled, data.y_labeled, data.x_unlabeled, grid=(0.0,)
             )
+
+
+class TestSelectBandwidthKnnRoute:
+    """The large-N bugfix: bandwidth search over a sparse kNN graph must
+    never materialise an (N, N) array."""
+
+    def _problem(self, seed=5):
+        data = make_synthetic_dataset(60, 20, seed=seed)
+        reference = paper_bandwidth_rule(60, 5)
+        grid = (0.1 * reference, reference, 10.0 * reference)
+        return data, grid
+
+    def test_knn_route_agrees_with_full_on_best_value(self):
+        data, grid = self._problem()
+        full = select_bandwidth(
+            data.x_labeled, data.y_labeled, data.x_unlabeled,
+            grid=grid, seed=0,
+        )
+        knn = select_bandwidth(
+            data.x_labeled, data.y_labeled, data.x_unlabeled,
+            grid=grid, seed=0, graph="knn", sweep_backend="exact",
+            graph_params={"k": 15},
+        )
+        assert knn.best_value in grid
+        assert knn.best_value == full.best_value
+
+    def test_approx_construction_and_multigrid_backend(self):
+        data, grid = self._problem(seed=6)
+        result = select_bandwidth(
+            data.x_labeled, data.y_labeled, data.x_unlabeled,
+            grid=grid, seed=0, graph="knn", sweep_backend="multigrid",
+            graph_params={"k": 12, "construction": "approx", "n_trees": 8},
+        )
+        assert result.best_value in grid
+        assert np.isfinite(result.best_score)
+
+    def test_invalid_graph_arguments_rejected(self):
+        data, grid = self._problem()
+        args = (data.x_labeled, data.y_labeled, data.x_unlabeled)
+        with pytest.raises(ConfigurationError, match="graph must"):
+            select_bandwidth(*args, grid=grid, graph="mesh")
+        with pytest.raises(ConfigurationError, match="graph_params"):
+            select_bandwidth(*args, grid=grid, graph_params={"k": 5})
+        with pytest.raises(ConfigurationError, match="unknown graph_params"):
+            select_bandwidth(
+                *args, grid=grid, graph="knn", graph_params={"radius": 1.0}
+            )
+        with pytest.raises(ConfigurationError, match="construction"):
+            select_bandwidth(
+                *args, grid=grid, graph="knn",
+                graph_params={"construction": "magic"},
+            )
+
+    def test_knn_route_never_allocates_dense_n_by_n(self, monkeypatch):
+        """Mirror of the PR-2 graph-construction guard, for the search:
+        N=8000 bandwidth selection through the knn route must stay under
+        an N^2/4-element allocation budget."""
+        n_total = 8000
+        n_labeled = 40
+        budget = n_total * n_total // 4
+
+        rng = np.random.default_rng(0)
+        x_all = rng.normal(size=(n_total, 2))
+        y_labeled = np.sign(x_all[:n_labeled, 0])
+        y_labeled[y_labeled == 0] = 1.0
+
+        def guarded(allocator):
+            def wrapper(shape, *args, **kwargs):
+                size = int(np.prod(np.atleast_1d(shape)))
+                assert size < budget, (
+                    f"dense allocation of shape {shape} during knn "
+                    f"bandwidth selection"
+                )
+                return allocator(shape, *args, **kwargs)
+
+            return wrapper
+
+        monkeypatch.setattr(np, "empty", guarded(np.empty))
+        monkeypatch.setattr(np, "zeros", guarded(np.zeros))
+        monkeypatch.setattr(np, "ones", guarded(np.ones))
+
+        result = select_bandwidth(
+            x_all[:n_labeled],
+            y_labeled,
+            x_all[n_labeled:],
+            grid=(0.05, 0.2),
+            lam=0.1,
+            n_folds=2,
+            seed=0,
+            sweep_backend="exact",
+            graph="knn",
+            graph_params={"k": 8},
+        )
+        assert result.best_value in (0.05, 0.2)
