@@ -27,7 +27,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.obs.bench import BenchRecorder
+from repro.obs.bench import BenchRecorder, prune_bench_runs
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -36,6 +36,11 @@ SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
 
 #: Timing repeats for fast benches (heavy ones pass repeats=1 explicitly).
 REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+
+#: Trajectory retention: after each session the results directory keeps
+#: the newest ``KEEP_RUNS`` trajectories per benchmark id and deletes
+#: ``BENCH_*.json`` files fully superseded by newer runs (0 disables).
+KEEP_RUNS = int(os.environ.get("REPRO_BENCH_KEEP_RUNS", "3"))
 
 
 def replicates(quick: int, paper: int) -> int:
@@ -58,6 +63,13 @@ def bench():
         RESULTS_DIR.mkdir(exist_ok=True)
         path = recorder.write_run(RESULTS_DIR)
         print(f"\nwrote bench trajectory: {path} ({len(recorder)} records)")
+        if KEEP_RUNS > 0:
+            pruned = prune_bench_runs(RESULTS_DIR, keep=KEEP_RUNS)
+            if pruned:
+                print(
+                    f"pruned {len(pruned)} superseded bench trajectories "
+                    f"(keeping {KEEP_RUNS} runs per benchmark)"
+                )
 
 
 def publish(results_dir: Path, name: str, text: str, record=None) -> None:

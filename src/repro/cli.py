@@ -176,7 +176,8 @@ def _cmd_prop21(args) -> int:
     from repro.experiments.figures import run_prop21_experiment
 
     result = run_prop21_experiment(
-        seed=args.seed or 0, sweep_backend=args.sweep_backend
+        seed=args.seed or 0, sweep_backend=args.sweep_backend,
+        dtype_policy=args.dtype_policy,
     )
     _print_rows(
         "Proposition II.1 (lambda -> 0)",
@@ -191,7 +192,8 @@ def _cmd_prop22(args) -> int:
     from repro.experiments.figures import run_prop22_experiment
 
     result = run_prop22_experiment(
-        seed=args.seed or 0, sweep_backend=args.sweep_backend
+        seed=args.seed or 0, sweep_backend=args.sweep_backend,
+        dtype_policy=args.dtype_policy,
     )
     _print_rows(
         "Proposition II.2 (lambda -> inf)",
@@ -267,7 +269,7 @@ def _cmd_lambda_curve(args) -> int:
 
     curve = run_lambda_curve(
         n_replicates=args.replicates, seed=args.seed, n_jobs=args.jobs,
-        sweep_backend=args.sweep_backend,
+        sweep_backend=args.sweep_backend, dtype_policy=args.dtype_policy,
     )
     rows = [[f"{lam:g}", value] for lam, value in zip(curve.lambdas, curve.rmse)]
     _print_rows("lambda-degradation curve", curve.headers(), rows, args.csv)
@@ -725,7 +727,7 @@ def _cmd_tuned_lambda(args) -> int:
 
     result = run_tuned_lambda_study(
         n_replicates=args.replicates, seed=args.seed, n_jobs=args.jobs,
-        sweep_backend=args.sweep_backend,
+        sweep_backend=args.sweep_backend, dtype_policy=args.dtype_policy,
     )
     _print_rows(
         "untuned hard vs CV-tuned soft",
@@ -822,6 +824,24 @@ def build_parser() -> argparse.ArgumentParser:
             "through the Laplacian eigenbasis; 'multigrid' uses "
             "coarsening-preconditioned CG, the N>=1e5 choice (see "
             "docs/SCALING.md)",
+        )
+        p.add_argument(
+            "--dtype-policy",
+            choices=("float64", "float32"),
+            default="float64",
+            help="multigrid smoothing precision: 'float64' (bit-stable "
+            "historical path) or 'float32' (halves smoothing-matrix "
+            "memory; the outer PCG stays float64, so converged scores "
+            "agree to ~1e-9 RMS — see docs/SCALING.md)",
+        )
+        p.add_argument(
+            "--memory-budget-mb",
+            type=_positive_int,
+            default=None,
+            metavar="MB",
+            help="hard cap on the command's traced allocation peak "
+            "(tracemalloc, bytes above the pre-command baseline); "
+            "exceeding it aborts with exit status 1 and a usage report",
         )
 
     for name in ("figure1", "figure2", "figure3", "figure4"):
@@ -1225,7 +1245,34 @@ def _dispatch(args) -> int:
     :class:`~repro.obs.progress.ProgressEmitter` as the ambient emitter;
     the JSONL sink is fsynced per event, so an interrupted run leaves a
     readable prefix the ledger ingests as a *partial* run.
+
+    ``--memory-budget-mb MB`` runs the handler under a
+    :class:`~repro.obs.bench.MemoryBudget` phase: if the traced
+    allocation peak exceeds the cap the command aborts with exit status
+    1 and a one-line usage report on stderr; within budget, the same
+    report confirms the headroom.
     """
+    budget_mb = getattr(args, "memory_budget_mb", None)
+    if budget_mb:
+        handler = args.handler
+
+        def budgeted_handler(inner_args):
+            from repro.obs.bench import MemoryBudget, MemoryBudgetExceeded
+
+            gate = MemoryBudget()
+            try:
+                with gate.phase(
+                    inner_args.command, budget_bytes=budget_mb * 2**20
+                ):
+                    code = handler(inner_args)
+            except MemoryBudgetExceeded as exc:
+                print(f"memory budget exceeded: {exc}", file=sys.stderr)
+                return 1
+            print(gate.phases[-1].summary(), file=sys.stderr)
+            return code
+
+        args.handler = budgeted_handler
+
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
     progress_stderr = getattr(args, "progress", False)

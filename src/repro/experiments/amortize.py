@@ -31,11 +31,17 @@ def check_sweep_backend(sweep_backend: str) -> str:
     return sweep_backend
 
 
-def make_workspace(weights, sweep_backend: str):
-    """A :class:`SolveWorkspace` for the backend, or ``None`` for direct."""
+def make_workspace(weights, sweep_backend: str, *, dtype_policy: str = "float64"):
+    """A :class:`SolveWorkspace` for the backend, or ``None`` for direct.
+
+    ``dtype_policy`` selects the smoothing precision for the multigrid
+    backend (``"float32"`` halves smoothing-matrix memory; the outer
+    PCG stays float64 — see docs/SCALING.md).  Other backends accept
+    the knob but never read it.
+    """
     check_sweep_backend(sweep_backend)
     if sweep_backend == "direct":
         return None
     from repro.linalg.workspace import SolveWorkspace
 
-    return SolveWorkspace(weights, backend=sweep_backend)
+    return SolveWorkspace(weights, backend=sweep_backend, dtype_policy=dtype_policy)

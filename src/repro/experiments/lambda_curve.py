@@ -80,6 +80,7 @@ def _lambda_curve_replicate(
     lambdas: tuple[float, ...],
     model: str,
     sweep_backend: str = "direct",
+    dtype_policy: str = "float64",
 ) -> dict[str, float]:
     """One replicate: RMSE at each grid lambda plus the two anchors.
 
@@ -92,7 +93,9 @@ def _lambda_curve_replicate(
     data = make_synthetic_dataset(n_labeled, n_unlabeled, model=model, seed=rng)
     bandwidth = paper_bandwidth_rule(n_labeled, data.x_labeled.shape[1])
     graph = full_kernel_graph(data.x_all, bandwidth=bandwidth)
-    workspace = make_workspace(graph.weights, sweep_backend)
+    workspace = make_workspace(
+        graph.weights, sweep_backend, dtype_policy=dtype_policy
+    )
     out = {}
     for lam in lambdas:
         if workspace is None:
@@ -132,6 +135,7 @@ def run_lambda_curve(
     seed=None,
     n_jobs: int = 1,
     sweep_backend: str = "direct",
+    dtype_policy: str = "float64",
     progress=None,
 ) -> LambdaCurve:
     """Trace mean RMSE along a dense lambda grid.
@@ -154,6 +158,7 @@ def run_lambda_curve(
         lambdas=tuple(lambdas),
         model=model,
         sweep_backend=sweep_backend,
+        dtype_policy=dtype_policy,
     )
     summary = run_replicates(
         replicate, n_replicates=n_replicates, seed=seed, n_jobs=n_jobs,

@@ -27,6 +27,16 @@ neighbours per row.
 
 Everything is seeded: the same ``(x, k, n_trees, leaf_size, seed)``
 always produces the same graph.
+
+Beyond N ≈ 5·10⁵ the *merge* becomes the memory wall: holding every
+tree's candidate list at once costs ``n_trees · N · k`` 24-byte triples
+(plus a concatenation copy).  The query phase therefore streams — leaf
+fragments accumulate in a bounded candidate buffer
+(:class:`_CandidateMerge`) that folds into an ``(N, k)`` running top-k
+state whenever it fills, capping peak memory at ``O(N·k + block_size)``.
+Streaming engages automatically past :data:`STREAM_AUTO_CANDIDATES`
+candidates and is bit-identical to the one-shot merge at every
+``block_size`` (pinned by ``tests/test_graph_approx.py``).
 """
 
 from __future__ import annotations
@@ -52,6 +62,8 @@ __all__ = [
     "approx_knn_graph",
     "knn_recall",
     "DEFAULT_N_TREES",
+    "DEFAULT_BLOCK_CANDIDATES",
+    "STREAM_AUTO_CANDIDATES",
 ]
 
 #: Default number of random-projection trees — the recall knob.  Eight
@@ -68,6 +80,104 @@ DEFAULT_N_TREES = 8
 #: distance work per point but raise per-tree recall enough that fewer
 #: trees are needed overall.
 MIN_LEAF_SIZE = 96
+
+#: The query phase streams automatically once the forest's total
+#: candidate volume (``n_trees * n * k`` triples of 24 bytes) exceeds
+#: this many triples — ~100 MB of concatenated edge list, which the
+#: one-shot merge briefly doubles.  Below it the one-shot path (hold
+#: every candidate, reduce once) stays fastest.
+STREAM_AUTO_CANDIDATES = 2**22
+
+#: Candidate-buffer capacity, in ``(row, col, sq-distance)`` triples, of
+#: the streamed path when ``block_size`` is not given explicitly: 2^20
+#: triples = 24 MB of buffered leaf fragments between merges.
+DEFAULT_BLOCK_CANDIDATES = 2**20
+
+
+class _CandidateMerge:
+    """Bounded-memory running top-k merge of kNN candidate fragments.
+
+    Holds an ``(n, k)`` running state (each row's current best candidates
+    by ``(distance, index)``; empty slots carry the sentinel index ``n``)
+    plus at most ``capacity`` buffered candidate triples.  :meth:`push`
+    appends one leaf's fragment and triggers a merge once the buffer
+    fills, so peak memory is ``O(n k + capacity)`` instead of the
+    one-shot path's ``O(n_trees · n · k)`` concatenated edge list.
+
+    Each merge is the same dedup → lexsort → per-row top-k reduction as
+    the one-shot path, applied to "state entries first, buffered
+    fragments after" — so a pair seen in an earlier tree wins the dedup
+    against a later duplicate, exactly as it does in the one-shot
+    concatenation.  With ``capacity=None`` nothing merges until
+    :meth:`finish` and the computation *is* the one-shot path.
+    """
+
+    def __init__(self, n: int, k: int, capacity: int | None):
+        self.n = int(n)
+        self.k = int(k)
+        self.capacity = capacity
+        self.idx = np.full((n, k), n, dtype=np.intp)
+        self.sq = np.full((n, k), np.inf)
+        self.merges = 0
+        self._rows: list[np.ndarray] = []
+        self._cols: list[np.ndarray] = []
+        self._sq: list[np.ndarray] = []
+        self._buffered = 0
+
+    def push(self, rows: np.ndarray, cols: np.ndarray, sq: np.ndarray) -> None:
+        self._rows.append(rows)
+        self._cols.append(cols)
+        self._sq.append(sq)
+        self._buffered += rows.size
+        if self.capacity is not None and self._buffered >= self.capacity:
+            self._merge()
+            self.merges += 1
+
+    def _merge(self) -> None:
+        # State first: np.unique keeps the *first* occurrence of each
+        # (row, col) pair, so already-merged (earlier-tree) candidates
+        # win the dedup over buffered duplicates.
+        valid = self.idx != self.n
+        rows = np.concatenate([np.nonzero(valid)[0], *self._rows])
+        cols = np.concatenate([self.idx[valid], *self._cols])
+        dists = np.concatenate([self.sq[valid], *self._sq])
+        self._rows, self._cols, self._sq = [], [], []
+        self._buffered = 0
+
+        pair_key = rows * np.intp(self.n) + cols
+        _, first = np.unique(pair_key, return_index=True)
+        rows, cols, dists = rows[first], cols[first], dists[first]
+        order = np.lexsort((cols, dists, rows))
+        rows, cols, dists = rows[order], cols[order], dists[order]
+        counts = np.bincount(rows, minlength=self.n)
+        row_starts = np.concatenate(([0], np.cumsum(counts)))
+        position = np.arange(rows.size) - row_starts[rows]
+        keep = position < self.k
+        self.idx.fill(self.n)
+        self.sq.fill(np.inf)
+        flat = rows[keep] * self.k + position[keep]
+        self.idx.ravel()[flat] = cols[keep]
+        self.sq.ravel()[flat] = dists[keep]
+
+    def finish(self) -> np.ndarray:
+        """Final merge; returns per-row candidate counts."""
+        self._merge()
+        return np.sum(self.idx != self.n, axis=1)
+
+
+def _resolve_block_capacity(
+    block_size: int | None, n: int, k: int, n_trees: int
+) -> int | None:
+    """Buffer capacity in candidate triples; ``None`` means one-shot."""
+    if block_size is None:
+        if n_trees * n * k > STREAM_AUTO_CANDIDATES:
+            return DEFAULT_BLOCK_CANDIDATES
+        return None
+    if int(block_size) != block_size or block_size < 0:
+        raise ConfigurationError(
+            f"block_size must be a non-negative integer, got {block_size!r}"
+        )
+    return int(block_size) if block_size else None
 
 
 def _tree_leaves(x: np.ndarray, leaf_size: int, rng) -> list[np.ndarray]:
@@ -122,6 +232,7 @@ def rp_tree_knn(
     n_trees: int = DEFAULT_N_TREES,
     leaf_size: int | None = None,
     seed: int = 0,
+    block_size: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Approximate k-nearest-neighbour lists from random-projection trees.
 
@@ -138,6 +249,18 @@ def rp_tree_knn(
     seed:
         Seeds the projection directions; results are deterministic in
         ``(x, k, n_trees, leaf_size, seed)``.
+    block_size:
+        Candidate-buffer capacity of the streamed query phase, in
+        ``(row, col, distance)`` triples.  ``None`` (default) picks
+        automatically: stream with :data:`DEFAULT_BLOCK_CANDIDATES` once
+        the forest's candidate volume exceeds
+        :data:`STREAM_AUTO_CANDIDATES`, else merge one-shot.  ``0``
+        forces the one-shot (in-memory) merge; a positive integer forces
+        streaming at that buffer capacity.  Every setting produces
+        bit-identical neighbour lists (pinned by
+        ``tests/test_graph_approx.py``) — only peak memory changes:
+        ``O(n·k + block_size)`` streamed vs ``O(n_trees · n · k)``
+        one-shot.
 
     Returns
     -------
@@ -159,6 +282,7 @@ def rp_tree_knn(
             f"leaf_size must exceed k so a leaf can hold k neighbours; "
             f"got leaf_size={leaf_size}, k={k}"
         )
+    capacity = _resolve_block_capacity(block_size, n, k, n_trees)
     rng = np.random.default_rng(seed)
 
     with obs.span(
@@ -167,42 +291,23 @@ def rp_tree_knn(
         k=k,
         n_trees=int(n_trees),
         leaf_size=int(leaf_size),
+        streamed=capacity is not None,
     ) as span:
-        rows_parts: list[np.ndarray] = []
-        cols_parts: list[np.ndarray] = []
-        dist_parts: list[np.ndarray] = []
+        merge = _CandidateMerge(n, k, capacity)
         for _ in range(n_trees):
             for ids in _tree_leaves(x, leaf_size, rng):
                 candidates = _leaf_candidates(x, ids, k)
                 if candidates is None:
                     continue
-                rows_parts.append(candidates[0])
-                cols_parts.append(candidates[1])
-                dist_parts.append(candidates[2])
-        rows = np.concatenate(rows_parts) if rows_parts else np.empty(0, np.intp)
-        cols = np.concatenate(cols_parts) if cols_parts else np.empty(0, np.intp)
-        dists = np.concatenate(dist_parts) if dist_parts else np.empty(0)
-
-        # Deduplicate (row, col) pairs found by several trees, then keep
-        # each row's k best candidates by (distance, index).
-        pair_key = rows * np.intp(n) + cols
-        _, first = np.unique(pair_key, return_index=True)
-        rows, cols, dists = rows[first], cols[first], dists[first]
-        order = np.lexsort((cols, dists, rows))
-        rows, cols, dists = rows[order], cols[order], dists[order]
-        counts = np.bincount(rows, minlength=n)
-        row_starts = np.concatenate(([0], np.cumsum(counts)))
-        position = np.arange(rows.size) - row_starts[rows]
-        keep = position < k
-        kept_counts = np.bincount(rows[keep], minlength=n)
+                merge.push(*candidates)
+        counts = merge.finish()
 
         neighbour_idx = np.zeros((n, k), dtype=np.intp)
         neighbour_sq = np.full((n, k), np.inf)
-        full = kept_counts >= k
+        full = counts >= k
         if full.any():
-            flat = keep & full[rows]
-            neighbour_idx[full] = cols[flat].reshape(-1, k)
-            neighbour_sq[full] = dists[flat].reshape(-1, k)
+            neighbour_idx[full] = merge.idx[full]
+            neighbour_sq[full] = merge.sq[full]
 
         short = np.flatnonzero(~full)
         if short.size:
@@ -216,6 +321,7 @@ def rp_tree_knn(
             neighbour_sq[short] = np.take_along_axis(sq, order, axis=1)
         if span.recording:
             span.set_attribute("fallback_rows", int(short.size))
+            span.set_attribute("candidate_merges", int(merge.merges))
         obs.get_registry().counter("graph.rp_tree.queries").inc()
 
     return np.sqrt(neighbour_sq), neighbour_idx
@@ -231,6 +337,7 @@ def approx_knn_graph(
     n_trees: int = DEFAULT_N_TREES,
     leaf_size: int | None = None,
     seed: int = 0,
+    block_size: int | None = None,
 ) -> SimilarityGraph:
     """Approximate kNN similarity graph with the exact routes' contract.
 
@@ -241,6 +348,8 @@ def approx_knn_graph(
     default the graph differs from the exact one only in a few percent
     of the longest (smallest-weight) edges, and downstream estimator
     scores match within 1e-2 (pinned by ``tests/test_graph_approx.py``).
+    ``block_size`` bounds the query phase's candidate buffer (see
+    :func:`rp_tree_knn`) — the graph is bit-identical at every setting.
     """
     x = check_matrix_2d(x, "x")
     n = x.shape[0]
@@ -256,7 +365,8 @@ def approx_knn_graph(
         construction="approx",
     ) as span:
         neighbour_dist, neighbour_idx = rp_tree_knn(
-            x, k, n_trees=n_trees, leaf_size=leaf_size, seed=seed
+            x, k, n_trees=n_trees, leaf_size=leaf_size, seed=seed,
+            block_size=block_size,
         )
         weights = _assemble_knn_csr(
             n, neighbour_idx, neighbour_dist, kernel, bandwidth, mode
@@ -274,6 +384,7 @@ def approx_knn_graph(
                 "construction": "approx",
                 "n_trees": int(n_trees),
                 "seed": int(seed),
+                "block_size": block_size if block_size is None else int(block_size),
             },
         )
 

@@ -79,9 +79,13 @@ from repro.exceptions import (
 )
 from repro.linalg.advanced import preconditioned_conjugate_gradient
 from repro.linalg.coarsen import (
+    DTYPE_POLICIES,
     CoarseningHierarchy,
+    MatrixFreeHierarchy,
+    MatrixFreeMultigridPreconditioner,
     MultigridPreconditioner,
     build_hierarchy,
+    build_matrix_free_hierarchy,
 )
 from repro.linalg.solvers import SolveInfo, SPDFactorization, factorize_spd, solve_spd
 from repro.utils.validation import (
@@ -90,7 +94,14 @@ from repro.utils.validation import (
     check_weight_matrix,
 )
 
-__all__ = ["SolveWorkspace", "WorkspaceStats", "SWEEP_BACKENDS"]
+__all__ = [
+    "SolveWorkspace",
+    "WorkspaceStats",
+    "SWEEP_BACKENDS",
+    "HIERARCHY_MODES",
+    "MATRIX_FREE_MIN_VERTICES",
+    "STATS_STR_FIELDS",
+]
 
 #: Sweep backends a workspace can solve through (``"direct"`` means "no
 #: workspace" and is handled by the callers that expose ``--sweep-backend``).
@@ -125,6 +136,22 @@ MULTIGRID_MAX_ITER = 300
 #: resolves the graph's cluster structure.
 MULTIGRID_COARSE_DIVISOR = 64
 
+#: Multigrid hierarchy representations: ``"assembled"`` keeps per-level
+#: Galerkin CSR matrices (fastest sweeps, O(Σ nnz_level) memory);
+#: ``"matrix_free"`` keeps aggregate maps only and applies coarse
+#: operators through the fine Laplacian on the fly (O(N) memory, each
+#: coarse smoothing sweep costs a fine SpMV); ``"auto"`` picks
+#: matrix-free for sparse graphs at or above
+#: :data:`MATRIX_FREE_MIN_VERTICES` vertices and assembled below.
+HIERARCHY_MODES = ("auto", "assembled", "matrix_free")
+
+#: ``hierarchy_mode="auto"`` switches to the matrix-free hierarchy at
+#: this many vertices: below it the assembled hierarchy fits comfortably
+#: and its cheaper coarse sweeps win; above it hierarchy storage rivals
+#: the graph itself and the O(N) representation is the only way to reach
+#: N = 10⁶ within a sane memory budget (see docs/SCALING.md).
+MATRIX_FREE_MIN_VERTICES = 200_000
+
 
 class WorkspaceStats(NamedTuple):
     """Cache and solver health counters for one :class:`SolveWorkspace`.
@@ -157,6 +184,14 @@ class WorkspaceStats(NamedTuple):
     multigrid_solves:
         V-cycle-preconditioned PCG solves on the multigrid path (their
         iteration counts accumulate into ``pcg_iterations``).
+    dtype_policy:
+        The workspace's smoothing precision policy (``"float64"`` or
+        ``"float32"``) — recorded so traces and dashboards show which
+        path a run took.
+    hierarchy_mode:
+        The *resolved* multigrid hierarchy representation
+        (``"assembled"`` or ``"matrix_free"``; an ``"auto"`` request
+        reports what it resolved to).
     """
 
     factor_hits: int = 0
@@ -171,6 +206,12 @@ class WorkspaceStats(NamedTuple):
     woodbury_solves: int = 0
     coarsen_builds: int = 0
     multigrid_solves: int = 0
+    dtype_policy: str = "float64"
+    hierarchy_mode: str = "assembled"
+
+
+#: The non-counter (string-valued) fields of :class:`WorkspaceStats`.
+STATS_STR_FIELDS = ("dtype_policy", "hierarchy_mode")
 
 
 def _fingerprint(weights):
@@ -276,6 +317,17 @@ class SolveWorkspace:
         ``"raise"`` (default): serving from a workspace whose weights
         changed raises :class:`WorkspaceInvalidatedError`.
         ``"recompute"``: drop all caches and re-fingerprint instead.
+    dtype_policy:
+        Multigrid smoothing precision: ``"float64"`` (default, exact
+        historical path) or ``"float32"`` (single-precision
+        damped-Jacobi sweeps inside the V-cycle; the outer CG and the
+        coarsest solve stay float64, so solutions still converge to
+        ``pcg_tol`` — the parity suite pins the documented RMS tier).
+    hierarchy_mode:
+        Multigrid hierarchy representation: ``"assembled"``,
+        ``"matrix_free"``, or ``"auto"`` (default — matrix-free for
+        sparse graphs at ≥ :data:`MATRIX_FREE_MIN_VERTICES` vertices).
+        See :data:`HIERARCHY_MODES`.
     """
 
     def __init__(
@@ -289,6 +341,8 @@ class SolveWorkspace:
         reanchor_budget: int = 15,
         n_components: int | None = None,
         on_mutation: str = "raise",
+        dtype_policy: str = "float64",
+        hierarchy_mode: str = "auto",
     ):
         from repro.graph.similarity import SimilarityGraph
 
@@ -310,6 +364,16 @@ class SolveWorkspace:
             raise ConfigurationError(
                 f"reanchor_budget must be >= 1, got {reanchor_budget}"
             )
+        if dtype_policy not in DTYPE_POLICIES:
+            raise ConfigurationError(
+                f"dtype_policy must be one of {DTYPE_POLICIES}, "
+                f"got {dtype_policy!r}"
+            )
+        if hierarchy_mode not in HIERARCHY_MODES:
+            raise ConfigurationError(
+                f"hierarchy_mode must be one of {HIERARCHY_MODES}, "
+                f"got {hierarchy_mode!r}"
+            )
         self.weights = check_weight_matrix(weights)
         self.n_total = int(self.weights.shape[0])
         self.backend = backend
@@ -319,6 +383,8 @@ class SolveWorkspace:
         self.reanchor_budget = int(reanchor_budget)
         self.n_components = n_components
         self.on_mutation = on_mutation
+        self.dtype_policy = dtype_policy
+        self.hierarchy_mode = hierarchy_mode
 
         self._is_sparse = sparse.issparse(self.weights)
         self._fingerprint = _fingerprint(self.weights)
@@ -329,9 +395,24 @@ class SolveWorkspace:
         self._galerkin: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
         self._continuations: dict[tuple, _Continuation] = {}
         self._woodbury: dict[int, _WoodburyState] = {}
-        self._hierarchy: CoarseningHierarchy | None = None
+        self._hierarchy: CoarseningHierarchy | MatrixFreeHierarchy | None = None
         self._coarse_masks: dict[int, list[np.ndarray]] = {}
-        self._counters = {field: 0 for field in WorkspaceStats._fields}
+        self._counters = {
+            field: 0
+            for field in WorkspaceStats._fields
+            if field not in STATS_STR_FIELDS
+        }
+        # "auto" resolves once, here: the decision depends only on the
+        # (immutable) graph size and sparsity, and stats()/telemetry
+        # report the resolved representation.
+        if hierarchy_mode == "auto":
+            self._hierarchy_mode = (
+                "matrix_free"
+                if self._is_sparse and self.n_total >= MATRIX_FREE_MIN_VERTICES
+                else "assembled"
+            )
+        else:
+            self._hierarchy_mode = hierarchy_mode
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -699,24 +780,44 @@ class SolveWorkspace:
     # Multigrid (coarsening V-cycle preconditioned PCG)
     # ------------------------------------------------------------------
 
-    def hierarchy(self) -> CoarseningHierarchy:
+    def hierarchy(self) -> CoarseningHierarchy | MatrixFreeHierarchy:
         """The graph's coarsening hierarchy, built once per workspace.
 
         λ- and mask-independent: the Galerkin coarse operator of a graph
         Laplacian is the Laplacian of the coarsened graph, so the
-        hierarchy caches each level's prolongation and coarse Laplacian
-        and the per-λ systems re-assemble in O(nnz).
+        hierarchy caches what one λ-sweep shares across its grid.  The
+        representation follows the resolved ``hierarchy_mode``:
+        ``"assembled"`` keeps per-level CSR matrices, ``"matrix_free"``
+        keeps O(N) aggregate maps and applies coarse operators through
+        the fine Laplacian (identical aggregates either way — the same
+        matching passes run over the same coarse graphs).
         """
         self.check_current()
         if self._hierarchy is None:
-            self._hierarchy = build_hierarchy(
-                self.weights,
-                min_coarse_size=max(
-                    512, self.n_total // MULTIGRID_COARSE_DIVISOR
-                ),
-            )
+            min_coarse = max(512, self.n_total // MULTIGRID_COARSE_DIVISOR)
+            if self._hierarchy_mode == "matrix_free":
+                # Share the workspace's Laplacian: the hierarchy smooths
+                # through L₀, and retaining a second copy of the largest
+                # matrix in the pipeline would defeat the O(N) budget.
+                self._hierarchy = build_matrix_free_hierarchy(
+                    self.weights,
+                    min_coarse_size=min_coarse,
+                    fine_laplacian=self.laplacian if self._is_sparse else None,
+                )
+            else:
+                self._hierarchy = build_hierarchy(
+                    self.weights, min_coarse_size=min_coarse
+                )
             self._counters["coarsen_builds"] += 1
-            obs.get_registry().counter("workspace.coarsen.builds").inc()
+            registry = obs.get_registry()
+            registry.counter("workspace.coarsen.builds").inc()
+            # Which preconditioning path this run committed to — the
+            # metric name carries the resolved mode + smoothing dtype so
+            # `repro obs top` and the OpenMetrics export show it without
+            # needing label support.
+            registry.counter(
+                f"workspace.path.{self._hierarchy_mode}.{self.dtype_policy}"
+            ).inc()
         return self._hierarchy
 
     def _coarse_mask_diagonals(self, n: int) -> list[np.ndarray]:
@@ -729,15 +830,25 @@ class SolveWorkspace:
             self._coarse_masks[n] = cached
         return cached
 
-    def _multigrid_preconditioner(self, lam: float, n: int) -> MultigridPreconditioner:
+    def _multigrid_preconditioner(self, lam: float, n: int):
         hierarchy = self.hierarchy()
+        if self._hierarchy_mode == "matrix_free":
+            return MatrixFreeMultigridPreconditioner(
+                self.soft_system(lam, n),
+                hierarchy,
+                lam,
+                self._coarse_mask_diagonals(n),
+                dtype_policy=self.dtype_policy,
+            )
         systems = [self.soft_system(lam, n)]
         for level, mask in zip(hierarchy.levels, self._coarse_mask_diagonals(n)):
             systems.append(
                 (lam * level.laplacian + sparse.diags(mask, format="csr")).tocsr()
             )
         prolongations = [level.prolongation for level in hierarchy.levels]
-        return MultigridPreconditioner(systems, prolongations)
+        return MultigridPreconditioner(
+            systems, prolongations, dtype_policy=self.dtype_policy
+        )
 
     def _solve_multigrid(self, y: np.ndarray, lam: float, n: int):
         state = self._continuation("soft", n)
@@ -960,7 +1071,11 @@ class SolveWorkspace:
 
     def stats(self) -> WorkspaceStats:
         """A snapshot of the workspace's cache/solver counters."""
-        return WorkspaceStats(**self._counters)
+        return WorkspaceStats(
+            **self._counters,
+            dtype_policy=self.dtype_policy,
+            hierarchy_mode=self._hierarchy_mode,
+        )
 
     def __repr__(self) -> str:
         kind = "sparse" if self._is_sparse else "dense"

@@ -105,6 +105,7 @@ def cross_validate_lambda(
     n_folds: int = 5,
     seed=None,
     sweep_backend: str = "direct",
+    dtype_policy: str = "float64",
 ):
     """Mean held-out MSE of the soft criterion at one lambda or a grid.
 
@@ -129,6 +130,9 @@ def cross_validate_lambda(
         path) or a :class:`~repro.linalg.workspace.SolveWorkspace`
         backend (``"exact"``, ``"factored"``, ``"spectral"``) built per
         fold to amortize the solves along a lambda grid.
+    dtype_policy:
+        Smoothing precision forwarded to each fold's workspace (only the
+        multigrid backend reads it; see docs/SCALING.md).
 
     Returns
     -------
@@ -171,7 +175,9 @@ def cross_validate_lambda(
         else:
             from repro.linalg.workspace import SolveWorkspace
 
-            workspace = SolveWorkspace(w_perm, backend=sweep_backend)
+            workspace = SolveWorkspace(
+                w_perm, backend=sweep_backend, dtype_policy=dtype_policy
+            )
         for j, lam_j in enumerate(grid):
             if failed[j]:
                 continue
@@ -206,6 +212,7 @@ def select_lambda(
     n_folds: int = 5,
     seed=None,
     sweep_backend: str = "direct",
+    dtype_policy: str = "float64",
 ) -> GridSearchResult:
     """Pick lambda by transductive cross-validation over ``grid``.
 
@@ -229,6 +236,7 @@ def select_lambda(
             n_folds=n_folds,
             seed=seed,
             sweep_backend=sweep_backend,
+            dtype_policy=dtype_policy,
         )
     except ReproError:
         # Validation failures (degenerate graph, too few labels) score

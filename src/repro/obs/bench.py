@@ -21,10 +21,20 @@ the regression gate behind ``python -m repro bench-compare``:
 relative-to-min comparison with a configurable tolerance and a
 minimum-repeat requirement (single-shot timings are reported but never
 gate — one sample cannot distinguish a regression from scheduler noise).
+
+The module also hosts the *memory budget* gate the out-of-core pipeline
+is held to: a :class:`MemoryBudget` wraps named phases of a run in
+tracemalloc + RSS bookkeeping and raises :class:`MemoryBudgetExceeded`
+the moment a phase's traced peak crosses its declared byte budget, so a
+memory regression fails the benchmark instead of silently fitting in a
+bigger machine.  :func:`prune_bench_runs` keeps result directories from
+growing without bound by dropping trajectory files fully superseded by
+newer runs of the same benchmarks.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import math
 import os
@@ -33,6 +43,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.exceptions import ReproError
 from repro.obs.environment import environment_fingerprint
 from repro.obs.trace import RecordingTracer, use_tracer
 
@@ -41,9 +52,13 @@ __all__ = [
     "BenchRecorder",
     "BenchComparison",
     "BenchDelta",
+    "MemoryBudget",
+    "MemoryBudgetExceeded",
+    "PhaseUsage",
     "compare_runs",
     "compare_run_sequence",
     "load_bench_run",
+    "prune_bench_runs",
     "render_bench_report",
     "render_bench_compare",
     "solver_health_from_trace",
@@ -213,6 +228,263 @@ def _profiled_pass(fn):
         "net_bytes": int(current - baseline),
     }
     return result, memory, solver_health_from_trace(tracer)
+
+
+class MemoryBudgetExceeded(ReproError, RuntimeError):
+    """Raised when a :class:`MemoryBudget` phase crosses its byte budget.
+
+    Carries the offending :class:`PhaseUsage` so the failure message and
+    any post-mortem report show exactly which phase blew the budget and
+    by how much.
+    """
+
+    def __init__(self, message: str, usage: "PhaseUsage"):
+        super().__init__(message)
+        self.usage = usage
+
+
+@dataclass(frozen=True)
+class PhaseUsage:
+    """Measured memory footprint of one :class:`MemoryBudget` phase.
+
+    ``peak_traced_bytes``/``net_traced_bytes`` come from tracemalloc
+    (python-level allocations above the phase's baseline — the number
+    budgets are declared against, because it is reproducible across
+    machines).  ``rss_growth_bytes`` is how much the process high-water
+    RSS rose during the phase: a lifetime maximum, so it stays zero when
+    an earlier phase already reached higher, and includes allocator and
+    BLAS overhead tracemalloc cannot see.
+    """
+
+    name: str
+    budget_bytes: int | None
+    peak_traced_bytes: int
+    net_traced_bytes: int
+    rss_growth_bytes: int
+    duration_s: float
+
+    @property
+    def within(self) -> bool | None:
+        """Whether the traced peak fit the budget (``None``: no budget)."""
+        if self.budget_bytes is None:
+            return None
+        return self.peak_traced_bytes <= self.budget_bytes
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "budget_bytes": self.budget_bytes,
+            "peak_traced_bytes": self.peak_traced_bytes,
+            "net_traced_bytes": self.net_traced_bytes,
+            "rss_growth_bytes": self.rss_growth_bytes,
+            "duration_s": self.duration_s,
+            "within": self.within,
+        }
+
+    def summary(self) -> str:
+        budget = "-" if self.budget_bytes is None else _fmt_mb(self.budget_bytes)
+        verdict = {True: "ok", False: "EXCEEDED", None: "unbudgeted"}[self.within]
+        return (
+            f"{self.name}: peak {_fmt_mb(self.peak_traced_bytes)} MB "
+            f"/ budget {budget} MB ({verdict}), "
+            f"rss +{_fmt_mb(self.rss_growth_bytes)} MB, {self.duration_s:.1f}s"
+        )
+
+
+def _rss_high_water_bytes() -> int:
+    """Process lifetime peak RSS in bytes (0 where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.  Treat small values
+    # as KB — no real python process has a sub-16MB peak RSS in bytes.
+    return int(peak) * 1024 if peak < 2**24 else int(peak)
+
+
+class MemoryBudget:
+    """Per-phase peak-memory gate for large-``N`` benchmark runs.
+
+    Usage::
+
+        gate = MemoryBudget(rss_factor=3.0)
+        with gate.phase("graph", budget_bytes=200 * 2**20):
+            graph = approx_knn_graph(x, k)
+        gate.assert_within("graph", measured_baseline * 0.4)  # post-hoc
+
+    Each phase measures the tracemalloc peak above the phase's own
+    baseline and raises :class:`MemoryBudgetExceeded` at phase exit when
+    it crosses ``budget_bytes`` (unless ``enforce=False``, in which case
+    violations are only recorded).  The traced peak is the gated number
+    because it is machine-independent; as a safety net, RSS *growth*
+    during the phase is additionally gated at ``rss_factor *
+    budget_bytes`` to catch untraced allocations (BLAS scratch, allocator
+    slack) an order of magnitude out of line.
+
+    ``assert_within`` re-judges an already-recorded phase against a
+    budget computed only *after* the phase ran (e.g. a fraction of a
+    measured baseline).  Phases accumulate in :attr:`phases`;
+    :meth:`to_dict` serializes them for a bench record's ``memory``
+    field.
+
+    The tracemalloc ownership rule matches :func:`_profiled_pass`:
+    tracing already active (an enclosing profiler) is left running and
+    undisturbed, otherwise it is started and stopped per phase.  Do not
+    nest budget phases inside ``BenchRecorder.measure(profile=True)``
+    timing passes — both reset the shared tracemalloc peak; time the
+    phase with ``profile=False`` instead.
+    """
+
+    def __init__(self, *, rss_factor: float = 3.0, enforce: bool = True):
+        if not rss_factor > 0:
+            raise ValueError(f"rss_factor must be positive, got {rss_factor}")
+        self.rss_factor = float(rss_factor)
+        self.enforce = bool(enforce)
+        self.phases: list[PhaseUsage] = []
+
+    @contextlib.contextmanager
+    def phase(self, name: str, budget_bytes: int | float | None = None):
+        """Measure (and gate) one named phase of work."""
+        import tracemalloc
+
+        if budget_bytes is not None:
+            budget_bytes = int(budget_bytes)
+            if budget_bytes <= 0:
+                raise ValueError(
+                    f"budget_bytes must be positive, got {budget_bytes}"
+                )
+        owns_tracemalloc = not tracemalloc.is_tracing()
+        if owns_tracemalloc:
+            tracemalloc.start()
+        baseline, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        rss_before = _rss_high_water_bytes()
+        started = time.perf_counter()
+        try:
+            yield self
+            current, peak = tracemalloc.get_traced_memory()
+        finally:
+            if owns_tracemalloc:
+                tracemalloc.stop()
+        usage = PhaseUsage(
+            name=name,
+            budget_bytes=budget_bytes,
+            peak_traced_bytes=max(0, int(peak - baseline)),
+            net_traced_bytes=int(current - baseline),
+            rss_growth_bytes=max(0, _rss_high_water_bytes() - rss_before),
+            duration_s=time.perf_counter() - started,
+        )
+        self.phases.append(usage)
+        self._judge(usage)
+
+    def measure(self, name: str, fn, *, budget_bytes: int | float | None = None):
+        """Run ``fn()`` inside a budgeted phase; returns ``(result, usage)``."""
+        with self.phase(name, budget_bytes=budget_bytes):
+            result = fn()
+        return result, self.phases[-1]
+
+    def assert_within(self, name: str, budget_bytes: int | float) -> PhaseUsage:
+        """Re-gate the most recent phase ``name`` against a post-hoc budget.
+
+        For budgets derivable only after the fact (a fraction of a
+        baseline measured by the phase itself).  Replaces the stored
+        usage with the budgeted version and returns it.
+        """
+        budget_bytes = int(budget_bytes)
+        if budget_bytes <= 0:
+            raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+        for i in range(len(self.phases) - 1, -1, -1):
+            if self.phases[i].name == name:
+                usage = PhaseUsage(
+                    name=name,
+                    budget_bytes=budget_bytes,
+                    peak_traced_bytes=self.phases[i].peak_traced_bytes,
+                    net_traced_bytes=self.phases[i].net_traced_bytes,
+                    rss_growth_bytes=self.phases[i].rss_growth_bytes,
+                    duration_s=self.phases[i].duration_s,
+                )
+                self.phases[i] = usage
+                self._judge(usage)
+                return usage
+        raise KeyError(f"no recorded phase named {name!r}")
+
+    def _judge(self, usage: PhaseUsage) -> None:
+        if usage.budget_bytes is None or not self.enforce:
+            return
+        if usage.peak_traced_bytes > usage.budget_bytes:
+            raise MemoryBudgetExceeded(
+                f"phase {usage.name!r} traced peak "
+                f"{usage.peak_traced_bytes / 2**20:.1f} MiB exceeds budget "
+                f"{usage.budget_bytes / 2**20:.1f} MiB",
+                usage,
+            )
+        rss_limit = int(self.rss_factor * usage.budget_bytes)
+        if usage.rss_growth_bytes > rss_limit:
+            raise MemoryBudgetExceeded(
+                f"phase {usage.name!r} RSS growth "
+                f"{usage.rss_growth_bytes / 2**20:.1f} MiB exceeds "
+                f"{self.rss_factor:g}x budget "
+                f"{rss_limit / 2**20:.1f} MiB",
+                usage,
+            )
+
+    @property
+    def ok(self) -> bool:
+        """True when every budgeted phase recorded so far fit its budget."""
+        return all(usage.within is not False for usage in self.phases)
+
+    def to_dict(self) -> dict:
+        """Serializable snapshot (drop into a record's ``memory`` field)."""
+        return {
+            "rss_factor": self.rss_factor,
+            "phases": [usage.to_dict() for usage in self.phases],
+            "ok": self.ok,
+        }
+
+    def report(self) -> str:
+        """Multi-line human summary, one line per phase."""
+        return "\n".join(usage.summary() for usage in self.phases)
+
+
+def prune_bench_runs(directory, *, keep: int = 3) -> list[Path]:
+    """Delete ``BENCH_*.json`` trajectories fully superseded by newer runs.
+
+    Walks the directory's trajectory files newest-first (by recorded
+    ``created_unix``, falling back to mtime) and keeps a file as long as
+    *any* benchmark name it contains has been seen fewer than ``keep``
+    times among already-kept newer files.  A file is deleted only when
+    every benchmark in it already has ``keep`` newer retained runs — so
+    trend analysis keeps a ``keep``-deep history per benchmark while the
+    results directory stops growing linearly with CI runs.  Unreadable
+    or schema-less files are left untouched.  Returns the deleted paths.
+    """
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+    directory = Path(directory)
+    candidates = []
+    for path in directory.glob("BENCH_*.json"):
+        try:
+            run = load_bench_run(path)
+            names = {record["name"] for record in run.get("benchmarks", ())}
+        except (ValueError, KeyError, OSError, json.JSONDecodeError):
+            continue
+        if not names:
+            continue
+        created = float(run.get("created_unix") or 0.0) or path.stat().st_mtime
+        candidates.append((created, path, names))
+    candidates.sort(key=lambda item: item[0], reverse=True)
+
+    seen: dict[str, int] = {}
+    deleted: list[Path] = []
+    for _, path, names in candidates:
+        if any(seen.get(name, 0) < keep for name in names):
+            for name in names:
+                seen[name] = seen.get(name, 0) + 1
+        else:
+            path.unlink()
+            deleted.append(path)
+    return deleted
 
 
 class BenchRecorder:

@@ -7,6 +7,11 @@ This dashboard needs nothing else: :func:`run_top` re-reads those files
 on an interval (no sockets, no threads, no dependencies) and renders
 
 * one progress bar per task: completion, replicate rate, elapsed, ETA;
+* a workspace panel when the dump carries ``workspace.*`` counters:
+  solve counts, factor-cache hit rate, and the committed solve path
+  (``workspace.path.<hierarchy_mode>.<dtype_policy>`` counters tell
+  whether a run took the assembled or matrix-free hierarchy and which
+  smoothing precision);
 * a serving panel when the metrics dump carries ``serving.*`` series:
   request throughput, latency quantiles from the log-bucket histogram,
   queue wait, outcome counts, and the drift watchdog's flag fraction.
@@ -195,6 +200,41 @@ def _render_serving(metrics: dict, lines: list[str]) -> None:
         lines.append(line)
 
 
+def _render_workspace(metrics: dict, lines: list[str]) -> None:
+    prefix = "workspace.path."
+    paths = sorted(
+        name[len(prefix):]
+        for name in metrics
+        if name.startswith(prefix) and (_metric(metrics, name) or 0) > 0
+    )
+    solves = _metric(metrics, "workspace.solves")
+    multigrid = _metric(metrics, "workspace.multigrid_solves")
+    if not paths and solves is None and multigrid is None:
+        return
+    lines.append("workspace")
+    if paths:
+        # counter names carry "<hierarchy_mode>.<dtype_policy>"
+        rendered = ", ".join(
+            "{} / {}".format(*path.split(".", 1)) if "." in path else path
+            for path in paths
+        )
+        lines.append(f"  solve path      {rendered}")
+    if solves is not None:
+        line = f"  solves          {int(solves)}"
+        if multigrid is not None:
+            line += f" ({int(multigrid)} multigrid)"
+        lines.append(line)
+    hits = _metric(metrics, "workspace.factor.hits")
+    misses = _metric(metrics, "workspace.factor.misses")
+    if hits is not None or misses is not None:
+        traffic = (hits or 0.0) + (misses or 0.0)
+        rate = (hits or 0.0) / traffic if traffic else 0.0
+        lines.append(
+            f"  factor cache    {int(hits or 0)} hit / {int(misses or 0)} "
+            f"miss ({100.0 * rate:.0f}%)"
+        )
+
+
 def render_top(
     events: list[dict] | None,
     metrics: dict | None = None,
@@ -225,6 +265,7 @@ def render_top(
         else:
             lines.append("progress stream open, no task events yet")
     if metrics is not None:
+        _render_workspace(metrics, lines)
         _render_serving(metrics, lines)
     elif metrics_path is not None:
         lines.append(f"waiting for metrics dump at {metrics_path} ...")

@@ -165,11 +165,16 @@ def record_workspace_stats(span, stats) -> None:
     Every counter lands under a ``workspace.*`` key, plus a derived
     ``workspace.factor_hit_rate`` when any factorization traffic
     occurred, so traces show how much amortization a sweep achieved.
+    String-valued fields (``dtype_policy``, ``hierarchy_mode``) are
+    attached verbatim, so traces also show *which path* a run took.
     """
     if not span.recording or stats is None:
         return
     for key, value in stats._asdict().items():
-        span.set_attribute(f"workspace.{key}", int(value))
+        span.set_attribute(
+            f"workspace.{key}",
+            value if isinstance(value, str) else int(value),
+        )
     traffic = stats.factor_hits + stats.factor_misses
     if traffic:
         span.set_attribute(

@@ -474,3 +474,70 @@ class TestProgressFlags:
         ]) == 0
         capsys.readouterr()
         assert with_progress.read_text() == plain.read_text()
+
+
+class TestMemoryLeanFlags:
+    def test_dtype_policy_and_budget_parsed(self):
+        args = build_parser().parse_args(
+            ["prop21", "--sweep-backend", "multigrid",
+             "--dtype-policy", "float32", "--memory-budget-mb", "512"]
+        )
+        assert args.dtype_policy == "float32"
+        assert args.memory_budget_mb == 512
+        defaults = build_parser().parse_args(["lambda-curve"])
+        assert defaults.dtype_policy == "float64"
+        assert defaults.memory_budget_mb is None
+
+    def test_bad_dtype_policy_rejected_at_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["prop21", "--dtype-policy", "float16"])
+        assert "float16" in capsys.readouterr().err
+
+    def test_bad_budget_rejected_at_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["prop21", "--memory-budget-mb", "0"])
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_prop21_multigrid_float32(self, capsys):
+        code = main([
+            "prop21", "--seed", "0",
+            "--sweep-backend", "multigrid", "--dtype-policy", "float32",
+        ])
+        assert code == 0
+        assert "Proposition II.1" in capsys.readouterr().out
+
+    def test_budget_within_reports_usage(self, capsys):
+        code = main(["prop21", "--seed", "0", "--memory-budget-mb", "512"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Proposition II.1" in captured.out
+        assert "prop21: peak" in captured.err and "(ok)" in captured.err
+
+    def test_budget_exceeded_exits_one(self, capsys, monkeypatch):
+        import numpy as np
+
+        import repro.experiments.figures as figures
+        from repro.experiments.figures.prop21 import Prop21Result
+
+        def hungry_experiment(**kwargs):
+            buf = np.ones(4_000_000)  # ~32 MB traced peak, way over 1 MB
+            del buf
+            return Prop21Result(lambdas=(1.0,), deviations=(0.0,))
+
+        monkeypatch.setattr(figures, "run_prop21_experiment", hungry_experiment)
+        code = main(["prop21", "--seed", "0", "--memory-budget-mb", "1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "memory budget exceeded" in captured.err
+        assert "traced peak" in captured.err
+
+    def test_budget_composes_with_metrics_flag(self, capsys, tmp_path):
+        metrics = tmp_path / "m.json"
+        code = main([
+            "prop21", "--seed", "0", "--memory-budget-mb", "512",
+            "--metrics", str(metrics),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert metrics.exists()
+        assert "(ok)" in captured.err

@@ -103,6 +103,23 @@ class TestRpTreeKnn:
         k=st.integers(min_value=1, max_value=6),
         seed=st.integers(min_value=0, max_value=2**16),
     )
+    def test_structural_invariants_streamed(self, n, d, k, seed):
+        if k >= n:
+            k = n - 1
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, d))
+        one_shot = rp_tree_knn(x, k, n_trees=2, seed=seed, block_size=0)
+        streamed = rp_tree_knn(x, k, n_trees=2, seed=seed, block_size=3)
+        np.testing.assert_array_equal(streamed[0], one_shot[0])
+        np.testing.assert_array_equal(streamed[1], one_shot[1])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=5, max_value=120),
+        d=st.integers(min_value=1, max_value=4),
+        k=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
     def test_structural_invariants(self, n, d, k, seed):
         if k >= n:
             k = n - 1
@@ -113,6 +130,85 @@ class TestRpTreeKnn:
         assert np.all(np.diff(dist, axis=1) >= 0)
         # each row's k indices are distinct
         assert all(len(set(row)) == k for row in idx)
+
+
+class TestStreamedQueries:
+    """The block-streamed candidate merge must be bit-identical to the
+    one-shot path at every capacity — including rows served by the
+    brute-force fallback — so the ``block_size`` knob can never change a
+    result, only its peak memory."""
+
+    def _reference(self, x, k, **kwargs):
+        return rp_tree_knn(x, k, block_size=0, **kwargs)
+
+    def test_bit_identical_at_every_block_size(self):
+        x = _clustered(n_per_blob=120, n_blobs=4, seed=11)
+        ref_dist, ref_idx = self._reference(x, 10)
+        for block_size in (1, 17, 256, 4096, None):
+            dist, idx = rp_tree_knn(x, 10, block_size=block_size)
+            np.testing.assert_array_equal(idx, ref_idx, err_msg=f"{block_size}")
+            np.testing.assert_array_equal(dist, ref_dist, err_msg=f"{block_size}")
+
+    def test_bit_identical_with_fallback_rows(self):
+        # leaf_size barely above k forces short rows through the
+        # brute-force fallback; streaming must not disturb them
+        x = _clustered(n_per_blob=30, n_blobs=2, seed=12)
+        ref = self._reference(x, 20, n_trees=1, leaf_size=21)
+        for block_size in (1, 50, 1000):
+            dist, idx = rp_tree_knn(x, 20, n_trees=1, leaf_size=21, block_size=block_size)
+            np.testing.assert_array_equal(idx, ref[1])
+            np.testing.assert_array_equal(dist, ref[0])
+
+    def test_bit_identical_with_duplicates(self):
+        # duplicate points produce identical (distance, index) pairs in
+        # several trees; first-occurrence dedup must agree across paths
+        x = _clustered(n_per_blob=40, seed=13)
+        xd = np.vstack([x[:15]] * 3 + [x])
+        ref = self._reference(xd, 6)
+        dist, idx = rp_tree_knn(xd, 6, block_size=29)
+        np.testing.assert_array_equal(idx, ref[1])
+        np.testing.assert_array_equal(dist, ref[0])
+
+    def test_auto_streaming_engages_above_threshold(self, monkeypatch):
+        import repro.graph.approx as approx_mod
+
+        from repro.obs.export import to_records
+        from repro.obs.trace import RecordingTracer, use_tracer
+
+        x = _clustered(n_per_blob=60, n_blobs=2, seed=14)
+
+        def query_attrs():
+            tracer = RecordingTracer()
+            with use_tracer(tracer):
+                rp_tree_knn(x, 5)
+            for record in to_records(tracer):
+                if record["name"] == "repro.graph.rp_tree_knn":
+                    return record["attributes"]
+            raise AssertionError("no rp_tree_knn span recorded")
+
+        attrs = query_attrs()
+        assert attrs["streamed"] is False  # small forests stay one-shot
+        assert attrs["candidate_merges"] == 0
+
+        monkeypatch.setattr(approx_mod, "STREAM_AUTO_CANDIDATES", 100)
+        monkeypatch.setattr(approx_mod, "DEFAULT_BLOCK_CANDIDATES", 64)
+        attrs = query_attrs()
+        assert attrs["streamed"] is True
+        assert attrs["candidate_merges"] > 0
+
+    def test_streamed_graph_route_matches(self):
+        x = _clustered(n_per_blob=80, seed=15)
+        streamed = approx_knn_graph(x, k=8, bandwidth=1.5, block_size=37)
+        one_shot = approx_knn_graph(x, k=8, bandwidth=1.5, block_size=0)
+        assert (streamed.weights != one_shot.weights).nnz == 0
+        assert streamed.params["block_size"] == 37
+
+    def test_block_size_validation(self):
+        x = _clustered(n_per_blob=30, n_blobs=1)
+        with pytest.raises(ConfigurationError, match="block_size"):
+            rp_tree_knn(x, 3, block_size=-1)
+        with pytest.raises(ConfigurationError, match="block_size"):
+            rp_tree_knn(x, 3, block_size=2.5)
 
 
 class TestApproxGraph:

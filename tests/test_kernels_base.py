@@ -146,12 +146,52 @@ class TestChunkedDistances:
         with pytest.raises(DataValidationError, match="out"):
             pairwise_sq_distances(x, out=np.empty((10, 10), dtype=np.float32))
 
+    def test_float32_inputs_keep_dtype(self, rng):
+        x32 = rng.normal(size=(20, 3)).astype(np.float32)
+        y32 = rng.normal(size=(15, 3)).astype(np.float32)
+        sq = pairwise_sq_distances(x32, y32)
+        assert sq.dtype == np.float32
+        np.testing.assert_allclose(
+            sq,
+            pairwise_sq_distances(x32.astype(np.float64), y32.astype(np.float64)),
+            atol=1e-5,
+        )
+        # mixed precision promotes to float64, exactly as before
+        assert pairwise_sq_distances(x32, y32.astype(np.float64)).dtype == np.float64
+
+    def test_auto_threshold_is_byte_based(self, rng, monkeypatch):
+        """The auto rule cuts at CHUNK_AUTO_BYTES of *output*, so float32
+        outputs chunk at twice the element count of float64 ones."""
+        import repro.kernels.base as base
+
+        monkeypatch.setattr(base, "CHUNK_AUTO_BYTES", 64 * 8)
+        x = rng.normal(size=(16, 3))
+        calls = []
+        original = base._fill_sq_blocked
+
+        def spy(*args, **kwargs):
+            calls.append(args[4].shape)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(base, "_fill_sq_blocked", spy)
+        # 8x8 float64 = 64 elements: at the cutoff, one-shot
+        pairwise_sq_distances(x[:8], x[:8].copy())
+        assert calls == []
+        # 16x8 float64 = 128 elements: over, blocked
+        pairwise_sq_distances(x, x[:8].copy())
+        assert calls == [(16, 8)]
+        # 16x8 float32 = 512 bytes: under the 512-byte cutoff, one-shot
+        pairwise_sq_distances(
+            x.astype(np.float32), x[:8].astype(np.float32)
+        )
+        assert calls == [(16, 8)]
+
     def test_auto_chunking_bounds_temporaries(self, rng, monkeypatch):
         """Above the auto threshold, no allocation besides the output may
         reach (n * m) elements."""
         import repro.kernels.base as base
 
-        monkeypatch.setattr(base, "CHUNK_AUTO_ELEMENTS", 2**10)
+        monkeypatch.setattr(base, "CHUNK_AUTO_BYTES", 2**10 * 8)
         n, m = 96, 64
         budget = n * m  # the output itself is allocated before guarding
         x = rng.normal(size=(n, 3))

@@ -14,8 +14,11 @@ from repro.kernels.bandwidth import paper_bandwidth_rule
 from repro.obs.bench import (
     BenchRecord,
     BenchRecorder,
+    MemoryBudget,
+    MemoryBudgetExceeded,
     compare_runs,
     load_bench_run,
+    prune_bench_runs,
     render_bench_compare,
     render_bench_report,
     solver_health_from_trace,
@@ -289,3 +292,134 @@ class TestRenderers:
         text = render_bench_compare(compare_runs(old, new))
         assert "regression" in text
         assert "threshold 15%" in text
+
+
+class TestMemoryBudget:
+    def test_phase_within_budget_records_usage(self):
+        gate = MemoryBudget()
+        with gate.phase("alloc", budget_bytes=64 * 2**20):
+            buf = np.ones(500_000)  # ~4 MB traced
+        del buf
+        (usage,) = gate.phases
+        assert usage.name == "alloc"
+        assert usage.within is True
+        assert usage.peak_traced_bytes >= 4_000_000
+        assert usage.duration_s > 0
+        assert gate.ok
+
+    def test_phase_over_budget_raises(self):
+        gate = MemoryBudget()
+        with pytest.raises(MemoryBudgetExceeded) as excinfo:
+            with gate.phase("alloc", budget_bytes=1_000_000):
+                buf = np.ones(500_000)  # ~4 MB > 1 MB budget
+        del buf
+        assert excinfo.value.usage.name == "alloc"
+        assert excinfo.value.usage.within is False
+        assert not gate.ok
+
+    def test_enforce_false_records_without_raising(self):
+        gate = MemoryBudget(enforce=False)
+        with gate.phase("alloc", budget_bytes=1_000_000):
+            buf = np.ones(500_000)
+        del buf
+        assert gate.phases[0].within is False
+        assert not gate.ok
+
+    def test_unbudgeted_phase_is_observational(self):
+        gate = MemoryBudget()
+        with gate.phase("free"):
+            buf = np.ones(100_000)
+        del buf
+        assert gate.phases[0].within is None
+        assert gate.ok
+
+    def test_body_exception_propagates_without_usage(self):
+        gate = MemoryBudget()
+        with pytest.raises(RuntimeError, match="boom"):
+            with gate.phase("broken", budget_bytes=2**30):
+                raise RuntimeError("boom")
+        assert gate.phases == []
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+
+    def test_measure_returns_result_and_usage(self):
+        gate = MemoryBudget()
+        result, usage = gate.measure(
+            "work", lambda: 41 + 1, budget_bytes=2**30
+        )
+        assert result == 42
+        assert usage.within is True
+
+    def test_assert_within_regates_post_hoc(self):
+        gate = MemoryBudget()
+        with gate.phase("alloc"):
+            buf = np.ones(500_000)
+        del buf
+        with pytest.raises(MemoryBudgetExceeded):
+            gate.assert_within("alloc", 1_000_000)
+        assert gate.phases[0].within is False
+        with pytest.raises(KeyError):
+            gate.assert_within("never-ran", 2**30)
+
+    def test_report_and_to_dict(self):
+        gate = MemoryBudget()
+        with gate.phase("a", budget_bytes=2**30):
+            pass
+        with gate.phase("b"):
+            pass
+        data = gate.to_dict()
+        assert [p["name"] for p in data["phases"]] == ["a", "b"]
+        assert data["ok"] is True
+        text = gate.report()
+        assert "a" in text and "b" in text
+
+    def test_leaves_tracemalloc_stopped_when_owned(self):
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        gate = MemoryBudget()
+        with gate.phase("x", budget_bytes=2**30):
+            pass
+        assert not tracemalloc.is_tracing()
+
+
+class TestPruneBenchRuns:
+    def _write_run(self, tmp_path, run_id, names, created):
+        recorder = BenchRecorder(scale="quick", run_id=run_id)
+        for name in names:
+            recorder.add(_record(name, [0.1]))
+        path = recorder.write_run(tmp_path)
+        data = json.loads(path.read_text())
+        data["created_unix"] = created
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_keeps_newest_per_benchmark(self, tmp_path):
+        paths = [
+            self._write_run(tmp_path, f"r{i}", ["a"], created=1000 + i)
+            for i in range(5)
+        ]
+        deleted = prune_bench_runs(tmp_path, keep=3)
+        # the two oldest runs of "a" are fully superseded
+        assert sorted(p.name for p in deleted) == ["BENCH_r0.json", "BENCH_r1.json"]
+        for path in paths[2:]:
+            assert path.exists()
+
+    def test_unique_benchmark_protects_old_run(self, tmp_path):
+        old = self._write_run(tmp_path, "old", ["rare"], created=1)
+        for i in range(4):
+            self._write_run(tmp_path, f"new{i}", ["common"], created=100 + i)
+        deleted = prune_bench_runs(tmp_path, keep=3)
+        assert old.exists()  # "rare" has no newer twin
+        assert [p.name for p in deleted] == ["BENCH_new0.json"]
+
+    def test_unreadable_files_are_left_alone(self, tmp_path):
+        junk = tmp_path / "BENCH_junk.json"
+        junk.write_text("{not json")
+        assert prune_bench_runs(tmp_path, keep=1) == []
+        assert junk.exists()
+
+    def test_keep_zero_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            prune_bench_runs(tmp_path, keep=0)

@@ -179,3 +179,53 @@ class TestCliVerb:
         out = capsys.readouterr().out
         assert "serve-eval" in out
         assert "880 q/s" in out
+
+
+def workspace_metrics() -> dict:
+    reg = MetricsRegistry()
+    reg.counter("workspace.path.matrix_free.float32").inc()
+    reg.counter("workspace.solves").inc(20)
+    reg.counter("workspace.multigrid_solves").inc(20)
+    reg.counter("workspace.factor.hits").inc(3)
+    reg.counter("workspace.factor.misses").inc(1)
+    return reg.snapshot()
+
+
+class TestWorkspacePanel:
+    def test_panel_shows_solve_path_and_counts(self):
+        frame = render_top(progress_events(), workspace_metrics())
+        assert "workspace" in frame
+        assert "matrix_free / float32" in frame
+        assert "solves          20 (20 multigrid)" in frame
+        assert "3 hit / 1 miss (75%)" in frame
+
+    def test_no_workspace_metrics_no_panel(self):
+        frame = render_top(progress_events(), serving_metrics())
+        assert "workspace" not in frame
+
+    def test_live_workspace_metrics_round_trip(self, tmp_path):
+        # a real multigrid sweep's dump, through the file reader
+        import scipy.sparse as sparse
+
+        from repro.linalg.workspace import SolveWorkspace
+        from repro.obs.export import dump_metrics_json
+        from repro.obs.metrics import use_registry
+
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(120, 2))
+        diffs = x[:, None, :] - x[None, :, :]
+        weights = np.exp(-(diffs**2).sum(axis=2))
+        np.fill_diagonal(weights, 0.0)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            ws = SolveWorkspace(
+                sparse.csr_matrix(weights),
+                backend="multigrid",
+                hierarchy_mode="matrix_free",
+                dtype_policy="float32",
+            )
+            ws.sweep_soft(np.sign(x[:40, 0]), [0.1, 1.0])
+        dump = dump_metrics_json(registry, tmp_path / "m.json")
+        metrics = read_metrics_dump(dump)
+        frame = render_top(progress_events(), metrics)
+        assert "matrix_free / float32" in frame
